@@ -1,0 +1,20 @@
+"""Helpers shared by the benchmark harnesses."""
+
+from __future__ import annotations
+
+import os
+from typing import List, Tuple
+
+#: Multiplier applied to every input-size sweep (``REPRO_BENCH_SCALE``).
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1"))
+
+
+def scaled(sizes: List[int]) -> List[int]:
+    """Scale a list of input sizes by ``REPRO_BENCH_SCALE``."""
+    return [max(10, int(size * SCALE)) for size in sizes]
+
+
+def prefix_pair(pair, size) -> Tuple:
+    """Take a prefix of both relations of a generated dataset pair."""
+    left, right = pair
+    return left.limit(size), right.limit(size)

@@ -1,0 +1,42 @@
+"""Ablation — alignment vs. the IXSQL unfold/fold approach (related work).
+
+The paper argues (Sec. 2) that timestamp normalization via ``unfold``/``fold``
+is conceptually simple but impractical: the point-wise representation grows
+with interval *length*, not with the number of tuples, and folding loses
+change preservation.  This ablation quantifies the first point by sweeping
+the interval length at a fixed tuple count; alignment's cost stays flat while
+unfold/fold grows linearly with the duration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._util import scaled
+from repro import predicates
+from repro.baselines import unfold_fold_join
+from repro.core import reduction
+from repro.workloads.synthetic import SyntheticConfig, generate_random
+
+LENGTHS = scaled([30, 120, 480])
+SIZE = scaled([300])[0]
+
+
+@pytest.mark.parametrize("interval_length", LENGTHS)
+@pytest.mark.parametrize("approach", ["align", "unfold_fold"])
+def test_ablation_interval_length(benchmark, approach, interval_length):
+    config = SyntheticConfig(size=SIZE, categories=20, interval_length=interval_length, seed=3)
+    left, right = generate_random(config=config)
+    theta = predicates.attr_eq("cat")
+
+    if approach == "align":
+        run = lambda: reduction.temporal_join(  # noqa: E731
+            left, right, theta,
+            left_equi_attributes=["cat"], right_equi_attributes=["cat"],
+        )
+    else:
+        run = lambda: unfold_fold_join(left, right, theta)  # noqa: E731
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["interval_length"] = interval_length
+    benchmark.extra_info["output_tuples"] = len(result)

@@ -1,0 +1,56 @@
+"""Figure 14 — impact of the normalization attributes.
+
+``N_{}`` splits every tuple at the start/end points of *all* overlapping
+tuples, ``N_{pcn}`` only at points of tuples holding the same position, and
+``N_{ssn}`` only at points of the same employee.  The paper shows a strong
+correlation between the attributes and both runtime (Fig. 14(a)) and output
+cardinality (Fig. 14(b)): change preservation (splitting only within the
+group) keeps intermediate results small.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._util import scaled
+from repro.core.normalization import normalize
+
+SIZES = scaled([500, 1000, 2000])
+
+ATTRIBUTE_SETS = {
+    "none": (),          # N_{}   — most splits, slowest
+    "pcn": ("pcn",),     # N_{pcn}
+    "ssn": ("ssn",),     # N_{ssn} — fewest splits, fastest
+}
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("attributes", list(ATTRIBUTE_SETS))
+def test_fig14_normalization_attributes(benchmark, incumben_large, attributes, size):
+    """Fig. 14(a)/(b): runtime and output size of N_{}, N_{pcn}, N_{ssn}."""
+    relation = incumben_large.limit(size)
+    attrs = ATTRIBUTE_SETS[attributes]
+
+    result = benchmark.pedantic(
+        lambda: normalize(relation, relation, attrs), rounds=1, iterations=1
+    )
+
+    benchmark.extra_info["input_tuples"] = size
+    benchmark.extra_info["normalization"] = f"N_{{{','.join(attrs)}}}"
+    benchmark.extra_info["output_tuples"] = len(result)  # Fig. 14(b)
+
+
+@pytest.mark.parametrize("size", SIZES[:1])
+def test_fig14_output_ordering(benchmark, incumben_large, size):
+    """The qualitative claim of Fig. 14(b): |N_{}| ≥ |N_{pcn}| ≥ |N_{ssn}| ≥ |r|."""
+    relation = incumben_large.limit(size)
+
+    def run():
+        return {
+            name: len(normalize(relation, relation, attrs))
+            for name, attrs in ATTRIBUTE_SETS.items()
+        }
+
+    sizes = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert sizes["none"] >= sizes["pcn"] >= sizes["ssn"] >= len(relation)
+    benchmark.extra_info.update(sizes)

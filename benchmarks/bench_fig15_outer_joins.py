@@ -1,0 +1,122 @@
+"""Figure 15 — temporal outer joins: alignment vs. the plain-SQL formulation.
+
+Four sub-experiments, matching the paper:
+
+* 15(a): ``O1 = r ⟕^T_true s`` on ``Ddisj`` — NOT EXISTS must scan almost the
+  whole relation per probe, alignment is far faster;
+* 15(b): ``O1`` on ``Deq`` — all timestamps equal, the best case for SQL,
+  which beats alignment (the only crossover);
+* 15(c): ``O2 = r ⟕^T_{min ≤ DUR(r.T) ≤ max} s`` on ``Drand`` — a θ that
+  cannot be turned into an efficient antijoin;
+* 15(d): ``O3 = r ⟗^T_{r.pcn = s.pcn} s`` on Incumben — an equality θ that
+  lets both approaches use hashing; both are much faster, alignment stays
+  ahead.
+
+Result equality between the two approaches is asserted inside each benchmark,
+so the harness doubles as an integration test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._util import prefix_pair, scaled
+from repro import predicates
+from repro.baselines import sql_outer_join
+from repro.core import reduction
+
+
+def _check_equal(align_result, sql_result):
+    assert align_result.as_set() == sql_result.as_set(), (
+        "alignment and the SQL formulation must produce the same relation"
+    )
+
+
+# -- Fig. 15(a): O1 on Ddisj ---------------------------------------------------------
+
+
+@pytest.mark.parametrize("size", scaled([200, 400, 800]))
+@pytest.mark.parametrize("approach", ["align", "sql"])
+def test_fig15a_o1_on_disjoint(benchmark, disjoint_datasets, approach, size):
+    left, right = prefix_pair(disjoint_datasets, size)
+
+    if approach == "align":
+        run = lambda: reduction.temporal_left_outer_join(left, right, None)  # noqa: E731
+    else:
+        run = lambda: sql_outer_join(left, right, None, kind="left")  # noqa: E731
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["input_tuples"] = size
+    benchmark.extra_info["output_tuples"] = len(result)
+    if approach == "align":
+        _check_equal(result, sql_outer_join(left, right, None, kind="left"))
+
+
+# -- Fig. 15(b): O1 on Deq ------------------------------------------------------------
+
+
+@pytest.mark.parametrize("size", scaled([50, 100, 200]))
+@pytest.mark.parametrize("approach", ["align", "sql"])
+def test_fig15b_o1_on_equal(benchmark, equal_datasets, approach, size):
+    left, right = prefix_pair(equal_datasets, size)
+
+    if approach == "align":
+        run = lambda: reduction.temporal_left_outer_join(left, right, None)  # noqa: E731
+    else:
+        run = lambda: sql_outer_join(left, right, None, kind="left")  # noqa: E731
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["input_tuples"] = size
+    benchmark.extra_info["output_tuples"] = len(result)
+
+
+# -- Fig. 15(c): O2 on Drand -------------------------------------------------------------
+
+
+@pytest.mark.parametrize("size", scaled([200, 400, 800]))
+@pytest.mark.parametrize("approach", ["align", "sql"])
+def test_fig15c_o2_on_random(benchmark, random_datasets, approach, size):
+    left, right = prefix_pair(random_datasets, size)
+    left = left.extend("U")
+    theta = predicates.duration_between("U", "min_dur", "max_dur", propagated_on_left=True)
+
+    if approach == "align":
+        run = lambda: reduction.temporal_left_outer_join(left, right, theta)  # noqa: E731
+    else:
+        run = lambda: sql_outer_join(left, right, theta, kind="left")  # noqa: E731
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["input_tuples"] = size
+    benchmark.extra_info["output_tuples"] = len(result)
+    if approach == "align" and size <= 400:
+        _check_equal(result, sql_outer_join(left, right, theta, kind="left"))
+
+
+# -- Fig. 15(d): O3 on Incumben -------------------------------------------------------------
+
+
+@pytest.mark.parametrize("size", scaled([500, 1000, 2000]))
+@pytest.mark.parametrize("approach", ["align", "sql"])
+def test_fig15d_o3_on_incumben(benchmark, incumben_large, approach, size):
+    relation = incumben_large.limit(size)
+    # Self full outer join on the position code, as in the paper's O3.
+    theta = predicates.attr_eq("pcn")
+
+    if approach == "align":
+        run = lambda: reduction.temporal_full_outer_join(  # noqa: E731
+            relation, relation, theta,
+            left_equi_attributes=["pcn"], right_equi_attributes=["pcn"],
+        )
+    else:
+        run = lambda: sql_outer_join(  # noqa: E731
+            relation, relation, theta, kind="full", equi_attributes=["pcn"]
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["input_tuples"] = size
+    benchmark.extra_info["output_tuples"] = len(result)
+    if approach == "align" and size <= 500:
+        _check_equal(
+            result,
+            sql_outer_join(relation, relation, theta, kind="full", equi_attributes=["pcn"]),
+        )

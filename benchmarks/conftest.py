@@ -1,0 +1,63 @@
+"""Shared fixtures and scaling knobs of the benchmark harness.
+
+Every harness regenerates one figure of the paper's evaluation (Sec. 7) on
+scaled-down input sizes so the whole suite finishes in minutes on a laptop.
+Set ``REPRO_BENCH_SCALE`` (a float multiplier, default ``1``) to enlarge the
+sweeps; the relative shapes — who wins, how the curves grow — are what the
+reproduction asserts, not absolute seconds (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+import pytest
+
+from repro.workloads.incumben import IncumbenConfig, generate_incumben
+from repro.workloads.synthetic import (
+    SyntheticConfig,
+    generate_disjoint,
+    generate_equal,
+    generate_random,
+)
+
+#: Multiplier applied to every input-size sweep.
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1"))
+
+
+def scaled(sizes: List[int]) -> List[int]:
+    """Scale a list of input sizes by ``REPRO_BENCH_SCALE``."""
+    return [max(10, int(size * SCALE)) for size in sizes]
+
+
+@pytest.fixture(scope="session")
+def incumben_large():
+    """One large Incumben-like relation; harnesses take prefixes of it."""
+    return generate_incumben(config=IncumbenConfig(size=4000, distinct_positions=300, seed=2012))
+
+
+@pytest.fixture(scope="session")
+def synthetic_config():
+    return SyntheticConfig(size=1000, categories=100, seed=42)
+
+
+@pytest.fixture(scope="session")
+def disjoint_datasets(synthetic_config):
+    return generate_disjoint(config=synthetic_config)
+
+
+@pytest.fixture(scope="session")
+def equal_datasets():
+    return generate_equal(config=SyntheticConfig(size=300, categories=100, seed=42))
+
+
+@pytest.fixture(scope="session")
+def random_datasets(synthetic_config):
+    return generate_random(config=synthetic_config)
+
+
+def prefix_pair(pair, size):
+    """Take a prefix of both relations of a generated dataset pair."""
+    left, right = pair
+    return left.limit(size), right.limit(size)

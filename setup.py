@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is configured through ``pyproject.toml``; this file exists so
+that fully offline environments (no ``wheel`` package available) can fall
+back to the legacy ``setup.py develop`` editable-install path via
+``pip install -e . --no-build-isolation``.
+"""
+
+from setuptools import setup
+
+setup()

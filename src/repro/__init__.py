@@ -1,0 +1,58 @@
+"""Reproduction of *Temporal Alignment* (Dignös, Böhlen, Gamper, SIGMOD 2012).
+
+The library provides native support for the sequenced semantics over
+interval-timestamped relations:
+
+* the data model (``repro.temporal``, ``repro.relation``);
+* the paper's contribution — temporal splitter/aligner primitives and the
+  reduction rules of a sequenced temporal algebra (``repro.core``);
+* a pure-Python relational query engine standing in for the PostgreSQL
+  kernel, with a SQL front end extended by ``ALIGN``, ``NORMALIZE`` and
+  ``ABSORB`` (``repro.engine``, ``repro.sql``);
+* baselines and workload generators used by the benchmark harness
+  (``repro.baselines``, ``repro.workloads``).
+
+Quickstart::
+
+    from repro import Interval, Schema, TemporalAlgebra, TemporalRelation, count
+
+    r = TemporalRelation(Schema(["name"]))
+    r.insert(("Ann",), Interval(0, 7))
+    r.insert(("Joe",), Interval(1, 5))
+
+    algebra = TemporalAlgebra()
+    active_reservations = algebra.aggregate(r, [], [count(name="n")])
+"""
+
+from repro.core import predicates
+from repro.core.aggregates import AggregateSpec, avg, count, max_, min_, sum_
+from repro.core.algebra import TemporalAlgebra
+from repro.relation.relation import TemporalRelation
+from repro.relation.schema import Attribute, Schema
+from repro.relation.tuple import NULL, TemporalTuple, is_null
+from repro.temporal.interval import Interval
+from repro.temporal.timeline import DayTimeline, MonthTimeline, month_interval
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Interval",
+    "MonthTimeline",
+    "DayTimeline",
+    "month_interval",
+    "Attribute",
+    "Schema",
+    "TemporalTuple",
+    "TemporalRelation",
+    "NULL",
+    "is_null",
+    "TemporalAlgebra",
+    "AggregateSpec",
+    "avg",
+    "sum_",
+    "count",
+    "min_",
+    "max_",
+    "predicates",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Baseline implementations the paper compares against.
+
+* :mod:`~repro.baselines.sql_outer_join` — temporal outer joins written in
+  standard SQL: an overlap join for the positive part and ``NOT EXISTS``
+  probes for the negative part (the ``sql`` series of Fig. 15);
+* :mod:`~repro.baselines.sql_normalize` — the positive part in SQL plus a
+  normalization-based temporal difference for the negative part (the
+  ``sql+normalize`` series of Fig. 16);
+* :mod:`~repro.baselines.foldunfold` — the IXSQL-style ``unfold``/``fold``
+  approach discussed in related work (used in ablation benchmarks).
+"""
+
+from repro.baselines.foldunfold import fold, unfold, unfold_fold_join
+from repro.baselines.sql_normalize import sql_normalize_outer_join
+from repro.baselines.sql_outer_join import sql_outer_join
+
+__all__ = [
+    "sql_outer_join",
+    "sql_normalize_outer_join",
+    "unfold",
+    "fold",
+    "unfold_fold_join",
+]

@@ -1,0 +1,89 @@
+"""The IXSQL-style ``unfold``/``fold`` baseline (related work, Sec. 2).
+
+IXSQL evaluates sequenced queries by (i) *unfolding* every interval
+timestamped tuple into one tuple per time point, (ii) applying the
+nontemporal operator on the point-timestamped relation, and (iii) *folding*
+value-equivalent tuples over consecutive points back into maximal intervals.
+
+The approach is conceptually simple but
+
+* it materialises one tuple per time point — prohibitive for long intervals
+  (the ablation benchmark shows the blow-up against alignment), and
+* folding merges *value-equivalent* tuples regardless of their lineage, so
+  changes are **not** preserved (the property tests demonstrate the exact
+  queries where fold/unfold and the sequenced algebra disagree).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.sweep import ThetaPredicate
+from repro.relation.relation import TemporalRelation
+from repro.relation.schema import Schema
+from repro.relation.tuple import TemporalTuple
+from repro.temporal.interval import Interval
+
+
+def unfold(relation: TemporalRelation) -> List[Tuple[Tuple, int]]:
+    """Expand every tuple into ``(values, time point)`` pairs."""
+    points: List[Tuple[Tuple, int]] = []
+    for t in relation:
+        for point in t.interval.points():
+            points.append((t.values, point))
+    return points
+
+
+def fold(
+    schema: Schema, points: List[Tuple[Tuple, int]]
+) -> TemporalRelation:
+    """Collapse value-equivalent tuples over consecutive points into intervals.
+
+    This is plain coalescing: lineage is ignored, so two adjacent periods that
+    stem from different argument tuples merge into one — the behaviour that
+    violates change preservation.
+    """
+    by_values: Dict[Tuple, List[int]] = defaultdict(list)
+    for values, point in points:
+        by_values[values].append(point)
+
+    result = TemporalRelation(schema)
+    for values, group in by_values.items():
+        ordered = sorted(set(group))
+        start = previous = ordered[0]
+        for point in ordered[1:]:
+            if point == previous + 1:
+                previous = point
+                continue
+            result.insert(values, Interval(start, previous + 1))
+            start = previous = point
+        result.insert(values, Interval(start, previous + 1))
+    return result
+
+
+def unfold_fold_join(
+    left: TemporalRelation,
+    right: TemporalRelation,
+    theta: Optional[ThetaPredicate] = None,
+) -> TemporalRelation:
+    """Temporal inner join computed the IXSQL way: unfold, join per point, fold.
+
+    Returns a relation over the concatenated schema.  Intended for ablation
+    benchmarks and for the tests that demonstrate the loss of change
+    preservation; not meant to be fast.
+    """
+    schema = left.schema.concat(right.schema)
+
+    right_by_point: Dict[int, List[TemporalTuple]] = defaultdict(list)
+    for s in right:
+        for point in s.interval.points():
+            right_by_point[point].append(s)
+
+    joined_points: List[Tuple[Tuple, int]] = []
+    for l in left:
+        for point in l.interval.points():
+            for s in right_by_point.get(point, ()):
+                if theta is None or theta(l, s):
+                    joined_points.append((l.values + s.values, point))
+    return fold(schema, joined_points)

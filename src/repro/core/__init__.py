@@ -1,0 +1,70 @@
+"""The paper's primary contribution: a sequenced temporal algebra.
+
+The package is organised around the two temporal primitives of Sec. 4 and
+the reduction rules of Sec. 5:
+
+* :mod:`~repro.core.primitives` — the definitional ``split`` (Def. 8) and
+  ``align`` (Def. 10) primitives on single tuples, the absorb operator
+  ``α`` (Def. 12), and timestamp propagation (Def. 3).
+* :mod:`~repro.core.normalization` — the relation-level normalization
+  ``N_B(r; s)`` (Def. 9) used by the group-based operators.
+* :mod:`~repro.core.alignment` — the relation-level temporal alignment
+  ``r Φθ s`` (Def. 11) used by the tuple-based operators.
+* :mod:`~repro.core.reduction` — the reduction rules of Table 2, one function
+  per temporal operator.
+* :mod:`~repro.core.algebra` — :class:`TemporalAlgebra`, the public facade.
+* :mod:`~repro.core.lineage` — lineage sets (Def. 6).
+* :mod:`~repro.core.snapshot` — a snapshot-by-snapshot reference
+  implementation used as ground truth in tests.
+* :mod:`~repro.core.properties` — checkers for snapshot reducibility,
+  extended snapshot reducibility and change preservation, plus the operator
+  classification of Table 1.
+"""
+
+from repro.core.aggregates import AggregateSpec, avg, count, max_, min_, sum_
+from repro.core.algebra import TemporalAlgebra
+from repro.core.alignment import align_relation
+from repro.core.normalization import normalize
+from repro.core.primitives import absorb, align_tuple, extend, split_tuple
+from repro.core.reduction import (
+    temporal_aggregate,
+    temporal_antijoin,
+    temporal_cartesian_product,
+    temporal_difference,
+    temporal_full_outer_join,
+    temporal_intersection,
+    temporal_join,
+    temporal_left_outer_join,
+    temporal_projection,
+    temporal_right_outer_join,
+    temporal_selection,
+    temporal_union,
+)
+
+__all__ = [
+    "TemporalAlgebra",
+    "normalize",
+    "align_relation",
+    "split_tuple",
+    "align_tuple",
+    "absorb",
+    "extend",
+    "AggregateSpec",
+    "avg",
+    "sum_",
+    "count",
+    "min_",
+    "max_",
+    "temporal_selection",
+    "temporal_projection",
+    "temporal_aggregate",
+    "temporal_union",
+    "temporal_difference",
+    "temporal_intersection",
+    "temporal_cartesian_product",
+    "temporal_join",
+    "temporal_left_outer_join",
+    "temporal_right_outer_join",
+    "temporal_full_outer_join",
+    "temporal_antijoin",
+]

@@ -1,0 +1,225 @@
+"""Nontemporal operators over interval-adjusted relations.
+
+After the temporal primitives have adjusted the argument timestamps, the
+reduction rules of Table 2 apply the *nontemporal* counterpart of each
+operator, treating the timestamp as an ordinary attribute compared with
+equality.  This module provides those nontemporal operators for the native
+(engine-free) execution path of :mod:`repro.core.reduction`:
+
+* selection, projection and aggregation with the timestamp in the
+  projection/grouping list;
+* the set operators over ``(values, timestamp)`` pairs;
+* the θ-join family (inner, left/right/full outer, antijoin) with the
+  implicit conjunct ``r.T = s.T`` realised as a hash join on the adjusted
+  interval.
+
+All functions return :class:`~repro.relation.relation.TemporalRelation`
+values and never mutate their inputs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.aggregates import AggregateSpec
+from repro.core.sweep import ThetaPredicate
+from repro.relation.errors import SchemaError
+from repro.relation.relation import TemporalRelation
+from repro.relation.schema import Schema
+from repro.relation.tuple import NULL, TemporalTuple
+from repro.temporal.interval import Interval
+
+TuplePredicate = Callable[[TemporalTuple], bool]
+
+
+# -- unary operators -----------------------------------------------------------
+
+
+def select(relation: TemporalRelation, predicate: TuplePredicate) -> TemporalRelation:
+    """Nontemporal selection σ (timestamps pass through untouched)."""
+    return TemporalRelation(relation.schema, [t for t in relation if predicate(t)])
+
+
+def project(relation: TemporalRelation, attributes: Sequence[str]) -> TemporalRelation:
+    """Projection ``π_{B,T}`` with duplicate elimination on ``(B values, T)``."""
+    schema = relation.schema.project(attributes)
+    seen: Set[Tuple[Tuple, Interval]] = set()
+    result = TemporalRelation(schema)
+    for t in relation:
+        values = t.values_of(attributes)
+        key = (values, t.interval)
+        if key in seen:
+            continue
+        seen.add(key)
+        result.insert(values, t.interval)
+    return result
+
+
+def aggregate(
+    relation: TemporalRelation,
+    group_by: Sequence[str],
+    aggregates: Sequence[AggregateSpec],
+) -> TemporalRelation:
+    """Aggregation ``_{B,T}ϑ_F`` grouping on ``(B values, T)``.
+
+    The output schema is the grouping attributes followed by one attribute
+    per aggregate, in the given order.
+    """
+    if not aggregates:
+        raise SchemaError("aggregation requires at least one aggregate function")
+    group_attrs = tuple(group_by)
+    schema = Schema(list(group_attrs) + [spec.name for spec in aggregates],
+                    timestamp=relation.schema.timestamp)
+
+    groups: Dict[Tuple[Tuple, Interval], List[TemporalTuple]] = defaultdict(list)
+    order: List[Tuple[Tuple, Interval]] = []
+    for t in relation:
+        key = (t.values_of(group_attrs) if group_attrs else (), t.interval)
+        if key not in groups:
+            order.append(key)
+        groups[key].append(t)
+
+    result = TemporalRelation(schema)
+    for key in order:
+        values, interval = key
+        members = groups[key]
+        aggregated = tuple(spec.evaluate(members) for spec in aggregates)
+        result.insert(values + aggregated, interval)
+    return result
+
+
+# -- set operators -------------------------------------------------------------
+
+
+def _require_union_compatible(left: TemporalRelation, right: TemporalRelation) -> None:
+    if not left.schema.union_compatible_with(right.schema):
+        raise SchemaError(
+            f"set operation on incompatible schemas {left.schema!r} and {right.schema!r}"
+        )
+
+
+def union(left: TemporalRelation, right: TemporalRelation) -> TemporalRelation:
+    """Set union over ``(values, timestamp)`` pairs."""
+    _require_union_compatible(left, right)
+    seen: Set[Tuple[Tuple, Interval]] = set()
+    result = TemporalRelation(left.schema)
+    for t in list(left) + [s.with_schema(left.schema) for s in right]:
+        key = (t.values, t.interval)
+        if key in seen:
+            continue
+        seen.add(key)
+        result.add(t)
+    return result
+
+
+def difference(left: TemporalRelation, right: TemporalRelation) -> TemporalRelation:
+    """Set difference over ``(values, timestamp)`` pairs."""
+    _require_union_compatible(left, right)
+    right_keys = {(s.values, s.interval) for s in right}
+    seen: Set[Tuple[Tuple, Interval]] = set()
+    result = TemporalRelation(left.schema)
+    for t in left:
+        key = (t.values, t.interval)
+        if key in right_keys or key in seen:
+            continue
+        seen.add(key)
+        result.add(t)
+    return result
+
+
+def intersection(left: TemporalRelation, right: TemporalRelation) -> TemporalRelation:
+    """Set intersection over ``(values, timestamp)`` pairs."""
+    _require_union_compatible(left, right)
+    right_keys = {(s.values, s.interval) for s in right}
+    seen: Set[Tuple[Tuple, Interval]] = set()
+    result = TemporalRelation(left.schema)
+    for t in left:
+        key = (t.values, t.interval)
+        if key in right_keys and key not in seen:
+            seen.add(key)
+            result.add(t)
+    return result
+
+
+# -- the θ-join family with timestamp equality -----------------------------------
+
+
+def _join_schema(left: TemporalRelation, right: TemporalRelation) -> Schema:
+    return left.schema.concat(right.schema)
+
+
+def _pad_right(left_tuple: TemporalTuple, right_width: int, schema: Schema) -> TemporalTuple:
+    values = left_tuple.values + (NULL,) * right_width
+    return TemporalTuple(schema, values, left_tuple.interval)
+
+
+def _pad_left(right_tuple: TemporalTuple, left_width: int, schema: Schema) -> TemporalTuple:
+    values = (NULL,) * left_width + right_tuple.values
+    return TemporalTuple(schema, values, right_tuple.interval)
+
+
+def _hash_by_interval(relation: TemporalRelation) -> Dict[Interval, List[Tuple[int, TemporalTuple]]]:
+    buckets: Dict[Interval, List[Tuple[int, TemporalTuple]]] = defaultdict(list)
+    for index, t in enumerate(relation):
+        buckets[t.interval].append((index, t))
+    return buckets
+
+
+def join(
+    left: TemporalRelation,
+    right: TemporalRelation,
+    theta: Optional[ThetaPredicate] = None,
+    kind: str = "inner",
+) -> TemporalRelation:
+    """θ-join of two adjusted relations with the conjunct ``left.T = right.T``.
+
+    ``kind`` is one of ``inner``, ``left``, ``right``, ``full`` or ``anti``.
+    For the outer variants dangling tuples are padded with ``ω`` (``NULL``);
+    for ``anti`` the result keeps only the left schema and contains the left
+    tuples with no qualifying partner.
+    """
+    if kind not in {"inner", "left", "right", "full", "anti"}:
+        raise ValueError(f"unknown join kind {kind!r}")
+
+    if kind == "anti":
+        return _antijoin(left, right, theta)
+
+    schema = _join_schema(left, right)
+    left_width = len(left.schema)
+    right_width = len(right.schema)
+    buckets = _hash_by_interval(right)
+    matched_right: Set[int] = set()
+
+    result = TemporalRelation(schema)
+    for l in left:
+        matches = 0
+        for right_index, r in buckets.get(l.interval, ()):  # noqa: B020 - explicit pairs
+            if theta is None or theta(l, r):
+                matches += 1
+                matched_right.add(right_index)
+                result.add(TemporalTuple(schema, l.values + r.values, l.interval))
+        if matches == 0 and kind in {"left", "full"}:
+            result.add(_pad_right(l, right_width, schema))
+
+    if kind in {"right", "full"}:
+        for right_index, r in enumerate(right):
+            if right_index not in matched_right:
+                result.add(_pad_left(r, left_width, schema))
+    return result
+
+
+def _antijoin(
+    left: TemporalRelation,
+    right: TemporalRelation,
+    theta: Optional[ThetaPredicate],
+) -> TemporalRelation:
+    buckets = _hash_by_interval(right)
+    result = TemporalRelation(left.schema)
+    for l in left:
+        has_match = any(
+            theta is None or theta(l, r) for _, r in buckets.get(l.interval, ())
+        )
+        if not has_match:
+            result.add(l)
+    return result

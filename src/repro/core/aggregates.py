@@ -1,0 +1,136 @@
+"""Aggregate functions for temporal aggregation ``ϑ^T``.
+
+A temporal aggregation query groups tuples by a set of attributes ``B`` and
+evaluates a set of aggregate functions ``F`` per group *at each point in
+time*.  After reduction, the grouping key additionally contains the adjusted
+timestamp, so each aggregate function simply receives the tuples of one
+``(B values, adjusted interval)`` group.
+
+Functions may reference nontemporal attributes — including a propagated
+timestamp attribute, which is how the paper expresses
+``AVG(DUR(R.T))`` (Example 10 / query Q2) under extended snapshot
+reducibility.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Union
+
+from repro.relation.tuple import TemporalTuple, is_null
+from repro.temporal.interval import Interval
+
+#: A value extractor: attribute name, or callable over the whole tuple.
+ValueSource = Union[str, Callable[[TemporalTuple], Any]]
+
+
+def _extract(source: ValueSource) -> Callable[[TemporalTuple], Any]:
+    if callable(source):
+        return source
+    name = source
+
+    def getter(t: TemporalTuple) -> Any:
+        return t.value(name)
+
+    return getter
+
+
+class AggregateSpec:
+    """One aggregate function of a temporal aggregation.
+
+    Parameters
+    ----------
+    name:
+        Output attribute name of the aggregate.
+    function:
+        Callable reducing a list of extracted values to one value
+        (e.g. the helpers below, ``sum`` or any user function).
+    source:
+        Attribute name or callable extracting the aggregated value from a
+        tuple; ``None`` lets the function see the raw tuples (used by
+        ``COUNT(*)``-style aggregates).
+    skip_nulls:
+        When true (default) null values are removed before aggregation,
+        matching SQL semantics.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        function: Callable[[List[Any]], Any],
+        source: Optional[ValueSource] = None,
+        skip_nulls: bool = True,
+    ):
+        self.name = name
+        self.function = function
+        self.source = source
+        self.skip_nulls = skip_nulls
+
+    def __repr__(self) -> str:
+        return f"AggregateSpec({self.name!r})"
+
+    def evaluate(self, tuples: Sequence[TemporalTuple]) -> Any:
+        """Evaluate the aggregate over the tuples of one group."""
+        if self.source is None:
+            return self.function(list(tuples))
+        extractor = _extract(self.source)
+        values = [extractor(t) for t in tuples]
+        if self.skip_nulls:
+            values = [v for v in values if not is_null(v)]
+        return self.function(values)
+
+
+# -- standard SQL aggregates ---------------------------------------------------
+
+
+def _mean(values: List[Any]) -> Any:
+    if not values:
+        return None
+    return sum(values) / len(values)
+
+
+def avg(source: ValueSource, name: str = "avg") -> AggregateSpec:
+    """``AVG`` over an attribute or extractor."""
+    return AggregateSpec(name, _mean, source)
+
+
+def sum_(source: ValueSource, name: str = "sum") -> AggregateSpec:
+    """``SUM`` over an attribute or extractor (``None`` on empty groups)."""
+    return AggregateSpec(name, lambda vs: sum(vs) if vs else None, source)
+
+
+def count(source: Optional[ValueSource] = None, name: str = "count") -> AggregateSpec:
+    """``COUNT(attr)`` or, without a source, ``COUNT(*)``."""
+    if source is None:
+        return AggregateSpec(name, len, None)
+    return AggregateSpec(name, len, source)
+
+
+def min_(source: ValueSource, name: str = "min") -> AggregateSpec:
+    """``MIN`` over an attribute or extractor (``None`` on empty groups)."""
+    return AggregateSpec(name, lambda vs: min(vs) if vs else None, source)
+
+
+def max_(source: ValueSource, name: str = "max") -> AggregateSpec:
+    """``MAX`` over an attribute or extractor (``None`` on empty groups)."""
+    return AggregateSpec(name, lambda vs: max(vs) if vs else None, source)
+
+
+# -- temporal value extractors -------------------------------------------------
+
+
+def duration_of(attribute: str) -> Callable[[TemporalTuple], int]:
+    """Extractor returning ``DUR`` of a propagated timestamp attribute.
+
+    The attribute must hold an :class:`Interval` (i.e. come from the extend
+    operator); this is the paper's ``DUR(U)``.
+    """
+
+    def getter(t: TemporalTuple) -> int:
+        value = t.value(attribute)
+        if isinstance(value, Interval):
+            return value.duration()
+        raise TypeError(
+            f"attribute {attribute!r} does not hold an interval: {value!r}"
+        )
+
+    return getter

@@ -1,0 +1,211 @@
+"""Public facade of the sequenced temporal algebra.
+
+:class:`TemporalAlgebra` bundles the reduction rules of Table 2 behind a
+small object-oriented API so that applications can write::
+
+    from repro import TemporalAlgebra
+    algebra = TemporalAlgebra()
+    result = algebra.left_outer_join(reservations, prices, theta)
+
+Every operator accepts and returns :class:`~repro.relation.relation.TemporalRelation`
+values and satisfies the three properties of the sequenced semantics
+(snapshot reducibility, extended snapshot reducibility via timestamp
+propagation, change preservation); the test suite verifies this against the
+snapshot reference implementation.
+
+The facade can optionally validate that inputs respect the duplicate-free
+assumption of the data model (Sec. 3.1) — useful while developing an
+application, cheap enough to keep on for moderate relation sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.core import reduction
+from repro.core.aggregates import AggregateSpec
+from repro.core.alignment import align_relation
+from repro.core.normalization import normalize
+from repro.core.primitives import absorb, extend
+from repro.core.sweep import ThetaPredicate
+from repro.relation.errors import DuplicateTupleError
+from repro.relation.relation import TemporalRelation
+from repro.relation.tuple import TemporalTuple
+
+TuplePredicate = Callable[[TemporalTuple], bool]
+
+
+class TemporalAlgebra:
+    """Sequenced temporal algebra over interval-timestamped relations.
+
+    Parameters
+    ----------
+    validate_inputs:
+        When true, every binary operator first checks that its arguments are
+        duplicate free and raises :class:`DuplicateTupleError` otherwise.
+    """
+
+    def __init__(self, validate_inputs: bool = False):
+        self.validate_inputs = validate_inputs
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _check(self, *relations: TemporalRelation) -> None:
+        if not self.validate_inputs:
+            return
+        for relation in relations:
+            if not relation.is_duplicate_free():
+                raise DuplicateTupleError(
+                    "argument relation violates the duplicate-free assumption"
+                )
+
+    # -- primitives ---------------------------------------------------------------
+
+    def extend(self, relation: TemporalRelation, attribute: str = "U") -> TemporalRelation:
+        """Timestamp propagation (Def. 3)."""
+        return extend(relation, attribute)
+
+    def absorb(self, relation: TemporalRelation) -> TemporalRelation:
+        """Absorb operator ``α`` (Def. 12)."""
+        return absorb(relation)
+
+    def normalize(
+        self,
+        relation: TemporalRelation,
+        reference: TemporalRelation,
+        attributes: Sequence[str] = (),
+    ) -> TemporalRelation:
+        """Temporal normalization ``N_B(relation; reference)`` (Def. 9)."""
+        return normalize(relation, reference, attributes)
+
+    def align(
+        self,
+        relation: TemporalRelation,
+        reference: TemporalRelation,
+        theta: Optional[ThetaPredicate] = None,
+        equi_attributes: Optional[Sequence[str]] = None,
+        reference_equi_attributes: Optional[Sequence[str]] = None,
+    ) -> TemporalRelation:
+        """Temporal alignment ``relation Φθ reference`` (Def. 11)."""
+        return align_relation(
+            relation,
+            reference,
+            theta,
+            equi_attributes=equi_attributes,
+            reference_equi_attributes=reference_equi_attributes,
+        )
+
+    # -- unary operators ------------------------------------------------------------
+
+    def selection(self, relation: TemporalRelation, predicate: TuplePredicate) -> TemporalRelation:
+        """``σ^T_θ`` — sequenced selection."""
+        return reduction.temporal_selection(relation, predicate)
+
+    def projection(self, relation: TemporalRelation, attributes: Sequence[str]) -> TemporalRelation:
+        """``π^T_B`` — sequenced (duplicate eliminating) projection."""
+        self._check(relation)
+        return reduction.temporal_projection(relation, attributes)
+
+    def aggregate(
+        self,
+        relation: TemporalRelation,
+        group_by: Sequence[str],
+        aggregates: Sequence[AggregateSpec],
+    ) -> TemporalRelation:
+        """``_Bϑ^T_F`` — sequenced aggregation."""
+        self._check(relation)
+        return reduction.temporal_aggregate(relation, group_by, aggregates)
+
+    # -- set operators ----------------------------------------------------------------
+
+    def union(self, left: TemporalRelation, right: TemporalRelation) -> TemporalRelation:
+        """``∪^T`` — sequenced union."""
+        self._check(left, right)
+        return reduction.temporal_union(left, right)
+
+    def difference(self, left: TemporalRelation, right: TemporalRelation) -> TemporalRelation:
+        """``−^T`` — sequenced difference."""
+        self._check(left, right)
+        return reduction.temporal_difference(left, right)
+
+    def intersection(self, left: TemporalRelation, right: TemporalRelation) -> TemporalRelation:
+        """``∩^T`` — sequenced intersection."""
+        self._check(left, right)
+        return reduction.temporal_intersection(left, right)
+
+    # -- join family -------------------------------------------------------------------
+
+    def cartesian_product(self, left: TemporalRelation, right: TemporalRelation) -> TemporalRelation:
+        """``×^T`` — sequenced Cartesian product."""
+        self._check(left, right)
+        return reduction.temporal_cartesian_product(left, right)
+
+    def join(
+        self,
+        left: TemporalRelation,
+        right: TemporalRelation,
+        theta: Optional[ThetaPredicate] = None,
+        left_equi_attributes: Optional[Sequence[str]] = None,
+        right_equi_attributes: Optional[Sequence[str]] = None,
+    ) -> TemporalRelation:
+        """``⋈^T_θ`` — sequenced inner join."""
+        self._check(left, right)
+        return reduction.temporal_join(
+            left, right, theta, left_equi_attributes, right_equi_attributes
+        )
+
+    def left_outer_join(
+        self,
+        left: TemporalRelation,
+        right: TemporalRelation,
+        theta: Optional[ThetaPredicate] = None,
+        left_equi_attributes: Optional[Sequence[str]] = None,
+        right_equi_attributes: Optional[Sequence[str]] = None,
+    ) -> TemporalRelation:
+        """``⟕^T_θ`` — sequenced left outer join."""
+        self._check(left, right)
+        return reduction.temporal_left_outer_join(
+            left, right, theta, left_equi_attributes, right_equi_attributes
+        )
+
+    def right_outer_join(
+        self,
+        left: TemporalRelation,
+        right: TemporalRelation,
+        theta: Optional[ThetaPredicate] = None,
+        left_equi_attributes: Optional[Sequence[str]] = None,
+        right_equi_attributes: Optional[Sequence[str]] = None,
+    ) -> TemporalRelation:
+        """``⟖^T_θ`` — sequenced right outer join."""
+        self._check(left, right)
+        return reduction.temporal_right_outer_join(
+            left, right, theta, left_equi_attributes, right_equi_attributes
+        )
+
+    def full_outer_join(
+        self,
+        left: TemporalRelation,
+        right: TemporalRelation,
+        theta: Optional[ThetaPredicate] = None,
+        left_equi_attributes: Optional[Sequence[str]] = None,
+        right_equi_attributes: Optional[Sequence[str]] = None,
+    ) -> TemporalRelation:
+        """``⟗^T_θ`` — sequenced full outer join."""
+        self._check(left, right)
+        return reduction.temporal_full_outer_join(
+            left, right, theta, left_equi_attributes, right_equi_attributes
+        )
+
+    def antijoin(
+        self,
+        left: TemporalRelation,
+        right: TemporalRelation,
+        theta: Optional[ThetaPredicate] = None,
+        left_equi_attributes: Optional[Sequence[str]] = None,
+        right_equi_attributes: Optional[Sequence[str]] = None,
+    ) -> TemporalRelation:
+        """``▷^T_θ`` — sequenced antijoin."""
+        self._check(left, right)
+        return reduction.temporal_antijoin(
+            left, right, theta, left_equi_attributes, right_equi_attributes
+        )

@@ -1,0 +1,224 @@
+"""Lineage sets for interval-timestamped databases (Def. 6).
+
+The lineage set ``L[ψ^T(r1..rn)](z, t)`` of a result tuple ``z`` at time
+point ``t`` is the list of sets of argument tuples from which ``z`` is
+derived at ``t``.  Lineage complements snapshot reducibility: merging
+contiguous time points with identical lineage yields result tuples over
+maximal intervals that *preserve changes* (Def. 7).
+
+The functions below compute lineage for every operator of the temporal
+algebra.  Following the paper, the lineage of inner join, aggregation,
+intersection and antijoin coincide with, respectively, Cartesian product,
+projection, union and difference; the outer joins dispatch on whether the
+result tuple is padded with ``ω``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.sweep import ThetaPredicate
+from repro.relation.relation import TemporalRelation
+from repro.relation.tuple import TemporalTuple, is_null
+
+#: A lineage set: one frozenset of argument tuples per argument relation.
+LineageSet = Tuple[FrozenSet[TemporalTuple], ...]
+
+#: Signature of a lineage function for a fixed operator and fixed arguments.
+LineageFunction = Callable[[TemporalTuple, int], LineageSet]
+
+TuplePredicate = Callable[[TemporalTuple], bool]
+
+
+def _alive_matching(
+    relation: TemporalRelation,
+    point: int,
+    values: Tuple,
+    attributes: Optional[Sequence[str]] = None,
+) -> FrozenSet[TemporalTuple]:
+    """Argument tuples alive at ``point`` whose (projected) values equal ``values``."""
+    matches = []
+    for t in relation:
+        if not t.valid_at(point):
+            continue
+        candidate = t.values_of(attributes) if attributes is not None else t.values
+        if candidate == values:
+            matches.append(t)
+    return frozenset(matches)
+
+
+# -- unary operators -----------------------------------------------------------
+
+
+def selection_lineage(
+    relation: TemporalRelation, predicate: TuplePredicate
+) -> LineageFunction:
+    """``L[σ^T_θ(r)](z, t) = <{r | z.A = r.A ∧ θ(r) ∧ t ∈ r.T}>``."""
+
+    def lineage(z: TemporalTuple, t: int) -> LineageSet:
+        matches = frozenset(
+            r for r in relation if r.valid_at(t) and r.values == z.values and predicate(r)
+        )
+        return (matches,)
+
+    return lineage
+
+
+def projection_lineage(
+    relation: TemporalRelation, attributes: Sequence[str]
+) -> LineageFunction:
+    """``L[π^T_B(r)](z, t) = <{r | z.B = r.B ∧ t ∈ r.T}>``."""
+    attrs = tuple(attributes)
+
+    def lineage(z: TemporalTuple, t: int) -> LineageSet:
+        return (_alive_matching(relation, t, z.values_of(attrs), attrs),)
+
+    return lineage
+
+
+def aggregation_lineage(
+    relation: TemporalRelation, group_by: Sequence[str]
+) -> LineageFunction:
+    """Aggregation lineage — identical to projection on the grouping attributes."""
+    attrs = tuple(group_by)
+
+    def lineage(z: TemporalTuple, t: int) -> LineageSet:
+        key = z.values_of(attrs) if attrs else ()
+        if attrs:
+            return (_alive_matching(relation, t, key, attrs),)
+        return (frozenset(r for r in relation if r.valid_at(t)),)
+
+    return lineage
+
+
+# -- set operators --------------------------------------------------------------
+
+
+def union_lineage(left: TemporalRelation, right: TemporalRelation) -> LineageFunction:
+    """``L[r ∪^T s](z, t) = <{r | z.A=r.A ∧ t∈r.T}, {s | z.A=s.C ∧ t∈s.T}>``."""
+
+    def lineage(z: TemporalTuple, t: int) -> LineageSet:
+        return (
+            _alive_matching(left, t, z.values),
+            _alive_matching(right, t, z.values),
+        )
+
+    return lineage
+
+
+def intersection_lineage(left: TemporalRelation, right: TemporalRelation) -> LineageFunction:
+    """Intersection lineage — identical to union."""
+    return union_lineage(left, right)
+
+
+def difference_lineage(left: TemporalRelation, right: TemporalRelation) -> LineageFunction:
+    """``L[r −^T s](z, t) = <{r | z.A=r.A ∧ t∈r.T}, s>`` (the whole of ``s``)."""
+    whole_right = frozenset(right)
+
+    def lineage(z: TemporalTuple, t: int) -> LineageSet:
+        return (_alive_matching(left, t, z.values), whole_right)
+
+    return lineage
+
+
+# -- join family -----------------------------------------------------------------
+
+
+def _split_values(z: TemporalTuple, left_width: int) -> Tuple[Tuple, Tuple]:
+    return z.values[:left_width], z.values[left_width:]
+
+
+def cartesian_lineage(left: TemporalRelation, right: TemporalRelation) -> LineageFunction:
+    """``L[r ×^T s](z, t) = <{r | z.A=r.A ∧ t∈r.T}, {s | z.C=s.C ∧ t∈s.T}>``."""
+    left_width = len(left.schema)
+
+    def lineage(z: TemporalTuple, t: int) -> LineageSet:
+        left_values, right_values = _split_values(z, left_width)
+        return (
+            _alive_matching(left, t, left_values),
+            _alive_matching(right, t, right_values),
+        )
+
+    return lineage
+
+
+def join_lineage(
+    left: TemporalRelation,
+    right: TemporalRelation,
+    theta: Optional[ThetaPredicate] = None,
+) -> LineageFunction:
+    """Inner-join lineage — identical to Cartesian product (θ is part of ``z``)."""
+    return cartesian_lineage(left, right)
+
+
+def antijoin_lineage(left: TemporalRelation, right: TemporalRelation) -> LineageFunction:
+    """Antijoin lineage — identical to difference."""
+    whole_right = frozenset(right)
+
+    def lineage(z: TemporalTuple, t: int) -> LineageSet:
+        return (_alive_matching(left, t, z.values), whole_right)
+
+    return lineage
+
+
+def left_outer_join_lineage(
+    left: TemporalRelation,
+    right: TemporalRelation,
+    theta: Optional[ThetaPredicate] = None,
+) -> LineageFunction:
+    """Left-outer-join lineage (Def. 6): antijoin lineage when the right part
+    of ``z`` is all ``ω``, inner-join lineage otherwise."""
+    left_width = len(left.schema)
+    inner = cartesian_lineage(left, right)
+    whole_right = frozenset(right)
+
+    def lineage(z: TemporalTuple, t: int) -> LineageSet:
+        left_values, right_values = _split_values(z, left_width)
+        if right_values and all(is_null(v) for v in right_values):
+            return (_alive_matching(left, t, left_values), whole_right)
+        return inner(z, t)
+
+    return lineage
+
+
+def right_outer_join_lineage(
+    left: TemporalRelation,
+    right: TemporalRelation,
+    theta: Optional[ThetaPredicate] = None,
+) -> LineageFunction:
+    """Right-outer-join lineage: mirrors the left outer join."""
+    left_width = len(left.schema)
+    inner = cartesian_lineage(left, right)
+    whole_left = frozenset(left)
+
+    def lineage(z: TemporalTuple, t: int) -> LineageSet:
+        left_values, right_values = _split_values(z, left_width)
+        if left_values and all(is_null(v) for v in left_values):
+            return (whole_left, _alive_matching(right, t, right_values))
+        return inner(z, t)
+
+    return lineage
+
+
+def full_outer_join_lineage(
+    left: TemporalRelation,
+    right: TemporalRelation,
+    theta: Optional[ThetaPredicate] = None,
+) -> LineageFunction:
+    """Full-outer-join lineage: dispatches on which side of ``z`` is padded."""
+    left_width = len(left.schema)
+    inner = cartesian_lineage(left, right)
+    whole_left = frozenset(left)
+    whole_right = frozenset(right)
+
+    def lineage(z: TemporalTuple, t: int) -> LineageSet:
+        left_values, right_values = _split_values(z, left_width)
+        left_padded = left_values and all(is_null(v) for v in left_values)
+        right_padded = right_values and all(is_null(v) for v in right_values)
+        if left_padded and not right_padded:
+            return (whole_left, _alive_matching(right, t, right_values))
+        if right_padded and not left_padded:
+            return (_alive_matching(left, t, left_values), whole_right)
+        return inner(z, t)
+
+    return lineage

@@ -1,0 +1,120 @@
+"""Helpers for building θ conditions over nontemporal attributes.
+
+θ conditions of the tuple-based operators range over the nontemporal
+attributes of one tuple of each argument relation.  References to the
+original timestamps must go through a propagated attribute (``U``) per
+extended snapshot reducibility.  The combinators below cover the conditions
+used in the paper's examples and evaluation (equality on an attribute,
+``Min ≤ DUR(U) ≤ Max``, conjunctions), while arbitrary Python callables
+remain accepted everywhere a θ is expected.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.relation.tuple import TemporalTuple, is_null
+from repro.temporal.interval import Interval
+
+ThetaPredicate = Callable[[TemporalTuple, TemporalTuple], bool]
+
+
+def true() -> ThetaPredicate:
+    """The always-true condition (used by ``×`` and query O1)."""
+
+    def predicate(r: TemporalTuple, s: TemporalTuple) -> bool:
+        return True
+
+    return predicate
+
+
+def attr_eq(left_attribute: str, right_attribute: str | None = None) -> ThetaPredicate:
+    """Equality between an attribute of each side (query O3: ``r.pcn = s.pcn``).
+
+    Null values never compare equal, matching SQL comparison semantics.
+    """
+    right_name = right_attribute if right_attribute is not None else left_attribute
+
+    def predicate(r: TemporalTuple, s: TemporalTuple) -> bool:
+        left_value = r.value(left_attribute)
+        right_value = s.value(right_name)
+        if is_null(left_value) or is_null(right_value):
+            return False
+        return left_value == right_value
+
+    return predicate
+
+
+def conjunction(*predicates: ThetaPredicate) -> ThetaPredicate:
+    """Logical AND of several θ conditions."""
+
+    def predicate(r: TemporalTuple, s: TemporalTuple) -> bool:
+        return all(p(r, s) for p in predicates)
+
+    return predicate
+
+
+def disjunction(*predicates: ThetaPredicate) -> ThetaPredicate:
+    """Logical OR of several θ conditions."""
+
+    def predicate(r: TemporalTuple, s: TemporalTuple) -> bool:
+        return any(p(r, s) for p in predicates)
+
+    return predicate
+
+
+def negation(inner: ThetaPredicate) -> ThetaPredicate:
+    """Logical NOT of a θ condition."""
+
+    def predicate(r: TemporalTuple, s: TemporalTuple) -> bool:
+        return not inner(r, s)
+
+    return predicate
+
+
+def swap(inner: ThetaPredicate) -> ThetaPredicate:
+    """θ with its argument order reversed (used when aligning ``s`` w.r.t. ``r``)."""
+
+    def predicate(s: TemporalTuple, r: TemporalTuple) -> bool:
+        return inner(r, s)
+
+    return predicate
+
+
+def duration_between(
+    propagated_attribute: str,
+    min_attribute: str,
+    max_attribute: str,
+    propagated_on_left: bool = True,
+) -> ThetaPredicate:
+    """The paper's running condition ``Min ≤ DUR(R.T) ≤ Max``.
+
+    ``propagated_attribute`` names the extended (``U``) attribute holding the
+    original interval of one side; ``min_attribute``/``max_attribute`` are
+    plain attributes of the other side.  ``propagated_on_left`` states which
+    side carries the propagated timestamp.
+    """
+
+    def predicate(r: TemporalTuple, s: TemporalTuple) -> bool:
+        if propagated_on_left:
+            interval = r.value(propagated_attribute)
+            low = s.value(min_attribute)
+            high = s.value(max_attribute)
+        else:
+            interval = s.value(propagated_attribute)
+            low = r.value(min_attribute)
+            high = r.value(max_attribute)
+        if is_null(low) or is_null(high) or is_null(interval):
+            return False
+        if not isinstance(interval, Interval):
+            raise TypeError(
+                f"attribute {propagated_attribute!r} does not hold an interval: {interval!r}"
+            )
+        return low <= interval.duration() <= high
+
+    return predicate
+
+
+def attrs_eq(attributes: Sequence[str]) -> ThetaPredicate:
+    """Conjunction of equalities over a list of common attribute names."""
+    return conjunction(*[attr_eq(a) for a in attributes])

@@ -1,0 +1,123 @@
+"""The definitional temporal primitives (Sec. 4) and the absorb operator.
+
+``split_tuple`` and ``align_tuple`` follow Definitions 8 and 10 almost
+literally, but compute on interval endpoints instead of materialising point
+sets, so they stay usable as building blocks of the relation-level operators.
+``absorb`` implements Definition 12 with an ``O(n log n)`` sweep per
+value-equivalence class.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.core.sweep import uncovered_intervals
+from repro.relation.relation import TemporalRelation
+from repro.relation.tuple import TemporalTuple
+from repro.temporal.interval import Interval
+
+
+def split_tuple(tuple_interval: Interval, group: Iterable[Interval]) -> List[Interval]:
+    """The temporal splitter ``split(r, g)`` (Def. 8) on interval level.
+
+    Produces the maximal sub-intervals of ``tuple_interval`` that are either
+    contained in or disjoint from every interval of ``group``; equivalently,
+    the pieces obtained by cutting ``tuple_interval`` at every group start or
+    end point that falls strictly inside it.
+
+    >>> split_tuple(Interval(0, 10), [Interval(2, 4)])
+    [Interval(0, 2), Interval(2, 4), Interval(4, 10)]
+    """
+    if tuple_interval.is_empty():
+        return []
+    points: Set[int] = set()
+    for g in group:
+        if g.is_empty():
+            continue
+        points.add(g.start)
+        points.add(g.end)
+    return tuple_interval.split_at(points)
+
+
+def align_tuple(tuple_interval: Interval, group: Iterable[Interval]) -> List[Interval]:
+    """The temporal aligner ``align(r, g)`` (Def. 10) on interval level.
+
+    Produces (a) the non-empty intersections of ``tuple_interval`` with each
+    group interval and (b) the maximal sub-intervals of ``tuple_interval``
+    not covered by any group interval.  Duplicate intersections are returned
+    once — the result is a set of intervals.
+
+    >>> align_tuple(Interval(1, 7), [Interval(2, 5), Interval(3, 4)])
+    [Interval(1, 2), Interval(2, 5), Interval(3, 4), Interval(5, 7)]
+    """
+    if tuple_interval.is_empty():
+        return []
+    group_list = [g for g in group if not g.is_empty()]
+
+    pieces: List[Interval] = []
+    seen: Set[Tuple[int, int]] = set()
+    for g in group_list:
+        common = tuple_interval.intersect(g)
+        if common.is_empty():
+            continue
+        key = common.as_pair()
+        if key not in seen:
+            seen.add(key)
+            pieces.append(common)
+
+    for gap in uncovered_intervals(tuple_interval, group_list):
+        key = gap.as_pair()
+        if key not in seen:
+            seen.add(key)
+            pieces.append(gap)
+
+    pieces.sort()
+    return pieces
+
+
+def extend(relation: TemporalRelation, attribute: str = "U") -> TemporalRelation:
+    """The extend operator ``U`` (Def. 3) — timestamp propagation.
+
+    Thin wrapper over :meth:`TemporalRelation.extend`, re-exported here so the
+    core package offers all primitives in one place.
+    """
+    return relation.extend(attribute)
+
+
+def absorb(relation: TemporalRelation) -> TemporalRelation:
+    """The absorb operator ``α`` (Def. 12).
+
+    Removes every tuple whose timestamp is *properly contained* in the
+    timestamp of a value-equivalent tuple, and collapses exact duplicates.
+    The reduction rules apply ``α`` after the nontemporal join step to remove
+    temporal duplicates created by aligning each argument independently
+    (Example 9 in the paper).
+    """
+    by_values: Dict[Tuple, List[Interval]] = defaultdict(list)
+    for t in relation:
+        by_values[t.values].append(t.interval)
+
+    result = TemporalRelation(relation.schema)
+    for values, intervals in by_values.items():
+        for interval in _maximal_intervals(intervals):
+            result.insert(values, interval)
+    return result
+
+
+def _maximal_intervals(intervals: Sequence[Interval]) -> List[Interval]:
+    """Intervals of the input not properly contained in another input interval.
+
+    Sorting by ``(start asc, end desc)`` lets a single pass detect
+    containment: after removing exact duplicates, an interval is contained in
+    an earlier one iff its end does not exceed the largest end seen so far.
+    """
+    unique = sorted(set(intervals), key=lambda iv: (iv.start, -iv.end))
+    kept: List[Interval] = []
+    max_end: int | None = None
+    for interval in unique:
+        if max_end is not None and interval.end <= max_end:
+            continue
+        kept.append(interval)
+        max_end = interval.end if max_end is None else max(max_end, interval.end)
+    return kept

@@ -1,0 +1,227 @@
+"""The three properties of the sequenced semantics, as executable checks.
+
+This module provides:
+
+* :data:`OPERATOR_PROPERTIES` — the classification of Table 1 (which
+  operators are schema robust and which propagate timestamps);
+* :func:`snapshot_reducibility_violations` — Def. 1: every snapshot of the
+  temporal result must equal the nontemporal operator applied to the
+  snapshots of the arguments;
+* :func:`extended_snapshot_reducibility_violations` — Def. 4: like snapshot
+  reducibility, but with timestamps propagated as explicit attributes and
+  projected away at the end;
+* :func:`change_preservation_violations` — Def. 7: lineage must be constant
+  inside every result interval and must change across the boundaries of
+  adjacent value-equivalent result tuples;
+* :func:`is_schema_robust` — Def. 2 checked empirically for a given operator
+  and argument relations.
+
+Checkers return a list of human-readable violation messages (empty = the
+property holds), which keeps them convenient both in tests and in exploratory
+notebooks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.lineage import LineageFunction
+from repro.relation.relation import TemporalRelation
+from repro.relation.tuple import TemporalTuple
+
+#: Operator classification of Table 1.
+OPERATOR_PROPERTIES: Dict[str, Dict[str, bool]] = {
+    "selection": {"schema_robust": True, "timestamp_propagating": True},
+    "cartesian_product": {"schema_robust": True, "timestamp_propagating": True},
+    "join": {"schema_robust": True, "timestamp_propagating": True},
+    "left_outer_join": {"schema_robust": True, "timestamp_propagating": True},
+    "right_outer_join": {"schema_robust": True, "timestamp_propagating": True},
+    "full_outer_join": {"schema_robust": True, "timestamp_propagating": True},
+    "antijoin": {"schema_robust": True, "timestamp_propagating": True},
+    "projection": {"schema_robust": True, "timestamp_propagating": False},
+    "aggregation": {"schema_robust": True, "timestamp_propagating": False},
+    "union": {"schema_robust": False, "timestamp_propagating": False},
+    "difference": {"schema_robust": False, "timestamp_propagating": False},
+    "intersection": {"schema_robust": False, "timestamp_propagating": False},
+}
+
+#: Operator classes of Sec. 4: which primitive adjusts which operators.
+GROUP_BASED_OPERATORS = ("projection", "aggregation", "union", "difference", "intersection")
+TUPLE_BASED_OPERATORS = (
+    "selection",
+    "cartesian_product",
+    "join",
+    "left_outer_join",
+    "right_outer_join",
+    "full_outer_join",
+    "antijoin",
+)
+
+SnapshotOperator = Callable[..., Set[Tuple]]
+
+
+def candidate_points(*relations: TemporalRelation, result: Optional[TemporalRelation] = None) -> List[int]:
+    """Time points at which snapshot content can change.
+
+    Snapshots are constant between consecutive active points, so checking the
+    properties at every active point (of the arguments and, defensively, of
+    the result) plus one point before the earliest is exhaustive.
+    """
+    points: Set[int] = set()
+    for relation in relations:
+        points.update(relation.active_points())
+    if result is not None:
+        points.update(result.active_points())
+    if not points:
+        return [0]
+    earliest = min(points)
+    return sorted(points | {earliest - 1})
+
+
+def snapshot_reducibility_violations(
+    result: TemporalRelation,
+    arguments: Sequence[TemporalRelation],
+    nontemporal_operator: SnapshotOperator,
+    points: Optional[Iterable[int]] = None,
+) -> List[str]:
+    """Check Def. 1: ``τ_t(ψ^T(r1..rn)) = ψ(τ_t(r1), ..., τ_t(rn))`` for all t.
+
+    ``nontemporal_operator`` receives one snapshot (a set of value tuples)
+    per argument and must return the expected set of result value tuples.
+    """
+    if points is None:
+        points = candidate_points(*arguments, result=result)
+    violations: List[str] = []
+    for t in points:
+        expected = nontemporal_operator(*[arg.timeslice(t) for arg in arguments])
+        actual = result.timeslice(t)
+        if expected != actual:
+            missing = expected - actual
+            extra = actual - expected
+            violations.append(
+                f"snapshot at t={t} differs: missing={sorted(map(repr, missing))} "
+                f"extra={sorted(map(repr, extra))}"
+            )
+    return violations
+
+
+def extended_snapshot_reducibility_violations(
+    result: TemporalRelation,
+    arguments: Sequence[TemporalRelation],
+    nontemporal_operator: SnapshotOperator,
+    propagated_attribute: str = "U",
+    project_expected: Optional[Callable[[Tuple], Tuple]] = None,
+    project_actual: Optional[Callable[[Tuple], Tuple]] = None,
+    points: Optional[Iterable[int]] = None,
+) -> List[str]:
+    """Check Def. 4 by propagating timestamps and projecting them back out.
+
+    Each argument is extended with ``propagated_attribute``;
+    ``nontemporal_operator`` receives the extended snapshots (so its
+    predicates may reference the propagated interval, mirroring the
+    substitution of ``ri.T`` by ``Ui`` in Def. 4).  Because the nontemporal
+    result ranges over the *extended* schema while the temporal result may or
+    may not carry the propagated attributes, the optional ``project_expected``
+    and ``project_actual`` callables map both sides onto the common schema
+    ``E`` before comparison (identity by default).
+    """
+    extended_args = [arg.extend(propagated_attribute) for arg in arguments]
+    if points is None:
+        points = candidate_points(*arguments, result=result)
+    keep_expected = project_expected if project_expected is not None else (lambda row: row)
+    keep_actual = project_actual if project_actual is not None else (lambda row: row)
+
+    violations: List[str] = []
+    for t in points:
+        raw = nontemporal_operator(*[arg.timeslice(t) for arg in extended_args])
+        expected = {keep_expected(values) for values in raw}
+        actual = {keep_actual(values) for values in result.timeslice(t)}
+        if expected != actual:
+            violations.append(
+                f"extended snapshot at t={t} differs: expected={sorted(map(repr, expected))} "
+                f"actual={sorted(map(repr, actual))}"
+            )
+    return violations
+
+
+def change_preservation_violations(
+    result: TemporalRelation,
+    lineage: LineageFunction,
+    arguments: Sequence[TemporalRelation] = (),
+) -> List[str]:
+    """Check Def. 7 for a result relation and its lineage function.
+
+    Three conditions are verified for every result tuple ``z``:
+
+    1. lineage is identical at every time point of ``z.T`` (checked at the
+       argument active points falling inside ``z.T`` — lineage cannot change
+       elsewhere);
+    2. if a value-equivalent tuple ``z'`` covers ``z.Ts − 1``, its lineage
+       there differs from the lineage of ``z`` (otherwise ``z`` would not be
+       maximal);
+    3. symmetrically at ``z.Te``.
+    """
+    violations: List[str] = []
+    argument_points: Set[int] = set()
+    for relation in arguments:
+        argument_points.update(relation.active_points())
+
+    tuples = result.tuples()
+    for z in tuples:
+        base = lineage(z, z.start)
+        interior = [p for p in argument_points if z.start < p < z.end]
+        for t in interior:
+            if lineage(z, t) != base:
+                violations.append(
+                    f"lineage of {z!r} changes inside its interval at t={t}"
+                )
+                break
+
+        for other in tuples:
+            if other is z or other.values != z.values:
+                continue
+            if other.valid_at(z.start - 1) and lineage(other, z.start - 1) == base:
+                violations.append(
+                    f"{z!r} is not maximal: {other!r} has equal lineage at t={z.start - 1}"
+                )
+            if other.valid_at(z.end) and lineage(other, z.end) == lineage(z, z.start):
+                violations.append(
+                    f"{z!r} is not maximal: {other!r} has equal lineage at t={z.end}"
+                )
+    return violations
+
+
+def is_schema_robust(
+    operator: Callable[..., TemporalRelation],
+    arguments: Sequence[TemporalRelation],
+    extra_attribute: str = "X",
+    extra_value: object = 1,
+) -> bool:
+    """Empirically check Def. 2 for an operator on given arguments.
+
+    Every argument is extended with an additional payload attribute; the
+    operator is schema robust on these arguments when projecting the extended
+    result back onto the original result schema yields the original result.
+    """
+    plain = operator(*arguments)
+
+    padded_args = []
+    for arg in arguments:
+        schema = arg.schema.extend([extra_attribute])
+        padded = TemporalRelation(schema)
+        for t in arg:
+            padded.insert(t.values + (extra_value,), t.interval)
+        padded_args.append(padded)
+
+    try:
+        extended = operator(*padded_args)
+    except Exception:
+        return False
+
+    original_names = plain.schema.attribute_names
+    if not set(original_names).issubset(set(extended.schema.attribute_names)):
+        return False
+    projected = {
+        (t.values_of(original_names), t.interval) for t in extended
+    }
+    return projected == plain.as_set()

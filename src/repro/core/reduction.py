@@ -1,0 +1,202 @@
+"""The reduction rules of Table 2.
+
+Each temporal operator of the sequenced algebra is reduced to its nontemporal
+counterpart applied to interval-adjusted argument relations:
+
+======================  =========================================================
+Operator                Reduction
+======================  =========================================================
+σ^T_θ(r)                σ_θ(r)
+π^T_B(r)                π_{B,T}(N_B(r; r))
+_Bϑ^T_F(r)              _{B,T}ϑ_F(N_B(r; r))
+r −^T s                 N_A(r; s) − N_A(s; r)
+r ∪^T s                 N_A(r; s) ∪ N_A(s; r)
+r ∩^T s                 N_A(r; s) ∩ N_A(s; r)
+r ×^T s                 α((r Φ_true s) ⋈_{r.T=s.T} (s Φ_true r))
+r ⋈^T_θ s               α((r Φθ s) ⋈_{θ∧r.T=s.T} (s Φθ r))
+r ⟕^T_θ s               α((r Φθ s) ⟕_{θ∧r.T=s.T} (s Φθ r))
+r ⟖^T_θ s               α((r Φθ s) ⟖_{θ∧r.T=s.T} (s Φθ r))
+r ⟗^T_θ s               α((r Φθ s) ⟗_{θ∧r.T=s.T} (s Φθ r))
+r ▷^T_θ s               (r Φθ s) ▷_{θ∧r.T=s.T} (s Φθ r)
+======================  =========================================================
+
+(The right-outer-join rule is printed as ``(rΦθr)`` in the paper's Table 2 —
+an obvious typo for ``(sΦθr)``, which is what we implement; see DESIGN.md.)
+
+θ conditions range over nontemporal attributes only; predicates and functions
+over the original timestamps must reference attributes propagated with the
+extend operator (extended snapshot reducibility).  The implementations here
+run natively over :class:`TemporalRelation`; the same rules are also produced
+as query plans by the SQL front end (:mod:`repro.sql.analyzer`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.core import adjusted_ops
+from repro.core.aggregates import AggregateSpec
+from repro.core.alignment import align_pair
+from repro.core.normalization import normalize_pair, self_normalize
+from repro.core.primitives import absorb
+from repro.core.sweep import ThetaPredicate
+from repro.relation.relation import TemporalRelation
+from repro.relation.tuple import TemporalTuple
+
+TuplePredicate = Callable[[TemporalTuple], bool]
+
+
+# -- unary, tuple based ----------------------------------------------------------
+
+
+def temporal_selection(relation: TemporalRelation, predicate: TuplePredicate) -> TemporalRelation:
+    """``σ^T_θ(r) = σ_θ(r)`` — selection needs no timestamp adjustment."""
+    return adjusted_ops.select(relation, predicate)
+
+
+# -- unary, group based ----------------------------------------------------------
+
+
+def temporal_projection(relation: TemporalRelation, attributes: Sequence[str]) -> TemporalRelation:
+    """``π^T_B(r) = π_{B,T}(N_B(r; r))``."""
+    adjusted = self_normalize(relation, attributes)
+    return adjusted_ops.project(adjusted, attributes)
+
+
+def temporal_aggregate(
+    relation: TemporalRelation,
+    group_by: Sequence[str],
+    aggregates: Sequence[AggregateSpec],
+) -> TemporalRelation:
+    """``_Bϑ^T_F(r) = _{B,T}ϑ_F(N_B(r; r))``."""
+    adjusted = self_normalize(relation, group_by)
+    return adjusted_ops.aggregate(adjusted, group_by, aggregates)
+
+
+# -- binary, group based (set operators) ------------------------------------------
+
+
+def temporal_union(left: TemporalRelation, right: TemporalRelation) -> TemporalRelation:
+    """``r ∪^T s = N_A(r; s) ∪ N_A(s; r)``."""
+    adjusted_left, adjusted_right = normalize_pair(left, right)
+    return adjusted_ops.union(adjusted_left, adjusted_right)
+
+
+def temporal_difference(left: TemporalRelation, right: TemporalRelation) -> TemporalRelation:
+    """``r −^T s = N_A(r; s) − N_A(s; r)``."""
+    adjusted_left, adjusted_right = normalize_pair(left, right)
+    return adjusted_ops.difference(adjusted_left, adjusted_right)
+
+
+def temporal_intersection(left: TemporalRelation, right: TemporalRelation) -> TemporalRelation:
+    """``r ∩^T s = N_A(r; s) ∩ N_A(s; r)``."""
+    adjusted_left, adjusted_right = normalize_pair(left, right)
+    return adjusted_ops.intersection(adjusted_left, adjusted_right)
+
+
+# -- binary, tuple based (join family) ---------------------------------------------
+
+
+def _aligned_pair(
+    left: TemporalRelation,
+    right: TemporalRelation,
+    theta: Optional[ThetaPredicate],
+    left_equi_attributes: Optional[Sequence[str]],
+    right_equi_attributes: Optional[Sequence[str]],
+):
+    return align_pair(
+        left,
+        right,
+        theta,
+        left_equi_attributes=left_equi_attributes,
+        right_equi_attributes=right_equi_attributes,
+    )
+
+
+def temporal_cartesian_product(
+    left: TemporalRelation, right: TemporalRelation
+) -> TemporalRelation:
+    """``r ×^T s = α((r Φ_true s) ⋈_{r.T=s.T} (s Φ_true r))``."""
+    return temporal_join(left, right, theta=None)
+
+
+def temporal_join(
+    left: TemporalRelation,
+    right: TemporalRelation,
+    theta: Optional[ThetaPredicate] = None,
+    left_equi_attributes: Optional[Sequence[str]] = None,
+    right_equi_attributes: Optional[Sequence[str]] = None,
+) -> TemporalRelation:
+    """``r ⋈^T_θ s = α((r Φθ s) ⋈_{θ ∧ r.T=s.T} (s Φθ r))``."""
+    aligned_left, aligned_right = _aligned_pair(
+        left, right, theta, left_equi_attributes, right_equi_attributes
+    )
+    joined = adjusted_ops.join(aligned_left, aligned_right, theta, kind="inner")
+    return absorb(joined)
+
+
+def temporal_left_outer_join(
+    left: TemporalRelation,
+    right: TemporalRelation,
+    theta: Optional[ThetaPredicate] = None,
+    left_equi_attributes: Optional[Sequence[str]] = None,
+    right_equi_attributes: Optional[Sequence[str]] = None,
+) -> TemporalRelation:
+    """``r ⟕^T_θ s = α((r Φθ s) ⟕_{θ ∧ r.T=s.T} (s Φθ r))``."""
+    aligned_left, aligned_right = _aligned_pair(
+        left, right, theta, left_equi_attributes, right_equi_attributes
+    )
+    joined = adjusted_ops.join(aligned_left, aligned_right, theta, kind="left")
+    return absorb(joined)
+
+
+def temporal_right_outer_join(
+    left: TemporalRelation,
+    right: TemporalRelation,
+    theta: Optional[ThetaPredicate] = None,
+    left_equi_attributes: Optional[Sequence[str]] = None,
+    right_equi_attributes: Optional[Sequence[str]] = None,
+) -> TemporalRelation:
+    """``r ⟖^T_θ s = α((r Φθ s) ⟖_{θ ∧ r.T=s.T} (s Φθ r))``.
+
+    Implements the symmetric counterpart of the left outer join (the paper's
+    Table 2 contains a typo here, see the module docstring).
+    """
+    aligned_left, aligned_right = _aligned_pair(
+        left, right, theta, left_equi_attributes, right_equi_attributes
+    )
+    joined = adjusted_ops.join(aligned_left, aligned_right, theta, kind="right")
+    return absorb(joined)
+
+
+def temporal_full_outer_join(
+    left: TemporalRelation,
+    right: TemporalRelation,
+    theta: Optional[ThetaPredicate] = None,
+    left_equi_attributes: Optional[Sequence[str]] = None,
+    right_equi_attributes: Optional[Sequence[str]] = None,
+) -> TemporalRelation:
+    """``r ⟗^T_θ s = α((r Φθ s) ⟗_{θ ∧ r.T=s.T} (s Φθ r))``."""
+    aligned_left, aligned_right = _aligned_pair(
+        left, right, theta, left_equi_attributes, right_equi_attributes
+    )
+    joined = adjusted_ops.join(aligned_left, aligned_right, theta, kind="full")
+    return absorb(joined)
+
+
+def temporal_antijoin(
+    left: TemporalRelation,
+    right: TemporalRelation,
+    theta: Optional[ThetaPredicate] = None,
+    left_equi_attributes: Optional[Sequence[str]] = None,
+    right_equi_attributes: Optional[Sequence[str]] = None,
+) -> TemporalRelation:
+    """``r ▷^T_θ s = (r Φθ s) ▷_{θ ∧ r.T=s.T} (s Φθ r)``.
+
+    No absorb step is needed: the anti-joining pieces of an aligned tuple are
+    exactly the maximal uncovered sub-intervals, which are pairwise disjoint.
+    """
+    aligned_left, aligned_right = _aligned_pair(
+        left, right, theta, left_equi_attributes, right_equi_attributes
+    )
+    return adjusted_ops.join(aligned_left, aligned_right, theta, kind="anti")

@@ -1,0 +1,312 @@
+"""Snapshot-by-snapshot reference implementation of the temporal algebra.
+
+This module computes the result every sequenced operator *must* produce by
+brute force: it evaluates the corresponding nontemporal operator on each
+snapshot of the argument relations and then groups contiguous time points
+into maximal intervals with identical lineage (change preservation, Def. 7).
+The outcome is the unique relation satisfying all three properties of the
+sequenced semantics, so it serves as ground truth for the reduction rules of
+Table 2 in unit and property-based tests.
+
+The implementation evaluates one representative point per *segment* — the
+atomic intervals induced by the active (start/end) points of the arguments —
+because snapshots are constant inside a segment.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.core.aggregates import AggregateSpec
+from repro.core.sweep import ThetaPredicate
+from repro.relation.relation import TemporalRelation
+from repro.relation.schema import Schema
+from repro.relation.tuple import NULL, TemporalTuple
+from repro.temporal.interval import Interval
+
+#: Per-point result description: values → lineage (one frozenset per argument).
+SnapshotRows = Dict[Tuple, Tuple[FrozenSet[TemporalTuple], ...]]
+
+#: A function producing the expected snapshot (with lineage) at a time point.
+SnapshotFunction = Callable[[int], SnapshotRows]
+
+TuplePredicate = Callable[[TemporalTuple], bool]
+
+
+# -- machinery -------------------------------------------------------------------
+
+
+def segments(*relations: TemporalRelation) -> List[Interval]:
+    """Atomic intervals induced by the active points of the arguments.
+
+    Snapshots (and therefore the rows of any snapshot-reducible operator) are
+    constant within each returned interval.
+    """
+    points: Set[int] = set()
+    for relation in relations:
+        points.update(relation.active_points())
+    ordered = sorted(points)
+    return [Interval(a, b) for a, b in zip(ordered, ordered[1:])]
+
+
+def materialize(
+    schema: Schema,
+    snapshot_fn: SnapshotFunction,
+    atomic_intervals: Sequence[Interval],
+) -> TemporalRelation:
+    """Stitch per-segment snapshot rows into a change-preserving relation.
+
+    Rows present in consecutive segments with identical values *and*
+    identical lineage are merged into one result tuple over the union of the
+    segments; any change in lineage closes the current tuple and opens a new
+    one, exactly as Def. 7 prescribes.
+    """
+    result = TemporalRelation(schema)
+    open_rows: Dict[Tuple, Tuple[int, Tuple[FrozenSet[TemporalTuple], ...]]] = {}
+    previous_end: Optional[int] = None
+
+    for segment in atomic_intervals:
+        rows = snapshot_fn(segment.start)
+        contiguous = previous_end == segment.start
+
+        # Close rows that disappeared or changed lineage (or hit a gap).
+        for values in list(open_rows):
+            started, lineage = open_rows[values]
+            if not contiguous or values not in rows or rows[values] != lineage:
+                result.insert(values, Interval(started, previous_end))
+                del open_rows[values]
+
+        # Open rows that are new in this segment.
+        for values, lineage in rows.items():
+            if values not in open_rows:
+                open_rows[values] = (segment.start, lineage)
+        previous_end = segment.end
+
+    for values, (started, _lineage) in open_rows.items():
+        result.insert(values, Interval(started, previous_end))
+    return result
+
+
+def _alive(relation: TemporalRelation, point: int) -> List[TemporalTuple]:
+    return [t for t in relation if t.valid_at(point)]
+
+
+def _matching(alive: Sequence[TemporalTuple], values: Tuple) -> FrozenSet[TemporalTuple]:
+    return frozenset(t for t in alive if t.values == values)
+
+
+# -- snapshot row functions (one per operator) -------------------------------------
+
+
+def selection_rows(relation: TemporalRelation, predicate: TuplePredicate) -> SnapshotFunction:
+    def rows(point: int) -> SnapshotRows:
+        alive = _alive(relation, point)
+        qualifying = [t for t in alive if predicate(t)]
+        return {t.values: (_matching(qualifying, t.values),) for t in qualifying}
+
+    return rows
+
+
+def projection_rows(relation: TemporalRelation, attributes: Sequence[str]) -> SnapshotFunction:
+    attrs = tuple(attributes)
+
+    def rows(point: int) -> SnapshotRows:
+        alive = _alive(relation, point)
+        grouped: Dict[Tuple, List[TemporalTuple]] = defaultdict(list)
+        for t in alive:
+            grouped[t.values_of(attrs)].append(t)
+        return {values: (frozenset(members),) for values, members in grouped.items()}
+
+    return rows
+
+
+def aggregation_rows(
+    relation: TemporalRelation,
+    group_by: Sequence[str],
+    aggregates: Sequence[AggregateSpec],
+) -> SnapshotFunction:
+    attrs = tuple(group_by)
+
+    def rows(point: int) -> SnapshotRows:
+        alive = _alive(relation, point)
+        grouped: Dict[Tuple, List[TemporalTuple]] = defaultdict(list)
+        for t in alive:
+            grouped[t.values_of(attrs) if attrs else ()].append(t)
+        output: SnapshotRows = {}
+        for key, members in grouped.items():
+            aggregated = tuple(spec.evaluate(members) for spec in aggregates)
+            output[key + aggregated] = (frozenset(members),)
+        return output
+
+    return rows
+
+
+def union_rows(left: TemporalRelation, right: TemporalRelation) -> SnapshotFunction:
+    def rows(point: int) -> SnapshotRows:
+        alive_left = _alive(left, point)
+        alive_right = _alive(right, point)
+        values = {t.values for t in alive_left} | {t.values for t in alive_right}
+        return {
+            v: (_matching(alive_left, v), _matching(alive_right, v)) for v in values
+        }
+
+    return rows
+
+
+def intersection_rows(left: TemporalRelation, right: TemporalRelation) -> SnapshotFunction:
+    def rows(point: int) -> SnapshotRows:
+        alive_left = _alive(left, point)
+        alive_right = _alive(right, point)
+        values = {t.values for t in alive_left} & {t.values for t in alive_right}
+        return {
+            v: (_matching(alive_left, v), _matching(alive_right, v)) for v in values
+        }
+
+    return rows
+
+
+def difference_rows(left: TemporalRelation, right: TemporalRelation) -> SnapshotFunction:
+    whole_right = frozenset(right)
+
+    def rows(point: int) -> SnapshotRows:
+        alive_left = _alive(left, point)
+        alive_right_values = {t.values for t in _alive(right, point)}
+        values = {t.values for t in alive_left} - alive_right_values
+        return {v: (_matching(alive_left, v), whole_right) for v in values}
+
+    return rows
+
+
+def join_rows(
+    left: TemporalRelation,
+    right: TemporalRelation,
+    theta: Optional[ThetaPredicate] = None,
+    kind: str = "inner",
+) -> SnapshotFunction:
+    """Snapshot rows of the θ-join family (``inner``/``left``/``right``/``full``/``anti``)."""
+    left_width = len(left.schema)
+    right_width = len(right.schema)
+    whole_left = frozenset(left)
+    whole_right = frozenset(right)
+
+    def rows(point: int) -> SnapshotRows:
+        alive_left = _alive(left, point)
+        alive_right = _alive(right, point)
+        output: SnapshotRows = {}
+        matched_right: Set[TemporalTuple] = set()
+        for l in alive_left:
+            matched = False
+            for r in alive_right:
+                if theta is None or theta(l, r):
+                    matched = True
+                    matched_right.add(r)
+                    if kind != "anti":
+                        values = l.values + r.values
+                        output[values] = (
+                            _matching(alive_left, l.values),
+                            _matching(alive_right, r.values),
+                        )
+            if not matched:
+                if kind == "anti":
+                    output[l.values] = (_matching(alive_left, l.values), whole_right)
+                elif kind in {"left", "full"}:
+                    values = l.values + (NULL,) * right_width
+                    output[values] = (_matching(alive_left, l.values), whole_right)
+        if kind in {"right", "full"}:
+            for r in alive_right:
+                if r not in matched_right:
+                    values = (NULL,) * left_width + r.values
+                    output[values] = (whole_left, _matching(alive_right, r.values))
+        return output
+
+    return rows
+
+
+# -- reference operators (ground truth) ---------------------------------------------
+
+
+def reference_selection(relation: TemporalRelation, predicate: TuplePredicate) -> TemporalRelation:
+    return materialize(relation.schema, selection_rows(relation, predicate), segments(relation))
+
+
+def reference_projection(
+    relation: TemporalRelation, attributes: Sequence[str]
+) -> TemporalRelation:
+    schema = relation.schema.project(attributes)
+    return materialize(schema, projection_rows(relation, attributes), segments(relation))
+
+
+def reference_aggregation(
+    relation: TemporalRelation,
+    group_by: Sequence[str],
+    aggregates: Sequence[AggregateSpec],
+) -> TemporalRelation:
+    schema = Schema(
+        list(group_by) + [spec.name for spec in aggregates],
+        timestamp=relation.schema.timestamp,
+    )
+    return materialize(
+        schema, aggregation_rows(relation, group_by, aggregates), segments(relation)
+    )
+
+
+def reference_union(left: TemporalRelation, right: TemporalRelation) -> TemporalRelation:
+    return materialize(left.schema, union_rows(left, right), segments(left, right))
+
+
+def reference_intersection(left: TemporalRelation, right: TemporalRelation) -> TemporalRelation:
+    return materialize(left.schema, intersection_rows(left, right), segments(left, right))
+
+
+def reference_difference(left: TemporalRelation, right: TemporalRelation) -> TemporalRelation:
+    return materialize(left.schema, difference_rows(left, right), segments(left, right))
+
+
+def _join_reference(
+    left: TemporalRelation,
+    right: TemporalRelation,
+    theta: Optional[ThetaPredicate],
+    kind: str,
+) -> TemporalRelation:
+    if kind == "anti":
+        schema = left.schema
+    else:
+        schema = left.schema.concat(right.schema)
+    return materialize(schema, join_rows(left, right, theta, kind), segments(left, right))
+
+
+def reference_cartesian_product(
+    left: TemporalRelation, right: TemporalRelation
+) -> TemporalRelation:
+    return _join_reference(left, right, None, "inner")
+
+
+def reference_join(
+    left: TemporalRelation, right: TemporalRelation, theta: Optional[ThetaPredicate] = None
+) -> TemporalRelation:
+    return _join_reference(left, right, theta, "inner")
+
+
+def reference_left_outer_join(
+    left: TemporalRelation, right: TemporalRelation, theta: Optional[ThetaPredicate] = None
+) -> TemporalRelation:
+    return _join_reference(left, right, theta, "left")
+
+
+def reference_right_outer_join(
+    left: TemporalRelation, right: TemporalRelation, theta: Optional[ThetaPredicate] = None
+) -> TemporalRelation:
+    return _join_reference(left, right, theta, "right")
+
+
+def reference_full_outer_join(
+    left: TemporalRelation, right: TemporalRelation, theta: Optional[ThetaPredicate] = None
+) -> TemporalRelation:
+    return _join_reference(left, right, theta, "full")
+
+
+def reference_antijoin(
+    left: TemporalRelation, right: TemporalRelation, theta: Optional[ThetaPredicate] = None
+) -> TemporalRelation:
+    return _join_reference(left, right, theta, "anti")

@@ -1,0 +1,96 @@
+"""The database catalog and execution entry points."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.engine.executor.base import PhysicalNode
+from repro.engine.optimizer.settings import Settings
+from repro.engine.plan import LogicalPlan
+from repro.engine.statistics import StatisticsCatalog, TableStatistics
+from repro.engine.table import Table
+from repro.relation.errors import SchemaError
+from repro.relation.relation import TemporalRelation
+
+
+class Database:
+    """An in-memory database: named tables, settings, planner and executor.
+
+    Temporal relations are stored as ordinary tables with explicit ``ts`` and
+    ``te`` columns (the kernel's representation); the temporal semantics live
+    entirely in the plans built on top — exactly the architecture of the
+    paper's PostgreSQL implementation.
+    """
+
+    def __init__(self, settings: Optional[Settings] = None):
+        self.settings = settings if settings is not None else Settings()
+        self.tables: Dict[str, Table] = {}
+        self.statistics = StatisticsCatalog()
+
+    # -- catalog ---------------------------------------------------------------------
+
+    def create_table(self, name: str, columns: Sequence[str]) -> Table:
+        """Create and register an empty table."""
+        table = Table(name, columns)
+        self.register_table(table)
+        return table
+
+    def register_table(self, table: Table) -> Table:
+        """Register (or replace) a table under its own name."""
+        self.tables[table.name] = table
+        self.statistics.invalidate(table.name)
+        return table
+
+    def register_relation(self, name: str, relation: TemporalRelation) -> Table:
+        """Store a temporal relation as a table with ``ts``/``te`` columns."""
+        table = Table.from_relation(name, relation)
+        table.name = name
+        return self.register_table(table)
+
+    def get_table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown table {name!r}; registered: {sorted(self.tables)}"
+            ) from None
+
+    def drop_table(self, name: str) -> None:
+        self.tables.pop(name, None)
+        self.statistics.invalidate(name)
+
+    def table_statistics(self, name: str) -> TableStatistics:
+        return self.statistics.for_table(self.get_table(name))
+
+    # -- planning and execution ---------------------------------------------------------
+
+    def plan(self, logical: LogicalPlan, settings: Optional[Settings] = None) -> PhysicalNode:
+        """Produce a physical plan (without executing it)."""
+        from repro.engine.optimizer.planner import Planner
+
+        return Planner(self, settings if settings is not None else self.settings).plan(logical)
+
+    def execute(
+        self,
+        plan: Union[LogicalPlan, PhysicalNode],
+        settings: Optional[Settings] = None,
+        result_name: str = "result",
+    ) -> Table:
+        """Plan (if needed) and run a query, returning the result as a table."""
+        physical = plan if isinstance(plan, PhysicalNode) else self.plan(plan, settings)
+        return Table(result_name, physical.columns, physical.execute())
+
+    def explain(self, logical: LogicalPlan, settings: Optional[Settings] = None) -> str:
+        """Return the costed physical plan as text (PostgreSQL-style EXPLAIN)."""
+        return self.plan(logical, settings).explain()
+
+    # -- SQL convenience -------------------------------------------------------------------
+
+    def query(self, sql_text: str, settings: Optional[Settings] = None) -> Table:
+        """Parse, analyze, plan and execute a SQL statement.
+
+        Imported lazily to keep the engine usable without the SQL front end.
+        """
+        from repro.sql.interface import Connection
+
+        return Connection(self).execute(sql_text, settings=settings)

@@ -1,0 +1,56 @@
+"""The absorb operator ``α`` (Def. 12) as a physical node."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, List, Tuple
+
+from repro.engine.executor.base import PhysicalNode, Row
+
+
+class AbsorbNode(PhysicalNode):
+    """Remove rows whose interval is properly contained in a value-equivalent row.
+
+    The node materialises its input (absorption is inherently blocking: a
+    covering tuple may arrive after the covered one), groups rows by their
+    non-interval values, and keeps per group only the maximal intervals.
+    Exact duplicates collapse to a single row — the ``ABSORB`` keyword of the
+    SQL surface therefore subsumes ``DISTINCT``.
+    """
+
+    def __init__(self, child: PhysicalNode, start_index: int, end_index: int):
+        super().__init__(child.columns, [child])
+        self.child = child
+        self.start_index = start_index
+        self.end_index = end_index
+
+    def rows(self) -> Iterator[Row]:
+        start_index = self.start_index
+        end_index = self.end_index
+        groups: Dict[Tuple, List[Tuple[int, int]]] = defaultdict(list)
+        order: List[Tuple] = []
+
+        for row in self.child:
+            key = tuple(v for i, v in enumerate(row) if i not in (start_index, end_index))
+            if key not in groups:
+                order.append(key)
+            groups[key].append((row[start_index], row[end_index]))
+
+        for key in order:
+            intervals = sorted(set(groups[key]), key=lambda iv: (iv[0], -iv[1]))
+            max_end: int | None = None
+            for start, end in intervals:
+                if max_end is not None and end <= max_end:
+                    continue
+                max_end = end if max_end is None else max(max_end, end)
+                values = list(key)
+                # Re-insert the interval columns at their original positions.
+                first, second = sorted((start_index, end_index))
+                values.insert(first, None)
+                values.insert(second, None)
+                values[start_index] = start
+                values[end_index] = end
+                yield tuple(values)
+
+    def describe(self) -> str:
+        return "Absorb"

@@ -1,0 +1,103 @@
+"""Hash aggregation operator."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.engine.executor.base import PhysicalNode, Row
+from repro.engine.expressions import Expression
+from repro.engine.plan import AggregateCall
+from repro.relation.tuple import NULL, is_null
+
+
+class _Accumulator:
+    """Running state of one aggregate function in one group."""
+
+    def __init__(self, function: str):
+        self.function = function
+        self.count = 0
+        self.total: Any = 0
+        self.minimum: Any = None
+        self.maximum: Any = None
+
+    def add(self, value: Any) -> None:
+        if self.function == "COUNT":
+            self.count += 1
+            return
+        if is_null(value):
+            return
+        self.count += 1
+        if self.function in ("SUM", "AVG"):
+            self.total = self.total + value
+        if self.function == "MIN":
+            self.minimum = value if self.minimum is None else min(self.minimum, value)
+        if self.function == "MAX":
+            self.maximum = value if self.maximum is None else max(self.maximum, value)
+
+    def result(self) -> Any:
+        if self.function == "COUNT":
+            return self.count
+        if self.count == 0:
+            return NULL
+        if self.function == "SUM":
+            return self.total
+        if self.function == "AVG":
+            return self.total / self.count
+        if self.function == "MIN":
+            return self.minimum
+        return self.maximum
+
+
+class HashAggregateNode(PhysicalNode):
+    """Group rows by the grouping expressions and evaluate aggregate calls.
+
+    ``COUNT(*)`` (an aggregate call without argument) counts rows;
+    ``COUNT(expr)``, ``SUM``, ``AVG``, ``MIN`` and ``MAX`` skip null inputs,
+    matching SQL semantics.  With an empty grouping list a single output row
+    is produced even for empty input (like SQL aggregate queries without
+    ``GROUP BY``).
+    """
+
+    def __init__(
+        self,
+        child: PhysicalNode,
+        group_by: Sequence[Tuple[Expression, str]],
+        aggregates: Sequence[AggregateCall],
+    ):
+        columns = [name for _, name in group_by] + [a.name for a in aggregates]
+        super().__init__(columns, [child])
+        self.child = child
+        self.group_by = list(group_by)
+        self.aggregates = list(aggregates)
+        self._bound_groups = [expr.bind(child.columns) for expr, _ in group_by]
+        self._bound_arguments = [
+            a.argument.bind(child.columns) if a.argument is not None else None
+            for a in aggregates
+        ]
+
+    def rows(self) -> Iterator[Row]:
+        groups: Dict[Tuple[Any, ...], List[_Accumulator]] = {}
+        order: List[Tuple[Any, ...]] = []
+
+        for row in self.child:
+            key = tuple(evaluate(row) for evaluate in self._bound_groups)
+            state = groups.get(key)
+            if state is None:
+                state = [_Accumulator(a.function) for a in self.aggregates]
+                groups[key] = state
+                order.append(key)
+            for accumulator, bound in zip(state, self._bound_arguments):
+                accumulator.add(bound(row) if bound is not None else 1)
+
+        if not groups and not self.group_by:
+            yield tuple(_Accumulator(a.function).result() for a in self.aggregates)
+            return
+
+        for key in order:
+            yield key + tuple(acc.result() for acc in groups[key])
+
+    def describe(self) -> str:
+        return (
+            f"HashAggregate(group={[name for _, name in self.group_by]}, "
+            f"aggs={[a.name for a in self.aggregates]})"
+        )

@@ -1,0 +1,78 @@
+"""Base class and trivial physical operators."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.relation.errors import PlanError
+
+Row = Tuple[Any, ...]
+
+
+class PhysicalNode:
+    """Base class of physical operators.
+
+    Subclasses set ``columns`` (output column names) and implement
+    :meth:`rows`, a generator of value tuples.  ``estimated_rows`` and
+    ``estimated_cost`` are filled in by the planner and used for plan choice
+    and ``EXPLAIN`` output.
+    """
+
+    def __init__(self, columns: Sequence[str], children: Sequence["PhysicalNode"] = ()):
+        self.columns: List[str] = list(columns)
+        self.children: List[PhysicalNode] = list(children)
+        self.estimated_rows: float = 0.0
+        self.estimated_cost: float = 0.0
+
+    def rows(self) -> Iterator[Row]:
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[Row]:
+        return self.rows()
+
+    def execute(self) -> List[Row]:
+        """Materialise the full output (convenience for callers and tests)."""
+        return list(self.rows())
+
+    def explain(self, indent: int = 0) -> str:
+        """Physical plan tree with cost estimates (PostgreSQL-style EXPLAIN)."""
+        line = (
+            " " * indent
+            + f"{self.describe()}  (rows={self.estimated_rows:.0f} cost={self.estimated_cost:.2f})"
+        )
+        return "\n".join([line] + [c.explain(indent + 2) for c in self.children])
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class ValuesNode(PhysicalNode):
+    """Inline constant rows."""
+
+    def __init__(self, columns: Sequence[str], rows: Sequence[Row]):
+        super().__init__(columns)
+        self._rows = [tuple(r) for r in rows]
+
+    def rows(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def describe(self) -> str:
+        return f"Values({len(self._rows)} rows)"
+
+
+class RelabelNode(PhysicalNode):
+    """Pass-through that renames the output columns (subquery aliases)."""
+
+    def __init__(self, child: PhysicalNode, columns: Sequence[str]):
+        if len(columns) != len(child.columns):
+            raise PlanError(
+                f"Relabel expects {len(child.columns)} names, got {len(columns)}"
+            )
+        super().__init__(columns, [child])
+        self.child = child
+
+    def rows(self) -> Iterator[Row]:
+        return iter(self.child)
+
+    def describe(self) -> str:
+        return f"Relabel({', '.join(self.columns)})"

@@ -1,0 +1,27 @@
+"""Filter operator."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.engine.executor.base import PhysicalNode, Row
+from repro.engine.expressions import Expression
+
+
+class FilterNode(PhysicalNode):
+    """Pipelined selection: pass through rows for which the condition is true."""
+
+    def __init__(self, child: PhysicalNode, condition: Expression):
+        super().__init__(child.columns, [child])
+        self.child = child
+        self.condition = condition
+        self._bound = condition.bind(child.columns)
+
+    def rows(self) -> Iterator[Row]:
+        predicate = self._bound
+        for row in self.child:
+            if predicate(row):
+                yield row
+
+    def describe(self) -> str:
+        return f"Filter({self.condition!r})"

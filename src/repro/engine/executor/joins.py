@@ -1,0 +1,282 @@
+"""Join operators: nested loop, hash and sort-merge.
+
+All three strategies support the join kinds the planner may request:
+``inner``, ``left``, ``right``, ``full``, ``semi``, ``anti`` and ``cross``
+(nested loop only for ``cross``).  Hash and merge joins require at least one
+equality key pair; the full join condition is re-checked as a residual
+predicate after the key match, so handing them the complete condition is
+always safe.
+
+Null semantics follow SQL: rows whose key contains a null never match, and
+end up padded (outer joins) or retained (anti join) accordingly.
+"""
+
+from __future__ import annotations
+
+import functools
+from collections import defaultdict
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.engine.executor.base import PhysicalNode, Row
+from repro.engine.executor.sort import _compare_values
+from repro.engine.expressions import Expression
+from repro.relation.errors import PlanError
+from repro.relation.tuple import NULL, is_null
+
+JOIN_KINDS = ("inner", "left", "right", "full", "semi", "anti", "cross")
+
+
+class _JoinBase(PhysicalNode):
+    """Shared bookkeeping of the three join strategies."""
+
+    def __init__(
+        self,
+        left: PhysicalNode,
+        right: PhysicalNode,
+        kind: str,
+        condition: Optional[Expression],
+    ):
+        if kind not in JOIN_KINDS:
+            raise PlanError(f"unknown join kind {kind!r}")
+        self.kind = kind
+        self.left = left
+        self.right = right
+        self.condition = condition
+        if kind in ("semi", "anti"):
+            columns = list(left.columns)
+        else:
+            columns = list(left.columns) + list(right.columns)
+        super().__init__(columns, [left, right])
+        combined = list(left.columns) + list(right.columns)
+        self._combined_width = len(combined)
+        self._right_width = len(right.columns)
+        self._left_width = len(left.columns)
+        self._bound_condition = condition.bind(combined) if condition is not None else None
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _matches(self, left_row: Row, right_row: Row) -> bool:
+        if self._bound_condition is None:
+            return True
+        return bool(self._bound_condition(left_row + right_row))
+
+    def _emit_pair(self, left_row: Row, right_row: Row) -> Row:
+        return left_row + right_row
+
+    def _pad_right(self, left_row: Row) -> Row:
+        return left_row + (NULL,) * self._right_width
+
+    def _pad_left(self, right_row: Row) -> Row:
+        return (NULL,) * self._left_width + right_row
+
+
+class NestedLoopJoinNode(_JoinBase):
+    """Nested loop join: works for every join kind and every condition."""
+
+    def rows(self) -> Iterator[Row]:
+        inner_rows = list(self.right)
+        matched_inner = [False] * len(inner_rows)
+
+        for left_row in self.left:
+            matched = False
+            for index, right_row in enumerate(inner_rows):
+                if self._matches(left_row, right_row):
+                    matched = True
+                    matched_inner[index] = True
+                    if self.kind == "semi":
+                        break
+                    if self.kind not in ("anti",):
+                        yield self._emit_pair(left_row, right_row)
+            if self.kind == "semi" and matched:
+                yield left_row
+            elif self.kind == "anti" and not matched:
+                yield left_row
+            elif not matched and self.kind in ("left", "full"):
+                yield self._pad_right(left_row)
+
+        if self.kind in ("right", "full"):
+            for index, right_row in enumerate(inner_rows):
+                if not matched_inner[index]:
+                    yield self._pad_left(right_row)
+
+    def describe(self) -> str:
+        return f"NestedLoopJoin({self.kind})"
+
+
+class HashJoinNode(_JoinBase):
+    """Hash join on equality key index pairs, with residual condition re-check."""
+
+    def __init__(
+        self,
+        left: PhysicalNode,
+        right: PhysicalNode,
+        kind: str,
+        condition: Optional[Expression],
+        key_pairs: Sequence[Tuple[int, int]],
+    ):
+        if not key_pairs:
+            raise PlanError("hash join requires at least one equality key pair")
+        super().__init__(left, right, kind, condition)
+        self.key_pairs = list(key_pairs)
+
+    def _left_key(self, row: Row) -> Optional[Tuple[Any, ...]]:
+        key = tuple(row[i] for i, _ in self.key_pairs)
+        return None if any(is_null(v) for v in key) else key
+
+    def _right_key(self, row: Row) -> Optional[Tuple[Any, ...]]:
+        key = tuple(row[j] for _, j in self.key_pairs)
+        return None if any(is_null(v) for v in key) else key
+
+    def rows(self) -> Iterator[Row]:
+        buckets: Dict[Tuple[Any, ...], List[Tuple[int, Row]]] = defaultdict(list)
+        inner_rows: List[Row] = []
+        for index, right_row in enumerate(self.right):
+            inner_rows.append(right_row)
+            key = self._right_key(right_row)
+            if key is not None:
+                buckets[key].append((index, right_row))
+        matched_inner = [False] * len(inner_rows)
+
+        for left_row in self.left:
+            key = self._left_key(left_row)
+            matched = False
+            if key is not None:
+                for index, right_row in buckets.get(key, ()):
+                    if self._matches(left_row, right_row):
+                        matched = True
+                        matched_inner[index] = True
+                        if self.kind == "semi":
+                            break
+                        if self.kind != "anti":
+                            yield self._emit_pair(left_row, right_row)
+            if self.kind == "semi" and matched:
+                yield left_row
+            elif self.kind == "anti" and not matched:
+                yield left_row
+            elif not matched and self.kind in ("left", "full"):
+                yield self._pad_right(left_row)
+
+        if self.kind in ("right", "full"):
+            for index, right_row in enumerate(inner_rows):
+                if not matched_inner[index]:
+                    yield self._pad_left(right_row)
+
+    def describe(self) -> str:
+        return f"HashJoin({self.kind}, keys={self.key_pairs})"
+
+
+class MergeJoinNode(_JoinBase):
+    """Sort-merge join on equality key index pairs.
+
+    Both inputs are sorted on their key columns; groups of equal keys are
+    matched pairwise with the residual condition re-checked.  Null keys sort
+    first and never match.
+    """
+
+    def __init__(
+        self,
+        left: PhysicalNode,
+        right: PhysicalNode,
+        kind: str,
+        condition: Optional[Expression],
+        key_pairs: Sequence[Tuple[int, int]],
+    ):
+        if not key_pairs:
+            raise PlanError("merge join requires at least one equality key pair")
+        super().__init__(left, right, kind, condition)
+        self.key_pairs = list(key_pairs)
+
+    def _sorted(self, rows: List[Row], indexes: List[int]) -> List[Row]:
+        def compare(a: Row, b: Row) -> int:
+            for i in indexes:
+                result = _compare_values(a[i], b[i])
+                if result != 0:
+                    return result
+            return 0
+
+        return sorted(rows, key=functools.cmp_to_key(compare))
+
+    def rows(self) -> Iterator[Row]:
+        left_indexes = [i for i, _ in self.key_pairs]
+        right_indexes = [j for _, j in self.key_pairs]
+        left_rows = self._sorted(list(self.left), left_indexes)
+        right_rows = self._sorted(list(self.right), right_indexes)
+
+        def key_of(row: Row, indexes: List[int]) -> Optional[Tuple[Any, ...]]:
+            key = tuple(row[i] for i in indexes)
+            return None if any(is_null(v) for v in key) else key
+
+        def compare_keys(a: Optional[Tuple], b: Optional[Tuple]) -> int:
+            # None (null key) sorts first and never equals anything.
+            if a is None and b is None:
+                return -1
+            if a is None:
+                return -1
+            if b is None:
+                return 1
+            for x, y in zip(a, b):
+                result = _compare_values(x, y)
+                if result != 0:
+                    return result
+            return 0
+
+        matched_right: set = set()
+        produced_left: set = set()
+        li, ri = 0, 0
+        while li < len(left_rows) and ri < len(right_rows):
+            lkey = key_of(left_rows[li], left_indexes)
+            rkey = key_of(right_rows[ri], right_indexes)
+            if lkey is None:
+                li += 1
+                continue
+            if rkey is None:
+                ri += 1
+                continue
+            comparison = compare_keys(lkey, rkey)
+            if comparison < 0:
+                li += 1
+            elif comparison > 0:
+                ri += 1
+            else:
+                # Collect the equal-key groups on both sides.
+                lj = li
+                while lj < len(left_rows) and key_of(left_rows[lj], left_indexes) == lkey:
+                    lj += 1
+                rj = ri
+                while rj < len(right_rows) and key_of(right_rows[rj], right_indexes) == rkey:
+                    rj += 1
+                for a in range(li, lj):
+                    left_row = left_rows[a]
+                    matched = False
+                    for b in range(ri, rj):
+                        right_row = right_rows[b]
+                        if self._matches(left_row, right_row):
+                            matched = True
+                            matched_right.add(b)
+                            if self.kind == "semi":
+                                break
+                            if self.kind != "anti":
+                                yield self._emit_pair(left_row, right_row)
+                    if matched:
+                        produced_left.add(a)
+                li, ri = lj, rj
+
+        # Emit dangling left rows (or anti/semi results) in a final pass.
+        if self.kind in ("left", "full", "anti", "semi"):
+            for index, left_row in enumerate(left_rows):
+                if self.kind == "semi":
+                    if index in produced_left:
+                        yield left_row
+                elif self.kind == "anti":
+                    if index not in produced_left:
+                        yield left_row
+                elif index not in produced_left:
+                    yield self._pad_right(left_row)
+
+        if self.kind in ("right", "full"):
+            for index, right_row in enumerate(right_rows):
+                if index not in matched_right:
+                    yield self._pad_left(right_row)
+
+    def describe(self) -> str:
+        return f"MergeJoin({self.kind}, keys={self.key_pairs})"

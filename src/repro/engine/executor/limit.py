@@ -1,0 +1,29 @@
+"""LIMIT operator."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.engine.executor.base import PhysicalNode, Row
+
+
+class LimitNode(PhysicalNode):
+    """Stop after emitting ``count`` rows."""
+
+    def __init__(self, child: PhysicalNode, count: int):
+        super().__init__(child.columns, [child])
+        self.child = child
+        self.count = count
+
+    def rows(self) -> Iterator[Row]:
+        remaining = self.count
+        if remaining <= 0:
+            return
+        for row in self.child:
+            yield row
+            remaining -= 1
+            if remaining == 0:
+                return
+
+    def describe(self) -> str:
+        return f"Limit({self.count})"

@@ -1,0 +1,26 @@
+"""Projection (expression evaluation) operator."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.engine.executor.base import PhysicalNode, Row
+from repro.engine.expressions import Expression
+
+
+class ProjectNode(PhysicalNode):
+    """Compute output expressions per row (no duplicate elimination)."""
+
+    def __init__(self, child: PhysicalNode, expressions: Sequence[Tuple[Expression, str]]):
+        super().__init__([name for _, name in expressions], [child])
+        self.child = child
+        self.expressions = list(expressions)
+        self._bound = [expr.bind(child.columns) for expr, _ in expressions]
+
+    def rows(self) -> Iterator[Row]:
+        bound = self._bound
+        for row in self.child:
+            yield tuple(b(row) for b in bound)
+
+    def describe(self) -> str:
+        return f"Project({', '.join(self.columns)})"

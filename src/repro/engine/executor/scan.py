@@ -1,0 +1,28 @@
+"""Sequential scan of a base table."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+from repro.engine.executor.base import PhysicalNode, Row
+from repro.engine.table import Table
+
+
+class SeqScanNode(PhysicalNode):
+    """Scan all rows of a table, optionally exposing alias-qualified columns."""
+
+    def __init__(self, table: Table, alias: Optional[str] = None):
+        if alias:
+            columns: Sequence[str] = [f"{alias}.{c}" for c in table.columns]
+        else:
+            columns = table.columns
+        super().__init__(columns)
+        self.table = table
+        self.alias = alias
+
+    def rows(self) -> Iterator[Row]:
+        return iter(self.table.rows)
+
+    def describe(self) -> str:
+        alias = f" AS {self.alias}" if self.alias else ""
+        return f"SeqScan({self.table.name}{alias})"

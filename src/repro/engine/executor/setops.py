@@ -1,0 +1,79 @@
+"""Set operations and duplicate elimination."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterator, Set
+
+from repro.engine.executor.base import PhysicalNode, Row
+from repro.relation.errors import PlanError
+
+
+class DistinctNode(PhysicalNode):
+    """Hash-based duplicate elimination preserving first-seen order."""
+
+    def __init__(self, child: PhysicalNode):
+        super().__init__(child.columns, [child])
+        self.child = child
+
+    def rows(self) -> Iterator[Row]:
+        seen: Set[Row] = set()
+        for row in self.child:
+            if row not in seen:
+                seen.add(row)
+                yield row
+
+
+class SetOpNode(PhysicalNode):
+    """UNION [ALL], EXCEPT and INTERSECT with set semantics.
+
+    ``union_all`` keeps duplicates; the other kinds follow SQL's set-based
+    (DISTINCT) behaviour, which is also what the reduction rules need for the
+    group-based temporal operators.
+    """
+
+    KINDS = ("union", "union_all", "except", "intersect")
+
+    def __init__(self, kind: str, left: PhysicalNode, right: PhysicalNode):
+        if kind not in self.KINDS:
+            raise PlanError(f"unknown set operation {kind!r}")
+        if len(left.columns) != len(right.columns):
+            raise PlanError("set operation inputs must have equal width")
+        super().__init__(left.columns, [left, right])
+        self.kind = kind
+        self.left = left
+        self.right = right
+
+    def rows(self) -> Iterator[Row]:
+        if self.kind == "union_all":
+            yield from self.left
+            yield from self.right
+            return
+
+        if self.kind == "union":
+            seen: Set[Row] = set()
+            for row in self.left:
+                if row not in seen:
+                    seen.add(row)
+                    yield row
+            for row in self.right:
+                if row not in seen:
+                    seen.add(row)
+                    yield row
+            return
+
+        right_rows = set(self.right)
+        emitted: Set[Row] = set()
+        if self.kind == "except":
+            for row in self.left:
+                if row not in right_rows and row not in emitted:
+                    emitted.add(row)
+                    yield row
+        else:  # intersect
+            for row in self.left:
+                if row in right_rows and row not in emitted:
+                    emitted.add(row)
+                    yield row
+
+    def describe(self) -> str:
+        return f"SetOp({self.kind})"

@@ -1,0 +1,6 @@
+"""Query optimizer: settings, statistics-driven cost model and planner."""
+
+from repro.engine.optimizer.planner import Planner
+from repro.engine.optimizer.settings import Settings
+
+__all__ = ["Planner", "Settings"]

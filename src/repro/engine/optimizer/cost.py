@@ -1,0 +1,144 @@
+"""Cost model.
+
+Costs are abstract units combining per-row CPU work; they only need to order
+alternative plans correctly, not predict wall-clock time.  The estimates for
+the two temporal nodes follow Sec. 6.2/6.3 of the paper literally:
+
+* alignment: ``numRows = 3 · input rows``,
+  ``cost = input cost + 2 · cpu_op_cost · input rows · numCols``;
+* normalization: ``numRows = 2 · input rows``,
+  ``cost = input cost + cpu_op_cost · input rows · numCols``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.engine.optimizer.settings import Settings
+
+
+@dataclass
+class Estimate:
+    """Estimated output cardinality and total cost of a (sub)plan."""
+
+    rows: float
+    cost: float
+
+
+def scan_cost(settings: Settings, rows: int) -> Estimate:
+    return Estimate(rows=float(rows), cost=rows * settings.seq_scan_cost_per_row)
+
+
+def filter_cost(settings: Settings, child: Estimate, selectivity: float) -> Estimate:
+    rows = max(1.0, child.rows * selectivity)
+    return Estimate(rows=rows, cost=child.cost + settings.cpu_operator_cost * child.rows)
+
+
+def project_cost(settings: Settings, child: Estimate, width: int) -> Estimate:
+    return Estimate(
+        rows=child.rows,
+        cost=child.cost + settings.cpu_operator_cost * child.rows * max(1, width),
+    )
+
+
+def sort_cost(settings: Settings, child: Estimate) -> Estimate:
+    rows = max(2.0, child.rows)
+    return Estimate(
+        rows=child.rows,
+        cost=child.cost + settings.cpu_operator_cost * rows * math.log2(rows),
+    )
+
+
+def join_output_rows(
+    settings: Settings, left: Estimate, right: Estimate, has_equality: bool, kind: str
+) -> float:
+    if kind == "cross":
+        return left.rows * right.rows
+    selectivity = settings.equality_selectivity if has_equality else settings.default_selectivity
+    rows = left.rows * right.rows * selectivity
+    if kind in ("left", "full", "anti", "semi"):
+        rows = max(rows, left.rows)
+    if kind in ("right", "full"):
+        rows = max(rows, right.rows)
+    return max(1.0, rows)
+
+
+def nested_loop_cost(settings: Settings, left: Estimate, right: Estimate, rows: float) -> Estimate:
+    return Estimate(
+        rows=rows,
+        cost=left.cost
+        + right.cost
+        + settings.cpu_operator_cost * left.rows * max(1.0, right.rows)
+        + settings.cpu_tuple_cost * rows,
+    )
+
+
+def hash_join_cost(settings: Settings, left: Estimate, right: Estimate, rows: float) -> Estimate:
+    return Estimate(
+        rows=rows,
+        cost=left.cost
+        + right.cost
+        + settings.cpu_operator_cost * (left.rows + right.rows)
+        + settings.cpu_tuple_cost * rows,
+    )
+
+
+def merge_join_cost(settings: Settings, left: Estimate, right: Estimate, rows: float) -> Estimate:
+    def sort_term(estimate: Estimate) -> float:
+        n = max(2.0, estimate.rows)
+        return settings.cpu_operator_cost * n * math.log2(n)
+
+    return Estimate(
+        rows=rows,
+        cost=left.cost
+        + right.cost
+        + sort_term(left)
+        + sort_term(right)
+        + settings.cpu_tuple_cost * rows,
+    )
+
+
+def aggregate_cost(settings: Settings, child: Estimate, groups_hint: float = 0.1) -> Estimate:
+    rows = max(1.0, child.rows * groups_hint)
+    return Estimate(rows=rows, cost=child.cost + settings.cpu_operator_cost * child.rows)
+
+
+def distinct_cost(settings: Settings, child: Estimate) -> Estimate:
+    return Estimate(rows=max(1.0, child.rows * 0.9),
+                    cost=child.cost + settings.cpu_operator_cost * child.rows)
+
+
+def setop_cost(settings: Settings, left: Estimate, right: Estimate, kind: str) -> Estimate:
+    rows = left.rows + right.rows if kind in ("union", "union_all") else left.rows
+    return Estimate(
+        rows=max(1.0, rows),
+        cost=left.cost + right.cost + settings.cpu_operator_cost * (left.rows + right.rows),
+    )
+
+
+def alignment_cost(settings: Settings, child: Estimate, width: int) -> Estimate:
+    """Sec. 6.2: every input tuple can produce up to three output tuples."""
+    rows = 3.0 * child.rows
+    return Estimate(
+        rows=max(1.0, rows),
+        cost=child.cost + 2 * settings.cpu_operator_cost * child.rows * max(1, width),
+    )
+
+
+def normalization_cost(settings: Settings, child: Estimate, width: int) -> Estimate:
+    """Sec. 6.3: every split point can produce up to two output tuples."""
+    rows = 2.0 * child.rows
+    return Estimate(
+        rows=max(1.0, rows),
+        cost=child.cost + settings.cpu_operator_cost * child.rows * max(1, width),
+    )
+
+
+def absorb_cost(settings: Settings, child: Estimate) -> Estimate:
+    return Estimate(rows=child.rows, cost=child.cost + settings.cpu_operator_cost * child.rows)
+
+
+def limit_cost(settings: Settings, child: Estimate, count: int) -> Estimate:
+    rows = min(child.rows, float(count))
+    return Estimate(rows=rows, cost=child.cost)

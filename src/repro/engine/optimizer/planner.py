@@ -1,0 +1,344 @@
+"""The planner: logical plans → physical executor trees.
+
+Join strategy selection follows the PostgreSQL recipe the paper relies on:
+for every join (including the group-construction join hidden inside the
+``Align``/``Normalize`` nodes) the planner enumerates the enabled strategies
+— nested loop always, hash and sort-merge when an equality key is available —
+estimates their costs and picks the cheapest.  Disabling strategies through
+:class:`~repro.engine.optimizer.settings.Settings` therefore changes the plan
+exactly like ``SET enable_mergejoin = false`` does in the paper's Fig. 13.
+
+The two temporal logical nodes are expanded here into the plan shape of
+Fig. 12(b):
+
+    Adjustment ← Sort ← Project ← (left outer) Join ← arguments
+
+with the join planned like any other join.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.engine import plan as logical
+from repro.engine.executor import (
+    AbsorbNode,
+    AdjustmentNode,
+    DistinctNode,
+    FilterNode,
+    HashAggregateNode,
+    HashJoinNode,
+    LimitNode,
+    MergeJoinNode,
+    NestedLoopJoinNode,
+    PhysicalNode,
+    ProjectNode,
+    RelabelNode,
+    SeqScanNode,
+    SetOpNode,
+    SortNode,
+    ValuesNode,
+)
+from repro.engine.expressions import (
+    And,
+    Comparison,
+    Expression,
+    FunctionCall,
+    IndexColumn,
+    conjunction,
+    equijoin_keys,
+    resolve_column,
+)
+from repro.engine.optimizer import cost
+from repro.engine.optimizer.cost import Estimate
+from repro.engine.optimizer.settings import Settings
+from repro.relation.errors import PlanError
+
+
+class Planner:
+    """Translate logical plans into costed physical plans."""
+
+    def __init__(self, database, settings: Optional[Settings] = None):
+        self.database = database
+        self.settings = settings if settings is not None else database.settings
+
+    # -- entry point -----------------------------------------------------------------
+
+    def plan(self, node: logical.LogicalPlan) -> PhysicalNode:
+        method = getattr(self, f"_plan_{type(node).__name__.lower()}", None)
+        if method is None:
+            raise PlanError(f"no planning rule for logical node {type(node).__name__}")
+        return method(node)
+
+    # -- leaves -----------------------------------------------------------------------
+
+    def _plan_scan(self, node: logical.Scan) -> PhysicalNode:
+        table = self.database.get_table(node.table_name)
+        physical = SeqScanNode(table, node.alias)
+        estimate = cost.scan_cost(self.settings, len(table))
+        return self._estimated(physical, estimate)
+
+    def _plan_values(self, node: logical.Values) -> PhysicalNode:
+        physical = ValuesNode(node.columns, node.rows)
+        return self._estimated(physical, Estimate(rows=len(node.rows), cost=0.0))
+
+    # -- unary nodes --------------------------------------------------------------------
+
+    def _plan_filter(self, node: logical.Filter) -> PhysicalNode:
+        child = self.plan(node.child)
+        physical = FilterNode(child, node.condition)
+        estimate = cost.filter_cost(
+            self.settings, self._estimate(child), self.settings.default_selectivity
+        )
+        return self._estimated(physical, estimate)
+
+    def _plan_project(self, node: logical.Project) -> PhysicalNode:
+        child = self.plan(node.child)
+        physical = ProjectNode(child, node.expressions)
+        estimate = cost.project_cost(self.settings, self._estimate(child), len(node.expressions))
+        return self._estimated(physical, estimate)
+
+    def _plan_rename(self, node: logical.Rename) -> PhysicalNode:
+        child = self.plan(node.child)
+        physical = RelabelNode(child, node.columns)
+        return self._estimated(physical, self._estimate(child))
+
+    def _plan_sort(self, node: logical.Sort) -> PhysicalNode:
+        child = self.plan(node.child)
+        physical = SortNode(child, node.keys)
+        return self._estimated(physical, cost.sort_cost(self.settings, self._estimate(child)))
+
+    def _plan_distinct(self, node: logical.Distinct) -> PhysicalNode:
+        child = self.plan(node.child)
+        physical = DistinctNode(child)
+        return self._estimated(physical, cost.distinct_cost(self.settings, self._estimate(child)))
+
+    def _plan_limit(self, node: logical.Limit) -> PhysicalNode:
+        child = self.plan(node.child)
+        physical = LimitNode(child, node.count)
+        return self._estimated(
+            physical, cost.limit_cost(self.settings, self._estimate(child), node.count)
+        )
+
+    def _plan_aggregate(self, node: logical.Aggregate) -> PhysicalNode:
+        child = self.plan(node.child)
+        physical = HashAggregateNode(child, node.group_by, node.aggregates)
+        estimate = cost.aggregate_cost(self.settings, self._estimate(child))
+        return self._estimated(physical, estimate)
+
+    def _plan_absorb(self, node: logical.Absorb) -> PhysicalNode:
+        child = self.plan(node.child)
+        start_index = resolve_column(node.start, child.columns)
+        end_index = resolve_column(node.end, child.columns)
+        physical = AbsorbNode(child, start_index, end_index)
+        return self._estimated(physical, cost.absorb_cost(self.settings, self._estimate(child)))
+
+    # -- binary nodes ---------------------------------------------------------------------
+
+    def _plan_setop(self, node: logical.SetOp) -> PhysicalNode:
+        left = self.plan(node.left)
+        right = self.plan(node.right)
+        physical = SetOpNode(node.kind, left, right)
+        estimate = cost.setop_cost(
+            self.settings, self._estimate(left), self._estimate(right), node.kind
+        )
+        return self._estimated(physical, estimate)
+
+    def _plan_join(self, node: logical.Join) -> PhysicalNode:
+        left = self.plan(node.left)
+        right = self.plan(node.right)
+        kind = "inner" if node.kind == "cross" else node.kind
+        keys = self._key_indexes(node.condition, left.columns, right.columns)
+        return self._choose_join(left, right, kind, node.condition, keys)
+
+    # -- temporal nodes ----------------------------------------------------------------------
+
+    def _plan_align(self, node: logical.Align) -> PhysicalNode:
+        left = self.plan(node.left)
+        right = self.plan(node.right)
+        left_columns = left.columns
+        right_columns = right.columns
+        left_width = len(left_columns)
+
+        left_ts = resolve_column(node.left_start, left_columns)
+        left_te = resolve_column(node.left_end, left_columns)
+        right_ts = left_width + resolve_column(node.right_start, right_columns)
+        right_te = left_width + resolve_column(node.right_end, right_columns)
+
+        # Group construction: left outer join on θ ∧ overlap (Fig. 8).
+        overlap = And(
+            Comparison("<", IndexColumn(left_ts), IndexColumn(right_te)),
+            Comparison("<", IndexColumn(right_ts), IndexColumn(left_te)),
+        )
+        condition = conjunction([node.condition, overlap])
+        keys = self._key_indexes(node.condition, left_columns, right_columns)
+        join = self._choose_join(left, right, "left", condition, keys)
+
+        # Project to the r tuple plus the intersection bounds P1/P2.
+        expressions: List[Tuple[Expression, str]] = [
+            (IndexColumn(i), name) for i, name in enumerate(left_columns)
+        ]
+        expressions.append(
+            (FunctionCall("GREATEST", [IndexColumn(left_ts), IndexColumn(right_ts)]), "__p1")
+        )
+        expressions.append(
+            (FunctionCall("LEAST", [IndexColumn(left_te), IndexColumn(right_te)]), "__p2")
+        )
+        projected = ProjectNode(join, expressions)
+        self._estimated(
+            projected, cost.project_cost(self.settings, self._estimate(join), len(expressions))
+        )
+
+        sorted_node = self._partition_sort(projected, left_width, extra=2)
+        adjustment = AdjustmentNode(
+            sorted_node,
+            group_width=left_width,
+            ts_index=left_ts,
+            te_index=left_te,
+            isalign=True,
+            columns=left_columns,
+        )
+        estimate = cost.alignment_cost(
+            self.settings, self._estimate(sorted_node), len(left_columns)
+        )
+        return self._estimated(adjustment, estimate)
+
+    def _plan_normalize(self, node: logical.Normalize) -> PhysicalNode:
+        left = self.plan(node.left)
+        right = self.plan(node.right)
+        left_columns = left.columns
+        right_columns = right.columns
+        left_width = len(left_columns)
+
+        left_ts = resolve_column(node.left_start, left_columns)
+        left_te = resolve_column(node.left_end, left_columns)
+        right_ts = resolve_column(node.right_start, right_columns)
+        right_te = resolve_column(node.right_end, right_columns)
+
+        # Split points of the reference: π_{B,Ts}(s) ∪ π_{B,Te}(s)  (Sec. 6.3).
+        using_right_indexes = [resolve_column(rc, right_columns) for _, rc in node.using]
+        key_names = [f"__k{i}" for i in range(len(node.using))]
+
+        def split_projection(point_index: int) -> ProjectNode:
+            expressions = [
+                (IndexColumn(index), name) for index, name in zip(using_right_indexes, key_names)
+            ]
+            expressions.append((IndexColumn(point_index), "__p"))
+            projection = ProjectNode(right, expressions)
+            self._estimated(
+                projection,
+                cost.project_cost(self.settings, self._estimate(right), len(expressions)),
+            )
+            return projection
+
+        split_points = SetOpNode(
+            "union_all", split_projection(right_ts), split_projection(right_te)
+        )
+        self._estimated(
+            split_points,
+            cost.setop_cost(
+                self.settings, self._estimate(right), self._estimate(right), "union_all"
+            ),
+        )
+
+        # Group construction join: equality on the USING attributes plus the
+        # requirement that the split point falls strictly inside the interval.
+        point_index = left_width + len(node.using)
+        conjuncts: List[Expression] = []
+        keys: List[Tuple[int, int]] = []
+        for i, (left_name, _right_name) in enumerate(node.using):
+            left_index = resolve_column(left_name, left_columns)
+            conjuncts.append(
+                Comparison("=", IndexColumn(left_index), IndexColumn(left_width + i))
+            )
+            keys.append((left_index, i))
+        conjuncts.append(Comparison(">", IndexColumn(point_index), IndexColumn(left_ts)))
+        conjuncts.append(Comparison("<", IndexColumn(point_index), IndexColumn(left_te)))
+        condition = conjunction(conjuncts)
+
+        join = self._choose_join(left, split_points, "left", condition, keys)
+
+        expressions = [(IndexColumn(i), name) for i, name in enumerate(left_columns)]
+        expressions.append((IndexColumn(point_index), "__p1"))
+        projected = ProjectNode(join, expressions)
+        self._estimated(
+            projected, cost.project_cost(self.settings, self._estimate(join), len(expressions))
+        )
+
+        sorted_node = self._partition_sort(projected, left_width, extra=1)
+        adjustment = AdjustmentNode(
+            sorted_node,
+            group_width=left_width,
+            ts_index=left_ts,
+            te_index=left_te,
+            isalign=False,
+            columns=left_columns,
+        )
+        estimate = cost.normalization_cost(
+            self.settings, self._estimate(sorted_node), len(left_columns)
+        )
+        return self._estimated(adjustment, estimate)
+
+    # -- helpers ---------------------------------------------------------------------------
+
+    def _partition_sort(self, child: PhysicalNode, group_width: int, extra: int) -> SortNode:
+        """Sort by the partition key (all group columns) then the sweep columns."""
+        keys = [(IndexColumn(i), True) for i in range(group_width + extra)]
+        sorted_node = SortNode(child, keys)
+        self._estimated(sorted_node, cost.sort_cost(self.settings, self._estimate(child)))
+        return sorted_node
+
+    def _key_indexes(
+        self,
+        condition: Optional[Expression],
+        left_columns: Sequence[str],
+        right_columns: Sequence[str],
+    ) -> List[Tuple[int, int]]:
+        pairs = equijoin_keys(condition, left_columns, right_columns)
+        indexes: List[Tuple[int, int]] = []
+        for left_name, right_name in pairs:
+            indexes.append(
+                (resolve_column(left_name, left_columns), resolve_column(right_name, right_columns))
+            )
+        return indexes
+
+    def _choose_join(
+        self,
+        left: PhysicalNode,
+        right: PhysicalNode,
+        kind: str,
+        condition: Optional[Expression],
+        keys: Sequence[Tuple[int, int]],
+    ) -> PhysicalNode:
+        settings = self.settings
+        left_estimate = self._estimate(left)
+        right_estimate = self._estimate(right)
+        rows = cost.join_output_rows(settings, left_estimate, right_estimate, bool(keys), kind)
+
+        candidates: List[Tuple[Estimate, str]] = []
+        if keys and settings.enable_hashjoin:
+            candidates.append((cost.hash_join_cost(settings, left_estimate, right_estimate, rows), "hash"))
+        if keys and settings.enable_mergejoin:
+            candidates.append((cost.merge_join_cost(settings, left_estimate, right_estimate, rows), "merge"))
+        if settings.enable_nestloop or not candidates:
+            candidates.append((cost.nested_loop_cost(settings, left_estimate, right_estimate, rows), "nestloop"))
+
+        estimate, strategy = min(candidates, key=lambda item: item[0].cost)
+        # The full condition is evaluated as a residual predicate by every
+        # strategy, so correctness never depends on the choice.
+        combined_condition = condition
+        if strategy == "hash":
+            physical: PhysicalNode = HashJoinNode(left, right, kind, combined_condition, list(keys))
+        elif strategy == "merge":
+            physical = MergeJoinNode(left, right, kind, combined_condition, list(keys))
+        else:
+            physical = NestedLoopJoinNode(left, right, kind, combined_condition)
+        return self._estimated(physical, estimate)
+
+    def _estimate(self, node: PhysicalNode) -> Estimate:
+        return Estimate(rows=node.estimated_rows, cost=node.estimated_cost)
+
+    def _estimated(self, node: PhysicalNode, estimate: Estimate) -> PhysicalNode:
+        node.estimated_rows = estimate.rows
+        node.estimated_cost = estimate.cost
+        return node

@@ -1,0 +1,46 @@
+"""Planner settings (the engine's ``SET enable_... = false`` switches).
+
+The paper's kernel-integration experiment (Fig. 13) toggles PostgreSQL's
+``enable_mergejoin`` and ``enable_hashjoin`` switches to show that the
+group-construction join inside normalization/alignment is planned like any
+other join.  The same switches exist here and are honoured by the planner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass
+class Settings:
+    """Optimizer switches and cost constants."""
+
+    #: Allow nested-loop joins (always used as a fallback when nothing else fits).
+    enable_nestloop: bool = True
+    #: Allow hash joins for equality conditions.
+    enable_hashjoin: bool = True
+    #: Allow sort-merge joins for equality conditions.
+    enable_mergejoin: bool = True
+
+    #: Cost charged per tuple-level operation (PostgreSQL's ``cpu_operator_cost``).
+    cpu_operator_cost: float = 0.0025
+    #: Cost charged per emitted tuple (PostgreSQL's ``cpu_tuple_cost``).
+    cpu_tuple_cost: float = 0.01
+    #: Cost charged per scanned base-table row (stand-in for page I/O).
+    seq_scan_cost_per_row: float = 0.01
+
+    #: Default selectivity of a non-equality predicate.
+    default_selectivity: float = 0.33
+    #: Default selectivity of an equality predicate with unknown statistics.
+    equality_selectivity: float = 0.005
+
+    def copy(self, **overrides: object) -> "Settings":
+        """Copy with some fields replaced (handy in benchmarks and tests)."""
+        return replace(self, **overrides)
+
+    def describe(self) -> str:
+        """One-line summary of the join switches (used in benchmark output)."""
+        parts = []
+        for name in ("nestloop", "hashjoin", "mergejoin"):
+            parts.append(f"{name}={'on' if getattr(self, 'enable_' + name) else 'off'}")
+        return ", ".join(parts)

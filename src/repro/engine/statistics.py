@@ -1,0 +1,54 @@
+"""Table statistics used by the cost model.
+
+Statistics are intentionally simple — row counts and per-column distinct
+counts — which is all the join-selectivity estimates of the planner need.
+They are computed lazily per table and cached on the catalog.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.engine.table import Table
+
+
+class TableStatistics:
+    """Row count and per-column number of distinct values of one table."""
+
+    def __init__(self, table: Table):
+        self.table_name = table.name
+        self.row_count = len(table)
+        self._distinct: Dict[str, int] = {}
+        self._table = table
+
+    def distinct_count(self, column: str) -> int:
+        """Number of distinct values in ``column`` (computed lazily)."""
+        if column not in self._distinct:
+            index = self._table.column_index(column)
+            self._distinct[column] = len({row[index] for row in self._table.rows}) or 1
+        return self._distinct[column]
+
+    def selectivity_of_equality(self, column: str) -> float:
+        """Estimated selectivity of ``column = constant``."""
+        return 1.0 / max(1, self.distinct_count(column))
+
+
+class StatisticsCatalog:
+    """Cache of :class:`TableStatistics`, one per base table."""
+
+    def __init__(self) -> None:
+        self._statistics: Dict[str, TableStatistics] = {}
+
+    def for_table(self, table: Table) -> TableStatistics:
+        stats = self._statistics.get(table.name)
+        if stats is None or stats.row_count != len(table):
+            stats = TableStatistics(table)
+            self._statistics[table.name] = stats
+        return stats
+
+    def invalidate(self, table_name: Optional[str] = None) -> None:
+        """Drop cached statistics (all of them, or one table's)."""
+        if table_name is None:
+            self._statistics.clear()
+        else:
+            self._statistics.pop(table_name, None)

@@ -1,0 +1,29 @@
+"""Temporal relations: schemas, tuples and the relation container.
+
+This package implements the data model of Sec. 3.1 of the paper:
+
+* a temporal relation schema ``R = (A1, ..., Am, T)`` with nontemporal
+  attributes ``A1..Am`` and a single interval-valued timestamp ``T``;
+* tuple timestamping — each tuple carries exactly one valid-time interval;
+* set-based semantics with *duplicate-free* relations: no two tuples may be
+  value-equivalent over a common time point;
+* the timeslice operator ``τ_t`` and the extend operator ``U`` (timestamp
+  propagation, Def. 3).
+"""
+
+from repro.relation.errors import DuplicateTupleError, ReproError, SchemaError
+from repro.relation.relation import TemporalRelation
+from repro.relation.schema import Attribute, Schema
+from repro.relation.tuple import NULL, TemporalTuple, is_null
+
+__all__ = [
+    "Attribute",
+    "Schema",
+    "TemporalTuple",
+    "TemporalRelation",
+    "NULL",
+    "is_null",
+    "ReproError",
+    "SchemaError",
+    "DuplicateTupleError",
+]

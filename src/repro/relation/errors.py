@@ -1,0 +1,52 @@
+"""Exception hierarchy shared across the reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every error raised by the ``repro`` library."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed, or two schemas are incompatible.
+
+    Raised, for example, when a set operation is applied to relations that
+    are not union compatible, when an unknown attribute is referenced, or
+    when timestamp propagation would shadow an existing attribute.
+    """
+
+
+class DuplicateTupleError(ReproError):
+    """Inserting a tuple would violate the duplicate-free condition.
+
+    The paper assumes set-based semantics: no two tuples of a relation may
+    agree on all nontemporal attributes while their timestamps overlap
+    (Sec. 3.1).  Relations constructed with ``enforce_duplicate_free=True``
+    raise this error on violation.
+    """
+
+
+class QueryError(ReproError):
+    """A query (algebraic or SQL) is semantically invalid."""
+
+
+class SQLSyntaxError(QueryError):
+    """The SQL text could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None, line: int | None = None):
+        self.position = position
+        self.line = line
+        location = ""
+        if line is not None:
+            location = f" (line {line})"
+        elif position is not None:
+            location = f" (at offset {position})"
+        super().__init__(f"{message}{location}")
+
+
+class PlanError(ReproError):
+    """The optimizer could not build a physical plan for a logical plan."""
+
+
+class ExecutionError(ReproError):
+    """A physical operator failed while producing tuples."""

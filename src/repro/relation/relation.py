@@ -1,0 +1,279 @@
+"""The temporal relation container.
+
+A temporal relation is a finite set of interval-timestamped tuples over a
+common schema.  The paper assumes *set-based semantics with duplicate-free
+relations*: no two distinct tuples may agree on every nontemporal attribute
+while their timestamps overlap (Sec. 3.1).  :class:`TemporalRelation` can
+either enforce or merely check this condition; intermediate results of the
+reduction rules (e.g. aligned relations) legitimately violate it, so
+enforcement is opt-in.
+
+The container also provides the two schema-level operators the paper defines
+outside the algebra proper:
+
+* the timeslice operator ``τ_t`` (Sec. 3.1), and
+* the extend operator ``U`` for timestamp propagation (Def. 3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.relation.errors import DuplicateTupleError, SchemaError
+from repro.relation.schema import Schema
+from repro.relation.tuple import TemporalTuple
+from repro.temporal.interval import Interval
+
+
+class TemporalRelation:
+    """A finite collection of :class:`TemporalTuple` over one schema.
+
+    Tuples are stored in insertion order (deterministic iteration makes tests
+    and benchmarks reproducible) but compare as sets: two relations are equal
+    when they contain the same set of tuples.
+
+    >>> rel = TemporalRelation(Schema(["name"]))
+    >>> _ = rel.insert(("Ann",), Interval(0, 7))
+    >>> len(rel)
+    1
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        tuples: Optional[Iterable[TemporalTuple]] = None,
+        enforce_duplicate_free: bool = False,
+    ):
+        self.schema = schema
+        self.enforce_duplicate_free = enforce_duplicate_free
+        self._tuples: List[TemporalTuple] = []
+        if tuples is not None:
+            for t in tuples:
+                self.add(t)
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls,
+        schema: Schema,
+        rows: Iterable[Tuple[Sequence[Any], Interval]],
+        enforce_duplicate_free: bool = False,
+    ) -> "TemporalRelation":
+        """Build a relation from ``(values, interval)`` pairs."""
+        relation = cls(schema, enforce_duplicate_free=enforce_duplicate_free)
+        for values, interval in rows:
+            relation.insert(values, interval)
+        return relation
+
+    @classmethod
+    def from_dicts(
+        cls,
+        schema: Schema,
+        rows: Iterable[Dict[str, Any]],
+        enforce_duplicate_free: bool = False,
+    ) -> "TemporalRelation":
+        """Build a relation from dictionaries with a ``(start, end)`` pair
+        or :class:`Interval` stored under the schema's timestamp name."""
+        relation = cls(schema, enforce_duplicate_free=enforce_duplicate_free)
+        for row in rows:
+            raw = row[schema.timestamp]
+            interval = raw if isinstance(raw, Interval) else Interval(*raw)
+            values = tuple(row[a] for a in schema.attribute_names)
+            relation.insert(values, interval)
+        return relation
+
+    def add(self, tuple_: TemporalTuple) -> TemporalTuple:
+        """Add an existing tuple (its schema must match attribute-wise)."""
+        if tuple_.schema.attribute_names != self.schema.attribute_names:
+            raise SchemaError(
+                f"tuple schema {tuple_.schema!r} does not match relation schema {self.schema!r}"
+            )
+        if self.enforce_duplicate_free:
+            self._check_duplicate_free(tuple_)
+        self._tuples.append(tuple_)
+        return tuple_
+
+    def insert(self, values: Sequence[Any], interval: Interval) -> TemporalTuple:
+        """Create and add a tuple from raw values and an interval."""
+        if not isinstance(interval, Interval):
+            interval = Interval(*interval)
+        return self.add(TemporalTuple(self.schema, values, interval))
+
+    def _check_duplicate_free(self, candidate: TemporalTuple) -> None:
+        for existing in self._tuples:
+            if existing.value_equivalent(candidate) and existing.overlaps(candidate):
+                raise DuplicateTupleError(
+                    f"tuple {candidate!r} is value-equivalent to {existing!r} "
+                    "over a common time point"
+                )
+
+    # -- basic protocol ------------------------------------------------------
+
+    def __iter__(self) -> Iterator[TemporalTuple]:
+        return iter(self._tuples)
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __bool__(self) -> bool:
+        return bool(self._tuples)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._tuples
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TemporalRelation):
+            return NotImplemented
+        return (
+            self.schema.attribute_names == other.schema.attribute_names
+            and self.as_set() == other.as_set()
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - relations are rarely hashed
+        return hash((self.schema.attribute_names, frozenset(self.as_set())))
+
+    def __repr__(self) -> str:
+        return f"TemporalRelation({self.schema!r}, {len(self)} tuples)"
+
+    # -- interrogation -------------------------------------------------------
+
+    def tuples(self) -> List[TemporalTuple]:
+        """The tuples in insertion order (a copy; mutation safe)."""
+        return list(self._tuples)
+
+    def as_set(self) -> Set[Tuple[Tuple[Any, ...], Interval]]:
+        """Set view ``{(values, interval)}`` used for order-insensitive equality."""
+        return {(t.values, t.interval) for t in self._tuples}
+
+    def is_duplicate_free(self) -> bool:
+        """Check the duplicate-free condition of Sec. 3.1.
+
+        Uses a sweep per value-equivalence class, so it is ``O(n log n)``
+        rather than quadratic.
+        """
+        groups: Dict[Tuple[Any, ...], List[Interval]] = {}
+        for t in self._tuples:
+            groups.setdefault(t.values, []).append(t.interval)
+        for intervals in groups.values():
+            intervals.sort()
+            for previous, current in zip(intervals, intervals[1:]):
+                if current.start < previous.end:
+                    return False
+        return True
+
+    def active_points(self) -> List[int]:
+        """All start/end points appearing in the relation, sorted and unique.
+
+        The active points are sufficient to check snapshot properties: the
+        content of a snapshot can only change at one of these points.
+        """
+        points: Set[int] = set()
+        for t in self._tuples:
+            points.add(t.start)
+            points.add(t.end)
+        return sorted(points)
+
+    def span(self) -> Optional[Interval]:
+        """Smallest interval covering all tuples, or ``None`` if empty."""
+        if not self._tuples:
+            return None
+        return Interval(
+            min(t.start for t in self._tuples),
+            max(t.end for t in self._tuples),
+        )
+
+    def cardinality(self) -> int:
+        """Number of tuples (alias of ``len`` for readability in benchmarks)."""
+        return len(self._tuples)
+
+    # -- the paper's schema-level operators -----------------------------------
+
+    def timeslice(self, point: int) -> Set[Tuple[Any, ...]]:
+        """The timeslice operator ``τ_t(r)`` (Sec. 3.1).
+
+        Returns the *nontemporal* snapshot at ``point``: the set of value
+        tuples of all tuples whose interval contains the point.
+        """
+        return {t.values for t in self._tuples if t.valid_at(point)}
+
+    def timeslice_relation(self, point: int) -> "TemporalRelation":
+        """Timeslice that keeps tuples (with their intervals) — convenience
+        for inspection; the formal ``τ_t`` drops timestamps."""
+        return TemporalRelation(
+            self.schema, [t for t in self._tuples if t.valid_at(point)]
+        )
+
+    def extend(self, attribute: str = "U") -> "TemporalRelation":
+        """The extend operator ``U`` (Def. 3): timestamp propagation.
+
+        Appends a nontemporal attribute holding a copy of each tuple's
+        timestamp so that predicates and functions can reference the
+        *original* interval after adjustment.
+        """
+        extended_schema = self.schema.extend([attribute])
+        result = TemporalRelation(extended_schema)
+        for t in self._tuples:
+            result.insert(t.values + (t.interval,), t.interval)
+        return result
+
+    # -- convenience transforms ------------------------------------------------
+
+    def filter(self, predicate: Callable[[TemporalTuple], bool]) -> "TemporalRelation":
+        """Relation with only the tuples satisfying ``predicate``."""
+        return TemporalRelation(self.schema, [t for t in self._tuples if predicate(t)])
+
+    def map_intervals(self, fn: Callable[[Interval], Interval]) -> "TemporalRelation":
+        """Relation with every interval replaced by ``fn(interval)``."""
+        return TemporalRelation(
+            self.schema, [t.with_interval(fn(t.interval)) for t in self._tuples]
+        )
+
+    def limit(self, n: int) -> "TemporalRelation":
+        """Relation with only the first ``n`` tuples (insertion order)."""
+        return TemporalRelation(self.schema, self._tuples[:n])
+
+    def sorted_by_interval(self) -> "TemporalRelation":
+        """Relation sorted by ``(start, end, values)`` — used by sweeps and tests."""
+        ordered = sorted(self._tuples, key=lambda t: (t.start, t.end, _sort_key(t.values)))
+        return TemporalRelation(self.schema, ordered)
+
+    def rename(self, mapping: Dict[str, str]) -> "TemporalRelation":
+        """Relation with attributes renamed according to ``mapping``."""
+        schema = self.schema.rename(mapping)
+        return TemporalRelation(
+            schema, [TemporalTuple(schema, t.values, t.interval) for t in self._tuples]
+        )
+
+    # -- presentation -----------------------------------------------------------
+
+    def pretty(self, timeline=None, limit: Optional[int] = None) -> str:
+        """A small fixed-width rendering used by the examples.
+
+        ``timeline`` (a :class:`repro.temporal.timeline.Timeline`) renders
+        interval endpoints as labels; by default raw integers are shown.
+        """
+        rows = self._tuples if limit is None else self._tuples[:limit]
+        header = list(self.schema.attribute_names) + [self.schema.timestamp]
+        rendered: List[List[str]] = [header]
+        for t in rows:
+            interval = (
+                timeline.format_interval(t.interval) if timeline is not None else str(t.interval)
+            )
+            rendered.append([str(v) for v in t.values] + [interval])
+        widths = [max(len(row[i]) for row in rendered) for i in range(len(header))]
+        lines = []
+        for row_index, row in enumerate(rendered):
+            line = "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+            lines.append(line.rstrip())
+            if row_index == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        if limit is not None and len(self._tuples) > limit:
+            lines.append(f"... ({len(self._tuples) - limit} more tuples)")
+        return "\n".join(lines)
+
+
+def _sort_key(values: Tuple[Any, ...]) -> Tuple[Any, ...]:
+    """Total order over heterogeneous value tuples (nulls first, then by repr)."""
+    return tuple((0, v) if isinstance(v, (int, float)) and not isinstance(v, bool) else (1, repr(v))
+                 for v in values)

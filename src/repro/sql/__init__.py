@@ -1,0 +1,27 @@
+"""SQL front end with the paper's temporal extensions.
+
+Sec. 6.2/6.3 of the paper extend PostgreSQL's grammar with three constructs
+(for illustration — the primitives, not the syntax, are the contribution):
+
+* ``(r ALIGN s ON θ) alias`` as a FROM item — temporal alignment;
+* ``(r NORMALIZE s USING(B1, ...)) alias`` as a FROM item — temporal
+  normalization;
+* ``SELECT ABSORB ...`` — absorb temporal duplicates instead of ``DISTINCT``.
+
+This package provides a lexer, a recursive-descent parser, an analyzer that
+produces logical plans of :mod:`repro.engine.plan`, and a small
+``Connection`` API::
+
+    from repro.engine import Database
+    from repro.sql import Connection
+
+    db = Database()
+    db.register_relation("r", reservations)
+    conn = Connection(db)
+    table = conn.execute("SELECT n, ts, te FROM r WHERE n = 'Ann'")
+"""
+
+from repro.sql.interface import Connection
+from repro.sql.parser import parse
+
+__all__ = ["Connection", "parse"]

@@ -1,0 +1,147 @@
+"""Abstract syntax of the SQL dialect.
+
+Scalar expressions reuse the engine's expression classes directly
+(:mod:`repro.engine.expressions`); only constructs the engine cannot evaluate
+row-at-a-time get their own AST nodes here: aggregate calls (resolved by the
+analyzer into :class:`~repro.engine.plan.AggregateCall`) and ``EXISTS``
+sub-queries (resolved into semi/anti joins).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.engine.expressions import Expression
+from repro.relation.errors import QueryError
+
+AGGREGATE_FUNCTIONS = ("AVG", "SUM", "COUNT", "MIN", "MAX")
+
+
+class AggregateExpression(Expression):
+    """``AVG(expr)``, ``COUNT(*)`` … — only valid in a select list.
+
+    The analyzer replaces these with aggregate plan calls; binding one
+    directly is a semantic error (aggregates cannot appear in WHERE).
+    """
+
+    def __init__(self, function: str, argument: Optional[Expression]):
+        self.function = function.upper()
+        self.argument = argument  # None encodes COUNT(*)
+
+    def bind(self, columns):  # pragma: no cover - defensive
+        raise QueryError(f"aggregate {self.function}() is not allowed in this context")
+
+    def references(self) -> List[str]:
+        return self.argument.references() if self.argument is not None else []
+
+    def __repr__(self) -> str:
+        return f"AggregateExpression({self.function})"
+
+
+class ExistsExpression(Expression):
+    """``[NOT] EXISTS (SELECT ...)`` — rewritten by the analyzer into a
+    semi/anti join against the outer FROM clause."""
+
+    def __init__(self, query: "SelectStatement", negated: bool = False):
+        self.query = query
+        self.negated = negated
+
+    def bind(self, columns):  # pragma: no cover - defensive
+        raise QueryError("EXISTS must be rewritten by the analyzer before execution")
+
+    def __repr__(self) -> str:
+        return f"{'NOT ' if self.negated else ''}EXISTS(...)"
+
+
+# -- FROM items -----------------------------------------------------------------------
+
+
+@dataclass
+class TableName:
+    """A base table reference: ``name [AS alias]``."""
+
+    name: str
+    alias: Optional[str] = None
+
+
+@dataclass
+class SubqueryRef:
+    """A derived table: ``(SELECT ...) alias``."""
+
+    query: "SelectStatement"
+    alias: str
+
+
+@dataclass
+class AlignRef:
+    """``(left ALIGN right ON condition) alias`` — temporal alignment."""
+
+    left: "FromItem"
+    right: "FromItem"
+    condition: Expression
+    alias: str
+
+
+@dataclass
+class NormalizeRef:
+    """``(left NORMALIZE right USING(attrs)) alias`` — temporal normalization."""
+
+    left: "FromItem"
+    right: "FromItem"
+    using: List[str]
+    alias: str
+
+
+@dataclass
+class JoinRef:
+    """Explicit join between two FROM items."""
+
+    left: "FromItem"
+    right: "FromItem"
+    kind: str  # inner, left, right, full, cross
+    condition: Optional[Expression]
+
+
+FromItem = Union[TableName, SubqueryRef, AlignRef, NormalizeRef, JoinRef]
+
+
+# -- statements ------------------------------------------------------------------------
+
+
+@dataclass
+class SelectItem:
+    """One select-list entry: an expression with an optional alias, or ``*``."""
+
+    expression: Optional[Expression]  # None means "*" (or "alias.*" via wildcard)
+    alias: Optional[str] = None
+    wildcard: Optional[str] = None  # table alias for "alias.*", "" for bare "*"
+
+
+@dataclass
+class OrderItem:
+    expression: Expression
+    ascending: bool = True
+
+
+@dataclass
+class CommonTableExpression:
+    name: str
+    query: "SelectStatement"
+
+
+@dataclass
+class SelectStatement:
+    """A full SELECT, possibly with CTEs, set operations and ORDER BY."""
+
+    items: List[SelectItem]
+    from_items: List[FromItem] = field(default_factory=list)
+    where: Optional[Expression] = None
+    group_by: List[Expression] = field(default_factory=list)
+    having: Optional[Expression] = None
+    distinct: bool = False
+    absorb: bool = False
+    order_by: List[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+    ctes: List[CommonTableExpression] = field(default_factory=list)
+    set_operation: Optional[Tuple[str, "SelectStatement"]] = None  # (kind, rhs)

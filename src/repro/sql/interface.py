@@ -1,0 +1,62 @@
+"""The user-facing SQL connection API."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.engine.database import Database
+from repro.engine.optimizer.settings import Settings
+from repro.engine.plan import LogicalPlan
+from repro.engine.table import Table
+from repro.relation.relation import TemporalRelation
+from repro.sql.analyzer import Analyzer
+from repro.sql.parser import parse
+
+
+class Connection:
+    """Parse → analyze → plan → execute SQL against a :class:`Database`.
+
+    >>> from repro.engine import Database
+    >>> db = Database()
+    >>> _ = db.create_table("t", ["x", "ts", "te"])
+    >>> Connection(db).execute("SELECT x FROM t").columns
+    ('x',)
+    """
+
+    def __init__(self, database: Optional[Database] = None):
+        self.database = database if database is not None else Database()
+        self.analyzer = Analyzer(self.database)
+
+    # -- catalog convenience -----------------------------------------------------------
+
+    def register_relation(self, name: str, relation: TemporalRelation) -> None:
+        """Register a temporal relation as a table with ``ts``/``te`` columns."""
+        self.database.register_relation(name, relation)
+
+    def register_table(self, table: Table) -> None:
+        self.database.register_table(table)
+
+    # -- query processing ----------------------------------------------------------------
+
+    def logical_plan(self, sql_text: str) -> LogicalPlan:
+        """Parse and analyze a statement without executing it."""
+        return self.analyzer.analyze(parse(sql_text))
+
+    def explain(self, sql_text: str, settings: Optional[Settings] = None) -> str:
+        """Costed physical plan of a statement (``EXPLAIN``-style)."""
+        return self.database.plan(self.logical_plan(sql_text), settings).explain()
+
+    def execute(self, sql_text: str, settings: Optional[Settings] = None) -> Table:
+        """Run a statement and return the result table."""
+        return self.database.execute(self.logical_plan(sql_text), settings)
+
+    def query_relation(
+        self,
+        sql_text: str,
+        settings: Optional[Settings] = None,
+        start_column: str = "ts",
+        end_column: str = "te",
+    ) -> TemporalRelation:
+        """Run a statement and interpret ``ts``/``te`` output columns as the timestamp."""
+        table = self.execute(sql_text, settings)
+        return table.to_relation(start_column=start_column, end_column=end_column)

@@ -1,0 +1,83 @@
+"""Tokenizer for the SQL dialect.
+
+Produces a flat list of :class:`Token` objects; keywords are recognised
+case-insensitively and normalised to upper case, identifiers keep their
+original spelling (the engine resolves them case-sensitively, like quoted
+identifiers in PostgreSQL).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.relation.errors import SQLSyntaxError
+
+KEYWORDS = {
+    "SELECT", "DISTINCT", "ABSORB", "FROM", "WHERE", "GROUP", "BY", "ORDER",
+    "HAVING", "LIMIT", "AS", "ON", "AND", "OR", "NOT", "BETWEEN", "IS", "NULL",
+    "IN", "EXISTS", "JOIN", "INNER", "LEFT", "RIGHT", "FULL", "OUTER", "CROSS",
+    "UNION", "ALL", "EXCEPT", "INTERSECT", "WITH", "ALIGN", "NORMALIZE",
+    "USING", "ASC", "DESC", "TRUE", "FALSE", "CASE", "WHEN", "THEN", "ELSE",
+    "END",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<space>\s+)
+    | (?P<comment>--[^\n]*)
+    | (?P<number>\d+(\.\d+)?)
+    | (?P<string>'(?:[^']|'')*')
+    | (?P<name>[A-Za-z_][A-Za-z_0-9]*(\.[A-Za-z_][A-Za-z_0-9]*)*)
+    | (?P<op><=|>=|<>|!=|=|<|>|\+|-|\*|/|%|\(|\)|,|\.)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    kind: str  # KEYWORD, NAME, NUMBER, STRING, OP, EOF
+    value: str
+    position: int
+    line: int
+
+    def matches(self, kind: str, value: str | None = None) -> bool:
+        return self.kind == kind and (value is None or self.value == value)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Turn SQL text into tokens, raising :class:`SQLSyntaxError` on bad input."""
+    tokens: List[Token] = []
+    position = 0
+    line = 1
+    length = len(text)
+    while position < length:
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise SQLSyntaxError(
+                f"unexpected character {text[position]!r}", position=position, line=line
+            )
+        line += text[position:match.end()].count("\n")
+        kind = match.lastgroup
+        value = match.group()
+        position = match.end()
+        if kind in ("space", "comment"):
+            continue
+        if kind == "number":
+            tokens.append(Token("NUMBER", value, match.start(), line))
+        elif kind == "string":
+            tokens.append(Token("STRING", value[1:-1].replace("''", "'"), match.start(), line))
+        elif kind == "name":
+            upper = value.upper()
+            if upper in KEYWORDS and "." not in value:
+                tokens.append(Token("KEYWORD", upper, match.start(), line))
+            else:
+                tokens.append(Token("NAME", value, match.start(), line))
+        else:
+            tokens.append(Token("OP", value, match.start(), line))
+    tokens.append(Token("EOF", "", length, line))
+    return tokens

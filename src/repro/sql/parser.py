@@ -1,0 +1,404 @@
+"""Recursive-descent parser for the SQL dialect.
+
+The grammar covers the subset needed for the paper's queries and evaluation:
+``WITH``, ``SELECT [DISTINCT | ABSORB]``, FROM lists with joins and the two
+temporal FROM items (``ALIGN``, ``NORMALIZE ... USING()``), ``WHERE``,
+``GROUP BY`` / ``HAVING``, ``ORDER BY``, ``LIMIT``, the set operations and
+``[NOT] EXISTS`` sub-queries.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.engine.expressions import (
+    And,
+    Arithmetic,
+    Between,
+    Column,
+    Comparison,
+    Expression,
+    FunctionCall,
+    IsNull,
+    Literal,
+    Negate,
+    Not,
+    Or,
+)
+from repro.relation.errors import SQLSyntaxError
+from repro.relation.tuple import NULL
+from repro.sql import ast
+from repro.sql.lexer import Token, tokenize
+
+
+def parse(text: str) -> ast.SelectStatement:
+    """Parse one SELECT statement (the only statement kind of the dialect)."""
+    parser = _Parser(tokenize(text))
+    statement = parser.parse_statement()
+    parser.expect_eof()
+    return statement
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token plumbing -------------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def error(self, message: str) -> SQLSyntaxError:
+        token = self.current
+        return SQLSyntaxError(f"{message} (near {token.value!r})", line=token.line)
+
+    def advance(self) -> Token:
+        token = self.current
+        self.position += 1
+        return token
+
+    def check(self, kind: str, value: Optional[str] = None) -> bool:
+        return self.current.matches(kind, value)
+
+    def check_keyword(self, *keywords: str) -> bool:
+        return self.current.kind == "KEYWORD" and self.current.value in keywords
+
+    def accept(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        if self.check(kind, value):
+            return self.advance()
+        return None
+
+    def accept_keyword(self, *keywords: str) -> Optional[Token]:
+        if self.check_keyword(*keywords):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        token = self.accept(kind, value)
+        if token is None:
+            raise self.error(f"expected {value or kind}")
+        return token
+
+    def expect_keyword(self, keyword: str) -> Token:
+        token = self.accept_keyword(keyword)
+        if token is None:
+            raise self.error(f"expected {keyword}")
+        return token
+
+    def expect_eof(self) -> None:
+        if not self.check("EOF"):
+            raise self.error("unexpected trailing input")
+
+    # -- statements --------------------------------------------------------------------
+
+    def parse_statement(self) -> ast.SelectStatement:
+        ctes: List[ast.CommonTableExpression] = []
+        if self.accept_keyword("WITH"):
+            while True:
+                name = self.expect("NAME").value
+                self.expect_keyword("AS")
+                self.expect("OP", "(")
+                query = self.parse_statement()
+                self.expect("OP", ")")
+                ctes.append(ast.CommonTableExpression(name, query))
+                if not self.accept("OP", ","):
+                    break
+
+        statement = self.parse_select_core()
+        statement.ctes = ctes
+
+        # Set operations chain left-associatively.
+        current = statement
+        while self.check_keyword("UNION", "EXCEPT", "INTERSECT"):
+            keyword = self.advance().value
+            kind = keyword.lower()
+            if keyword == "UNION" and self.accept_keyword("ALL"):
+                kind = "union_all"
+            rhs = self.parse_select_core()
+            current.set_operation = (kind, rhs)
+            current = rhs
+
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            statement.order_by = self.parse_order_list()
+        if self.accept_keyword("LIMIT"):
+            statement.limit = int(self.expect("NUMBER").value)
+        return statement
+
+    def parse_select_core(self) -> ast.SelectStatement:
+        self.expect_keyword("SELECT")
+        distinct = bool(self.accept_keyword("DISTINCT"))
+        absorb = False
+        if not distinct and self.accept_keyword("ABSORB"):
+            absorb = True
+
+        items = [self.parse_select_item()]
+        while self.accept("OP", ","):
+            items.append(self.parse_select_item())
+
+        from_items: List[ast.FromItem] = []
+        if self.accept_keyword("FROM"):
+            from_items.append(self.parse_from_item())
+            while self.accept("OP", ","):
+                from_items.append(self.parse_from_item())
+
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_expression()
+
+        group_by: List[Expression] = []
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by.append(self.parse_expression())
+            while self.accept("OP", ","):
+                group_by.append(self.parse_expression())
+
+        having = None
+        if self.accept_keyword("HAVING"):
+            having = self.parse_expression()
+
+        return ast.SelectStatement(
+            items=items,
+            from_items=from_items,
+            where=where,
+            group_by=group_by,
+            having=having,
+            distinct=distinct,
+            absorb=absorb,
+        )
+
+    def parse_order_list(self) -> List[ast.OrderItem]:
+        items = [self.parse_order_item()]
+        while self.accept("OP", ","):
+            items.append(self.parse_order_item())
+        return items
+
+    def parse_order_item(self) -> ast.OrderItem:
+        expression = self.parse_expression()
+        ascending = True
+        if self.accept_keyword("DESC"):
+            ascending = False
+        else:
+            self.accept_keyword("ASC")
+        return ast.OrderItem(expression, ascending)
+
+    # -- select list -----------------------------------------------------------------------
+
+    def parse_select_item(self) -> ast.SelectItem:
+        if self.check("OP", "*"):
+            self.advance()
+            return ast.SelectItem(expression=None, wildcard="")
+        # "alias.*" arrives as NAME 'alias' OP '.' OP '*'.
+        if (
+            self.check("NAME")
+            and self.tokens[self.position + 1].matches("OP", ".")
+            and self.tokens[self.position + 2].matches("OP", "*")
+        ):
+            alias = self.advance().value
+            self.advance()
+            self.advance()
+            return ast.SelectItem(expression=None, wildcard=alias)
+
+        expression = self.parse_expression()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect("NAME").value
+        elif self.check("NAME"):
+            alias = self.advance().value
+        return ast.SelectItem(expression=expression, alias=alias)
+
+    # -- FROM items --------------------------------------------------------------------------
+
+    def parse_from_item(self) -> ast.FromItem:
+        item = self.parse_primary_from()
+        while True:
+            kind = self._peek_join_kind()
+            if kind is None:
+                return item
+            right = self.parse_primary_from()
+            condition = None
+            if self.accept_keyword("ON"):
+                condition = self.parse_expression()
+            item = ast.JoinRef(item, right, kind, condition)
+
+    def _peek_join_kind(self) -> Optional[str]:
+        if self.accept_keyword("JOIN"):
+            return "inner"
+        for keyword, kind in (("INNER", "inner"), ("LEFT", "left"), ("RIGHT", "right"),
+                              ("FULL", "full"), ("CROSS", "cross")):
+            if self.check_keyword(keyword):
+                self.advance()
+                self.accept_keyword("OUTER")
+                self.expect_keyword("JOIN")
+                return kind
+        return None
+
+    def parse_primary_from(self) -> ast.FromItem:
+        if self.accept("OP", "("):
+            if self.check_keyword("SELECT", "WITH"):
+                query = self.parse_statement()
+                self.expect("OP", ")")
+                alias = self._parse_alias(required=True)
+                return ast.SubqueryRef(query, alias)
+            # Temporal FROM items: (r ALIGN s ON θ) / (r NORMALIZE s USING(...)).
+            left = self.parse_primary_from()
+            if self.accept_keyword("ALIGN"):
+                right = self.parse_primary_from()
+                self.expect_keyword("ON")
+                condition = self.parse_expression()
+                self.expect("OP", ")")
+                alias = self._parse_alias(required=True)
+                return ast.AlignRef(left, right, condition, alias)
+            if self.accept_keyword("NORMALIZE"):
+                right = self.parse_primary_from()
+                self.expect_keyword("USING")
+                self.expect("OP", "(")
+                using: List[str] = []
+                if not self.check("OP", ")"):
+                    using.append(self.expect("NAME").value)
+                    while self.accept("OP", ","):
+                        using.append(self.expect("NAME").value)
+                self.expect("OP", ")")
+                self.expect("OP", ")")
+                alias = self._parse_alias(required=True)
+                return ast.NormalizeRef(left, right, using, alias)
+            # Plain parenthesised FROM item.
+            self.expect("OP", ")")
+            return left
+
+        name = self.expect("NAME").value
+        alias = self._parse_alias(required=False)
+        return ast.TableName(name, alias)
+
+    def _parse_alias(self, required: bool) -> Optional[str]:
+        if self.accept_keyword("AS"):
+            return self.expect("NAME").value
+        if self.check("NAME"):
+            return self.advance().value
+        if required:
+            raise self.error("expected an alias")
+        return None
+
+    # -- expressions ----------------------------------------------------------------------------
+
+    def parse_expression(self) -> Expression:
+        return self.parse_or()
+
+    def parse_or(self) -> Expression:
+        left = self.parse_and()
+        while self.accept_keyword("OR"):
+            left = Or(left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Expression:
+        left = self.parse_not()
+        while self.accept_keyword("AND"):
+            left = And(left, self.parse_not())
+        return left
+
+    def parse_not(self) -> Expression:
+        if self.accept_keyword("NOT"):
+            return Not(self.parse_not())
+        return self.parse_predicate()
+
+    def parse_predicate(self) -> Expression:
+        if self.check_keyword("EXISTS"):
+            self.advance()
+            self.expect("OP", "(")
+            query = self.parse_statement()
+            self.expect("OP", ")")
+            return ast.ExistsExpression(query, negated=False)
+
+        left = self.parse_additive()
+
+        if self.check("OP") and self.current.value in ("=", "<>", "!=", "<", "<=", ">", ">="):
+            operator = self.advance().value
+            return Comparison(operator, left, self.parse_additive())
+
+        if self.check_keyword("BETWEEN", "NOT"):
+            negated = False
+            if self.check_keyword("NOT"):
+                # "x NOT BETWEEN a AND b"
+                if not self.tokens[self.position + 1].matches("KEYWORD", "BETWEEN"):
+                    return left
+                self.advance()
+                negated = True
+            if self.accept_keyword("BETWEEN"):
+                low = self.parse_additive()
+                self.expect_keyword("AND")
+                high = self.parse_additive()
+                predicate: Expression = Between(left, low, high)
+                return Not(predicate) if negated else predicate
+
+        if self.accept_keyword("IS"):
+            negated = bool(self.accept_keyword("NOT"))
+            self.expect_keyword("NULL")
+            return IsNull(left, negated=negated)
+
+        return left
+
+    def parse_additive(self) -> Expression:
+        left = self.parse_multiplicative()
+        while self.check("OP") and self.current.value in ("+", "-"):
+            operator = self.advance().value
+            left = Arithmetic(operator, left, self.parse_multiplicative())
+        return left
+
+    def parse_multiplicative(self) -> Expression:
+        left = self.parse_unary()
+        while self.check("OP") and self.current.value in ("*", "/", "%"):
+            operator = self.advance().value
+            left = Arithmetic(operator, left, self.parse_unary())
+        return left
+
+    def parse_unary(self) -> Expression:
+        if self.check("OP", "-"):
+            self.advance()
+            return Negate(self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expression:
+        if self.check("NUMBER"):
+            raw = self.advance().value
+            return Literal(float(raw) if "." in raw else int(raw))
+        if self.check("STRING"):
+            return Literal(self.advance().value)
+        if self.accept_keyword("NULL"):
+            return Literal(NULL)
+        if self.accept_keyword("TRUE"):
+            return Literal(True)
+        if self.accept_keyword("FALSE"):
+            return Literal(False)
+        if self.accept("OP", "("):
+            if self.check_keyword("SELECT", "WITH"):
+                raise self.error("scalar sub-queries are not supported")
+            expression = self.parse_expression()
+            self.expect("OP", ")")
+            return expression
+        if self.check("NAME"):
+            name = self.advance().value
+            if self.check("OP", "("):
+                return self.parse_call(name)
+            return Column(name)
+        raise self.error("expected an expression")
+
+    def parse_call(self, name: str) -> Expression:
+        self.expect("OP", "(")
+        upper = name.upper()
+        if upper in ast.AGGREGATE_FUNCTIONS:
+            if self.accept("OP", "*"):
+                self.expect("OP", ")")
+                return ast.AggregateExpression(upper, None)
+            argument = self.parse_expression()
+            self.expect("OP", ")")
+            return ast.AggregateExpression(upper, argument)
+
+        arguments: List[Expression] = []
+        if not self.check("OP", ")"):
+            arguments.append(self.parse_expression())
+            while self.accept("OP", ","):
+                arguments.append(self.parse_expression())
+        self.expect("OP", ")")
+        return FunctionCall(name, arguments)

@@ -1,0 +1,21 @@
+"""Workload generators and sample datasets used by examples, tests and benchmarks."""
+
+from repro.workloads.hotel import hotel_prices, hotel_reservations
+from repro.workloads.incumben import IncumbenConfig, generate_incumben
+from repro.workloads.synthetic import (
+    SyntheticConfig,
+    generate_disjoint,
+    generate_equal,
+    generate_random,
+)
+
+__all__ = [
+    "hotel_reservations",
+    "hotel_prices",
+    "IncumbenConfig",
+    "generate_incumben",
+    "SyntheticConfig",
+    "generate_disjoint",
+    "generate_equal",
+    "generate_random",
+]

@@ -1,0 +1,95 @@
+"""The paper's running example (Fig. 1): hotel reservations and room prices.
+
+Relation ``R`` records reservations (guest name ``n`` and validity period);
+relation ``P`` records price categories (daily price ``a``, minimum and
+maximum stay ``min``/``max`` in months, and validity period).  Timestamps are
+months on the :class:`~repro.temporal.timeline.MonthTimeline` anchored at
+2012, matching the figures in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.relation.relation import TemporalRelation
+from repro.relation.schema import Schema
+from repro.temporal.timeline import MonthTimeline
+
+#: The timeline all hotel intervals are expressed on.
+HOTEL_TIMELINE = MonthTimeline(2012)
+
+
+def hotel_reservations() -> TemporalRelation:
+    """Relation ``R`` of Fig. 1(a): three reservations, two guests.
+
+    ======  =========================
+    n       T
+    ======  =========================
+    Ann     [2012/1, 2012/8)
+    Joe     [2012/2, 2012/6)
+    Ann     [2012/8, 2012/12)
+    ======  =========================
+    """
+    months = HOTEL_TIMELINE
+    relation = TemporalRelation(Schema(["n"]), enforce_duplicate_free=True)
+    relation.insert(("Ann",), months.interval("2012/1", "2012/8"))
+    relation.insert(("Joe",), months.interval("2012/2", "2012/6"))
+    relation.insert(("Ann",), months.interval("2012/8", "2012/12"))
+    return relation
+
+
+def hotel_prices() -> TemporalRelation:
+    """Relation ``P`` of Fig. 1(a): five price-category tuples.
+
+    ======  =====  =====  =========================
+    a       min    max    T
+    ======  =====  =====  =========================
+    50      1      2      [2012/1, 2012/6)
+    40      3      7      [2012/1, 2012/6)
+    30      8      12     [2012/1, 2013/1)
+    50      1      2      [2012/10, 2013/1)
+    40      3      7      [2012/10, 2013/1)
+    ======  =====  =====  =========================
+    """
+    months = HOTEL_TIMELINE
+    relation = TemporalRelation(Schema(["a", "min", "max"]), enforce_duplicate_free=True)
+    relation.insert((50, 1, 2), months.interval("2012/1", "2012/6"))
+    relation.insert((40, 3, 7), months.interval("2012/1", "2012/6"))
+    relation.insert((30, 8, 12), months.interval("2012/1", "2013/1"))
+    relation.insert((50, 1, 2), months.interval("2012/10", "2013/1"))
+    relation.insert((40, 3, 7), months.interval("2012/10", "2013/1"))
+    return relation
+
+
+def expected_q1_result() -> TemporalRelation:
+    """The result of query Q1 shown in Fig. 1(b).
+
+    ``Q1 = R ⟕^T_{Min ≤ DUR(R.T) ≤ Max} P`` — the temporal left outer join
+    pairing each reservation with the applicable fixed-price category and
+    leaving the periods that must be negotiated padded with ``ω``.
+    The relation below lists the expected ``(n, a, min, max)`` values;
+    ``None`` stands for ``ω``.
+    """
+    from repro.relation.tuple import NULL
+
+    months = HOTEL_TIMELINE
+    relation = TemporalRelation(Schema(["n", "a", "min", "max"]))
+    relation.insert(("Ann", 40, 3, 7), months.interval("2012/1", "2012/6"))
+    relation.insert(("Joe", 40, 3, 7), months.interval("2012/2", "2012/6"))
+    relation.insert(("Ann", NULL, NULL, NULL), months.interval("2012/6", "2012/8"))
+    relation.insert(("Ann", NULL, NULL, NULL), months.interval("2012/8", "2012/10"))
+    relation.insert(("Ann", 40, 3, 7), months.interval("2012/10", "2012/12"))
+    return relation
+
+
+def expected_q2_result() -> TemporalRelation:
+    """The result of query Q2 shown in Fig. 7.
+
+    ``Q2 = ϑ^T_{AVG(DUR(R.T))}(R)`` — the average reservation duration at
+    each point in time.
+    """
+    months = HOTEL_TIMELINE
+    relation = TemporalRelation(Schema(["avg_dur"]))
+    relation.insert((7.0,), months.interval("2012/1", "2012/2"))
+    relation.insert((5.5,), months.interval("2012/2", "2012/6"))
+    relation.insert((7.0,), months.interval("2012/6", "2012/8"))
+    relation.insert((4.0,), months.interval("2012/8", "2012/12"))
+    return relation

@@ -1,0 +1,153 @@
+"""Baselines agree with the sequenced algebra; workload generators match their specs."""
+
+import pytest
+
+from repro import predicates
+from repro.baselines import fold, sql_normalize_outer_join, sql_outer_join, unfold, unfold_fold_join
+from repro.baselines.sql_outer_join import ProbeStatistics
+from repro.core import reduction
+from repro.relation.schema import Schema
+from repro.temporal.interval import Interval
+from repro.workloads.hotel import expected_q1_result, hotel_prices, hotel_reservations
+from repro.workloads.incumben import IncumbenConfig, generate_incumben
+from repro.workloads.synthetic import (
+    SyntheticConfig,
+    generate_disjoint,
+    generate_equal,
+    generate_random,
+)
+
+
+class TestSqlOuterJoinBaseline:
+    def test_matches_alignment_on_the_running_example(self):
+        from repro.core import adjusted_ops
+
+        extended = hotel_reservations().extend("U")
+        theta = predicates.duration_between("U", "min", "max")
+        baseline = sql_outer_join(extended, hotel_prices(), theta, kind="left")
+        projected = adjusted_ops.project(baseline, ["n", "a", "min", "max"])
+        assert projected == expected_q1_result()
+
+    @pytest.mark.parametrize("kind", ["left", "full"])
+    def test_matches_reduction_on_random_data(self, kind):
+        left, right = generate_random(config=SyntheticConfig(size=80, categories=10, seed=9))
+        theta = predicates.attr_eq("cat")
+        align = getattr(reduction, f"temporal_{kind}_outer_join")(
+            left, right, theta, left_equi_attributes=["cat"], right_equi_attributes=["cat"]
+        )
+        baseline = sql_outer_join(left, right, theta, kind=kind, equi_attributes=["cat"])
+        assert align.as_set() == baseline.as_set()
+
+    def test_matches_reduction_without_equality(self):
+        left, right = generate_random(config=SyntheticConfig(size=50, categories=5, seed=10))
+        align = reduction.temporal_left_outer_join(left, right, None)
+        baseline = sql_outer_join(left, right, None, kind="left")
+        assert align.as_set() == baseline.as_set()
+
+    def test_probe_statistics_reflect_dataset_shape(self):
+        config = SyntheticConfig(size=80, categories=5, seed=3)
+        disjoint_left, disjoint_right = generate_disjoint(config=config)
+        equal_left, equal_right = generate_equal(config=SyntheticConfig(size=80, seed=3))
+
+        disjoint_stats = ProbeStatistics()
+        sql_outer_join(disjoint_left, disjoint_right, None, kind="left",
+                       statistics=disjoint_stats)
+        equal_stats = ProbeStatistics()
+        sql_outer_join(equal_left, equal_right, None, kind="left", statistics=equal_stats)
+
+        # On disjoint data every NOT EXISTS probe scans the whole relation;
+        # on equal data it stops at the first tuple (the paper's Fig. 15(a)/(b)).
+        assert disjoint_stats.scanned_tuples / max(1, disjoint_stats.not_exists_probes) > \
+            5 * equal_stats.scanned_tuples / max(1, equal_stats.not_exists_probes)
+
+    def test_rejects_unsupported_kind(self):
+        left, right = generate_random(config=SyntheticConfig(size=10, seed=1))
+        with pytest.raises(ValueError):
+            sql_outer_join(left, right, None, kind="inner")
+
+
+class TestSqlNormalizeBaseline:
+    @pytest.mark.parametrize("kind", ["left", "full"])
+    def test_matches_reduction(self, kind):
+        left, right = generate_random(config=SyntheticConfig(size=80, categories=10, seed=12))
+        theta = predicates.attr_eq("cat")
+        align = getattr(reduction, f"temporal_{kind}_outer_join")(
+            left, right, theta, left_equi_attributes=["cat"], right_equi_attributes=["cat"]
+        )
+        baseline = sql_normalize_outer_join(left, right, theta, kind=kind,
+                                            equi_attributes=["cat"])
+        assert align.as_set() == baseline.as_set()
+
+    def test_self_join_has_no_dangling_tuples(self):
+        relation = generate_incumben(config=IncumbenConfig(size=120, seed=4))
+        result = sql_normalize_outer_join(relation, relation, predicates.attr_eq("pcn"),
+                                          kind="full", equi_attributes=["pcn"])
+        from repro.relation.tuple import is_null
+
+        assert not any(is_null(t.values[0]) or is_null(t.values[2]) for t in result)
+
+    def test_rejects_unsupported_kind(self):
+        left, right = generate_random(config=SyntheticConfig(size=10, seed=1))
+        with pytest.raises(ValueError):
+            sql_normalize_outer_join(left, right, None, kind="anti")
+
+
+class TestFoldUnfold:
+    def test_unfold_fold_roundtrip_coalesces(self, make):
+        relation = make(["v"], [("a", 0, 3), ("a", 3, 6), ("b", 1, 2)])
+        folded = fold(relation.schema, unfold(relation))
+        # Fold coalesces the two adjacent "a" tuples — lineage is lost.
+        assert folded.as_set() == {(("a",), Interval(0, 6)), (("b",), Interval(1, 2))}
+
+    def test_join_agrees_on_snapshots_but_coalesces(self, make):
+        left = make(["v"], [("a", 0, 4), ("a", 4, 8)])
+        right = make(["w"], [("x", 0, 8)])
+        aligned = reduction.temporal_join(left, right, None)
+        pointwise = unfold_fold_join(left, right, None)
+        # Same snapshots ...
+        for t in range(0, 9):
+            assert aligned.timeslice(t) == pointwise.timeslice(t)
+        # ... but fold/unfold merges the two change-preserving tuples into one.
+        assert len(aligned) == 2
+        assert len(pointwise) == 1
+
+
+class TestWorkloads:
+    def test_hotel_matches_figure_1(self):
+        assert len(hotel_reservations()) == 3
+        assert len(hotel_prices()) == 5
+        assert hotel_reservations().is_duplicate_free()
+        assert hotel_prices().is_duplicate_free()
+
+    def test_incumben_statistics(self):
+        config = IncumbenConfig(size=500, seed=6)
+        relation = generate_incumben(config=config)
+        assert len(relation) == 500
+        durations = [t.interval.duration() for t in relation]
+        assert min(durations) >= config.min_duration
+        assert max(durations) <= config.max_duration
+        assert 60 <= sum(durations) / len(durations) <= 400  # mean near 180
+        employees = {t.value("ssn") for t in relation}
+        assert 0.3 * len(relation) <= len(employees) <= 0.9 * len(relation)
+
+    def test_incumben_deterministic(self):
+        a = generate_incumben(size=100)
+        b = generate_incumben(size=100)
+        assert a.as_set() == b.as_set()
+
+    def test_disjoint_dataset_has_no_overlaps(self):
+        left, right = generate_disjoint(size=50)
+        everything = left.tuples() + right.tuples()
+        ordered = sorted(everything, key=lambda t: t.start)
+        for a, b in zip(ordered, ordered[1:]):
+            assert not a.interval.overlaps(b.interval)
+
+    def test_equal_dataset_shares_one_interval(self):
+        left, right = generate_equal(size=20)
+        intervals = {t.interval for t in left} | {t.interval for t in right}
+        assert len(intervals) == 1
+
+    def test_random_dataset_shape(self):
+        left, right = generate_random(size=40)
+        assert len(left) == 40 and len(right) == 40
+        assert left.schema.attribute_names == ("cat", "min_dur", "max_dur")

@@ -1,0 +1,80 @@
+"""Shared fixtures of the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Interval, Schema, TemporalAlgebra, TemporalRelation
+from repro.workloads.hotel import hotel_prices, hotel_reservations
+from repro.workloads.synthetic import SyntheticConfig, generate_random
+
+
+@pytest.fixture
+def reservations():
+    """Relation R of the running example (Fig. 1)."""
+    return hotel_reservations()
+
+
+@pytest.fixture
+def prices():
+    """Relation P of the running example (Fig. 1)."""
+    return hotel_prices()
+
+
+@pytest.fixture
+def algebra():
+    return TemporalAlgebra()
+
+
+@pytest.fixture
+def small_pair():
+    """A small pair of random relations with schema (cat, min_dur, max_dur)."""
+    return generate_random(config=SyntheticConfig(size=60, categories=8, seed=123))
+
+
+def make_relation(attributes, rows, timestamp="T"):
+    """Build a relation from ``(values..., start, end)`` rows."""
+    schema = Schema(list(attributes), timestamp=timestamp)
+    relation = TemporalRelation(schema)
+    for row in rows:
+        *values, start, end = row
+        relation.insert(tuple(values), Interval(start, end))
+    return relation
+
+
+def random_relation(attributes, size, seed, value_pool=3, span=40, max_length=10):
+    """Small random *duplicate-free* relation for exhaustive cross-check tests.
+
+    The paper's data model assumes set-based, duplicate-free relations
+    (Sec. 3.1): no two tuples may be value-equivalent over a common time
+    point.  Candidate tuples violating the assumption are skipped, so the
+    produced relation may contain slightly fewer than ``size`` tuples.
+    """
+    rng = random.Random(seed)
+    schema = Schema(list(attributes))
+    relation = TemporalRelation(schema)
+    inserted = []
+    for _ in range(size):
+        values = tuple(f"v{rng.randrange(value_pool)}" for _ in attributes)
+        start = rng.randrange(span)
+        interval = Interval(start, start + 1 + rng.randrange(max_length))
+        if any(values == other_values and interval.overlaps(other_interval)
+               for other_values, other_interval in inserted):
+            continue
+        inserted.append((values, interval))
+        relation.insert(values, interval)
+    return relation
+
+
+@pytest.fixture
+def make():
+    """Expose :func:`make_relation` as a fixture for terse test bodies."""
+    return make_relation
+
+
+@pytest.fixture
+def randrel():
+    """Expose :func:`random_relation` as a fixture."""
+    return random_relation

@@ -1,0 +1,151 @@
+"""Nontemporal operators over adjusted relations, aggregates, and the facade."""
+
+import pytest
+
+from repro import NULL, Interval, Schema, TemporalAlgebra, TemporalRelation, avg, count, predicates
+from repro.core import adjusted_ops
+from repro.core.aggregates import AggregateSpec, duration_of, max_, min_, sum_
+from repro.relation.errors import DuplicateTupleError, SchemaError
+
+
+@pytest.fixture
+def adjusted(make):
+    return make(["v"], [("a", 0, 5), ("a", 5, 9), ("b", 0, 5)])
+
+
+class TestAdjustedOps:
+    def test_select(self, adjusted):
+        assert len(adjusted_ops.select(adjusted, lambda t: t.value("v") == "a")) == 2
+
+    def test_project_deduplicates_on_values_and_timestamp(self, make):
+        relation = make(["v", "w"], [("a", 1, 0, 5), ("a", 2, 0, 5), ("a", 1, 5, 9)])
+        result = adjusted_ops.project(relation, ["v"])
+        assert result.as_set() == {(("a",), Interval(0, 5)), (("a",), Interval(5, 9))}
+
+    def test_aggregate_groups_on_values_and_timestamp(self, make):
+        relation = make(["v"], [("a", 0, 5), ("a", 0, 5), ("b", 0, 5)])
+        result = adjusted_ops.aggregate(relation, ["v"], [count(name="cnt")])
+        counts = {t.values[0]: t.value("cnt") for t in result}
+        assert counts == {"a": 2, "b": 1}
+
+    def test_aggregate_requires_functions(self, adjusted):
+        with pytest.raises(SchemaError):
+            adjusted_ops.aggregate(adjusted, ["v"], [])
+
+    def test_set_operations(self, make):
+        left = make(["v"], [("a", 0, 5), ("b", 0, 5)])
+        right = make(["v"], [("a", 0, 5), ("c", 0, 5)])
+        assert len(adjusted_ops.union(left, right)) == 3
+        assert adjusted_ops.difference(left, right).as_set() == {(("b",), Interval(0, 5))}
+        assert adjusted_ops.intersection(left, right).as_set() == {(("a",), Interval(0, 5))}
+
+    def test_set_operations_check_compatibility(self, make):
+        left = make(["v"], [("a", 0, 5)])
+        right = make(["w"], [("a", 0, 5)])
+        with pytest.raises(SchemaError):
+            adjusted_ops.union(left, right)
+
+    def test_join_requires_equal_timestamps(self, make):
+        left = make(["v"], [("a", 0, 5)])
+        right = make(["w"], [("x", 0, 5), ("y", 0, 6)])
+        result = adjusted_ops.join(left, right, None, kind="inner")
+        assert result.as_set() == {(("a", "x"), Interval(0, 5))}
+
+    def test_outer_join_pads_with_null(self, make):
+        left = make(["v"], [("a", 0, 5)])
+        right = make(["w"], [("x", 5, 9)])
+        left_result = adjusted_ops.join(left, right, None, kind="left")
+        assert left_result.as_set() == {(("a", NULL), Interval(0, 5))}
+        full_result = adjusted_ops.join(left, right, None, kind="full")
+        assert ((NULL, "x"), Interval(5, 9)) in full_result.as_set()
+
+    def test_antijoin(self, make):
+        left = make(["v"], [("a", 0, 5), ("b", 5, 9)])
+        right = make(["w"], [("x", 0, 5)])
+        result = adjusted_ops.join(left, right, None, kind="anti")
+        assert result.as_set() == {(("b",), Interval(5, 9))}
+
+    def test_unknown_join_kind(self, make):
+        left = make(["v"], [("a", 0, 5)])
+        with pytest.raises(ValueError):
+            adjusted_ops.join(left, left, None, kind="weird")
+
+
+class TestAggregates:
+    def test_standard_aggregates(self, make):
+        relation = make(["x"], [(1, 0, 5), (2, 0, 5), (3, 0, 5)])
+        tuples = relation.tuples()
+        assert avg("x").evaluate(tuples) == 2
+        assert sum_("x").evaluate(tuples) == 6
+        assert count("x").evaluate(tuples) == 3
+        assert count().evaluate(tuples) == 3
+        assert min_("x").evaluate(tuples) == 1
+        assert max_("x").evaluate(tuples) == 3
+
+    def test_null_handling(self, make):
+        relation = make(["x"], [(1, 0, 5), (NULL, 0, 5)])
+        tuples = relation.tuples()
+        assert avg("x").evaluate(tuples) == 1
+        assert count("x").evaluate(tuples) == 1
+        assert count().evaluate(tuples) == 2
+
+    def test_empty_group(self):
+        assert avg("x").evaluate([]) is None
+        assert sum_("x").evaluate([]) is None
+        assert count("x").evaluate([]) == 0
+
+    def test_duration_extractor(self, make):
+        relation = make(["x"], [(1, 0, 5)]).extend("U")
+        assert duration_of("U")(relation.tuples()[0]) == 5
+
+    def test_duration_extractor_type_error(self, make):
+        relation = make(["x"], [(1, 0, 5)])
+        with pytest.raises(TypeError):
+            duration_of("x")(relation.tuples()[0])
+
+    def test_custom_aggregate_over_tuples(self, make):
+        spec = AggregateSpec("spread", lambda ts: max(t.end for t in ts) - min(t.start for t in ts),
+                             source=None)
+        relation = make(["x"], [(1, 0, 5), (2, 3, 9)])
+        assert spec.evaluate(relation.tuples()) == 9
+
+
+class TestTemporalAlgebraFacade:
+    def test_operator_surface(self, algebra, reservations, prices):
+        assert len(algebra.selection(reservations, lambda t: True)) == 3
+        assert len(algebra.projection(reservations, ["n"])) == 3
+        assert len(algebra.union(reservations, reservations)) == 3
+        assert len(algebra.difference(reservations, reservations)) == 0
+        assert len(algebra.intersection(reservations, reservations)) == 3
+        assert len(algebra.cartesian_product(reservations, prices)) > 0
+        assert len(algebra.normalize(reservations, reservations, ["n"])) == 3
+        assert len(algebra.align(prices, reservations)) >= len(prices)
+        assert len(algebra.absorb(reservations)) == 3
+        assert algebra.extend(reservations).schema.attribute_names == ("n", "U")
+
+    def test_join_family_surface(self, algebra, reservations, prices):
+        theta = predicates.true()
+        inner = algebra.join(reservations, prices, theta)
+        louter = algebra.left_outer_join(reservations, prices, theta)
+        router = algebra.right_outer_join(reservations, prices, theta)
+        fouter = algebra.full_outer_join(reservations, prices, theta)
+        anti = algebra.antijoin(reservations, prices, theta)
+        assert len(louter) >= len(inner)
+        assert len(fouter) >= len(louter)
+        assert len(router) >= len(inner)
+        assert len(anti) == 0  # prices cover the whole year
+
+    def test_input_validation(self):
+        schema = Schema(["v"])
+        bad = TemporalRelation(schema)
+        bad.insert(("a",), Interval(0, 5))
+        bad.insert(("a",), Interval(3, 8))
+        strict = TemporalAlgebra(validate_inputs=True)
+        with pytest.raises(DuplicateTupleError):
+            strict.union(bad, bad)
+        relaxed = TemporalAlgebra()
+        assert len(relaxed.union(bad, bad)) > 0
+
+    def test_aggregate_through_facade(self, algebra, reservations):
+        result = algebra.aggregate(reservations, ["n"], [count(name="cnt")])
+        assert {t.value("cnt") for t in result} == {1}

@@ -1,0 +1,145 @@
+"""Unit tests for the definitional primitives: split, align, absorb, extend."""
+
+import pytest
+
+from repro.core.primitives import absorb, align_tuple, extend, split_tuple
+from repro.relation.relation import TemporalRelation
+from repro.relation.schema import Schema
+from repro.temporal.interval import Interval
+
+
+class TestSplitTuple:
+    """Def. 8 — the temporal splitter on a single interval."""
+
+    def test_paper_figure_2a(self):
+        # r = [2012/1, 2012/8), g1 = [2012/2, 2012/5), g2 = [2012/4, 2012/7)
+        # Fig. 2(a) shows four result intervals T1..T4.
+        pieces = split_tuple(Interval(0, 7), [Interval(1, 4), Interval(3, 6)])
+        assert pieces == [Interval(0, 1), Interval(1, 3), Interval(3, 4),
+                          Interval(4, 6), Interval(6, 7)]
+
+    def test_no_group_returns_tuple_interval(self):
+        assert split_tuple(Interval(2, 9), []) == [Interval(2, 9)]
+
+    def test_group_outside_does_not_split(self):
+        assert split_tuple(Interval(2, 9), [Interval(10, 12)]) == [Interval(2, 9)]
+
+    def test_contained_group_member(self):
+        assert split_tuple(Interval(0, 10), [Interval(2, 4)]) == [
+            Interval(0, 2), Interval(2, 4), Interval(4, 10)
+        ]
+
+    def test_result_is_partition(self):
+        pieces = split_tuple(Interval(0, 20), [Interval(3, 8), Interval(5, 25), Interval(-5, 2)])
+        assert sum(p.duration() for p in pieces) == 20
+        for a, b in zip(pieces, pieces[1:]):
+            assert a.end == b.start
+
+    def test_pieces_contained_or_disjoint_from_group(self):
+        group = [Interval(3, 8), Interval(6, 14)]
+        for piece in split_tuple(Interval(0, 20), group):
+            for g in group:
+                assert not piece.overlaps(g) or g.contains_interval(piece)
+
+    def test_empty_interval(self):
+        assert split_tuple(Interval(5, 5), [Interval(0, 10)]) == []
+
+
+class TestAlignTuple:
+    """Def. 10 — the temporal aligner on a single interval."""
+
+    def test_paper_figure_2b(self):
+        # Fig. 2(b): r = [1,7); g1, g2 overlap it; result is two intersections
+        # plus one non-covered tail.
+        pieces = align_tuple(Interval(0, 7), [Interval(1, 4), Interval(3, 6)])
+        assert set(pieces) == {Interval(0, 1), Interval(1, 4), Interval(3, 6), Interval(6, 7)}
+
+    def test_no_group_returns_tuple_interval(self):
+        assert align_tuple(Interval(2, 9), []) == [Interval(2, 9)]
+
+    def test_intersections_and_gaps(self):
+        pieces = align_tuple(Interval(1, 7), [Interval(2, 5), Interval(3, 4)])
+        assert set(pieces) == {Interval(1, 2), Interval(2, 5), Interval(3, 4), Interval(5, 7)}
+
+    def test_duplicate_intersections_collapse(self):
+        pieces = align_tuple(Interval(1, 7), [Interval(2, 5), Interval(2, 5)])
+        assert pieces.count(Interval(2, 5)) == 1
+
+    def test_covering_group_leaves_no_gap(self):
+        pieces = align_tuple(Interval(2, 6), [Interval(0, 10)])
+        assert pieces == [Interval(2, 6)]
+
+    def test_lemma1_base_case_figure_5(self):
+        # One r tuple and two s tuples produce at most 2*2 + 1 = 5 pieces.
+        pieces = align_tuple(Interval(0, 12), [Interval(2, 4), Interval(7, 9)])
+        assert len(pieces) == 5
+        assert set(pieces) == {
+            Interval(0, 2), Interval(2, 4), Interval(4, 7), Interval(7, 9), Interval(9, 12)
+        }
+
+    def test_empty_interval(self):
+        assert align_tuple(Interval(5, 5), [Interval(0, 10)]) == []
+
+
+class TestAbsorb:
+    """Def. 12 — the absorb operator removes temporally covered duplicates."""
+
+    def _relation(self, rows):
+        relation = TemporalRelation(Schema(["v"]))
+        for value, start, end in rows:
+            relation.insert((value,), Interval(start, end))
+        return relation
+
+    def test_paper_example_9(self):
+        # (a, c) over [1,9) absorbs (a, c) over [3,7).
+        relation = TemporalRelation(Schema(["a", "c"]))
+        relation.insert(("a", "c"), Interval(1, 9))
+        relation.insert(("a", "c"), Interval(3, 7))
+        relation.insert(("a", "d"), Interval(3, 7))
+        relation.insert(("b", "c"), Interval(3, 7))
+        relation.insert(("b", "d"), Interval(3, 7))
+        result = absorb(relation)
+        assert len(result) == 4
+        assert (("a", "c"), Interval(3, 7)) not in result.as_set()
+        assert (("a", "c"), Interval(1, 9)) in result.as_set()
+
+    def test_identical_duplicates_collapse(self):
+        result = absorb(self._relation([("x", 1, 5), ("x", 1, 5)]))
+        assert len(result) == 1
+
+    def test_equal_start_longer_wins(self):
+        result = absorb(self._relation([("x", 1, 5), ("x", 1, 9)]))
+        assert result.as_set() == {(("x",), Interval(1, 9))}
+
+    def test_equal_end_earlier_start_wins(self):
+        result = absorb(self._relation([("x", 3, 9), ("x", 1, 9)]))
+        assert result.as_set() == {(("x",), Interval(1, 9))}
+
+    def test_overlapping_but_not_contained_both_kept(self):
+        result = absorb(self._relation([("x", 1, 6), ("x", 4, 9)]))
+        assert len(result) == 2
+
+    def test_different_values_do_not_interact(self):
+        result = absorb(self._relation([("x", 1, 9), ("y", 3, 5)]))
+        assert len(result) == 2
+
+    def test_chain_of_containment(self):
+        result = absorb(self._relation([("x", 2, 3), ("x", 1, 5), ("x", 0, 9)]))
+        assert result.as_set() == {(("x",), Interval(0, 9))}
+
+
+class TestExtend:
+    """Def. 3 — timestamp propagation."""
+
+    def test_adds_interval_attribute(self):
+        relation = TemporalRelation(Schema(["n"]))
+        relation.insert(("Ann",), Interval(0, 7))
+        extended = extend(relation, "U")
+        tuple_ = extended.tuples()[0]
+        assert tuple_.value("U") == Interval(0, 7)
+        assert tuple_.interval == Interval(0, 7)
+
+    def test_custom_attribute_name(self):
+        relation = TemporalRelation(Schema(["n"]))
+        relation.insert(("Ann",), Interval(0, 7))
+        assert extend(relation, "orig").schema.attribute_names == ("n", "orig")

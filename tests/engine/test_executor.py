@@ -1,0 +1,232 @@
+"""Physical operators: scans, filters, joins, aggregation, set ops, absorb, limit."""
+
+import pytest
+
+from repro.engine.executor import (
+    AbsorbNode,
+    DistinctNode,
+    FilterNode,
+    HashAggregateNode,
+    HashJoinNode,
+    LimitNode,
+    MergeJoinNode,
+    NestedLoopJoinNode,
+    ProjectNode,
+    RelabelNode,
+    SeqScanNode,
+    SetOpNode,
+    SortNode,
+    ValuesNode,
+)
+from repro.engine.expressions import Column, Comparison, IndexColumn, Literal
+from repro.engine.plan import AggregateCall
+from repro.engine.table import Table
+from repro.relation.errors import PlanError
+from repro.relation.tuple import NULL
+
+
+def values(columns, rows):
+    return ValuesNode(columns, rows)
+
+
+LEFT = [("a", 1), ("b", 2), ("c", 3)]
+RIGHT = [("a", 10), ("a", 11), ("d", 12)]
+
+
+@pytest.fixture
+def left():
+    return values(["k", "x"], LEFT)
+
+
+@pytest.fixture
+def right():
+    return values(["k2", "y"], RIGHT)
+
+
+class TestBasicNodes:
+    def test_seq_scan_with_alias(self):
+        table = Table("t", ["a"], [(1,), (2,)])
+        node = SeqScanNode(table, alias="r")
+        assert node.columns == ["r.a"]
+        assert node.execute() == [(1,), (2,)]
+
+    def test_relabel(self, left):
+        node = RelabelNode(left, ["a", "b"])
+        assert node.columns == ["a", "b"]
+        assert node.execute() == LEFT
+        with pytest.raises(PlanError):
+            RelabelNode(left, ["only_one"])
+
+    def test_filter(self, left):
+        node = FilterNode(left, Comparison(">", Column("x"), Literal(1)))
+        assert node.execute() == [("b", 2), ("c", 3)]
+
+    def test_project(self, left):
+        node = ProjectNode(left, [(Column("x"), "doubled")])
+        assert node.columns == ["doubled"]
+        assert node.execute() == [(1,), (2,), (3,)]
+
+    def test_sort_ascending_descending(self, left):
+        ascending = SortNode(left, [(Column("x"), True)]).execute()
+        descending = SortNode(left, [(Column("x"), False)]).execute()
+        assert [r[1] for r in ascending] == [1, 2, 3]
+        assert [r[1] for r in descending] == [3, 2, 1]
+
+    def test_sort_nulls_first(self):
+        node = SortNode(values(["x"], [(2,), (NULL,), (1,)]), [(Column("x"), True)])
+        assert node.execute()[0] == (NULL,)
+
+    def test_limit(self, left):
+        assert LimitNode(left, 2).execute() == LEFT[:2]
+        assert LimitNode(left, 0).execute() == []
+
+    def test_distinct(self):
+        node = DistinctNode(values(["x"], [(1,), (1,), (2,)]))
+        assert node.execute() == [(1,), (2,)]
+
+    def test_explain_contains_estimates(self, left):
+        node = FilterNode(left, Comparison(">", Column("x"), Literal(1)))
+        assert "Filter" in node.explain()
+
+
+class TestJoins:
+    CONDITION = Comparison("=", Column("k"), Column("k2"))
+    KEYS = [(0, 0)]
+
+    def build(self, strategy, kind, left, right, condition=CONDITION, keys=KEYS):
+        if strategy == "nestloop":
+            return NestedLoopJoinNode(left, right, kind, condition)
+        if strategy == "hash":
+            return HashJoinNode(left, right, kind, condition, keys)
+        return MergeJoinNode(left, right, kind, condition, keys)
+
+    @pytest.mark.parametrize("strategy", ["nestloop", "hash", "merge"])
+    def test_inner_join(self, strategy, left, right):
+        result = set(self.build(strategy, "inner", left, right).execute())
+        assert result == {("a", 1, "a", 10), ("a", 1, "a", 11)}
+
+    @pytest.mark.parametrize("strategy", ["nestloop", "hash", "merge"])
+    def test_left_outer_join(self, strategy, left, right):
+        result = set(self.build(strategy, "left", left, right).execute())
+        assert ("b", 2, NULL, NULL) in result
+        assert ("c", 3, NULL, NULL) in result
+        assert len(result) == 4
+
+    @pytest.mark.parametrize("strategy", ["nestloop", "hash", "merge"])
+    def test_right_outer_join(self, strategy, left, right):
+        result = set(self.build(strategy, "right", left, right).execute())
+        assert (NULL, NULL, "d", 12) in result
+        assert len(result) == 3
+
+    @pytest.mark.parametrize("strategy", ["nestloop", "hash", "merge"])
+    def test_full_outer_join(self, strategy, left, right):
+        result = set(self.build(strategy, "full", left, right).execute())
+        assert len(result) == 5
+
+    @pytest.mark.parametrize("strategy", ["nestloop", "hash", "merge"])
+    def test_semi_and_anti_join(self, strategy, left, right):
+        semi = set(self.build(strategy, "semi", left, right).execute())
+        anti = set(self.build(strategy, "anti", left, right).execute())
+        assert semi == {("a", 1)}
+        assert anti == {("b", 2), ("c", 3)}
+
+    @pytest.mark.parametrize("strategy", ["nestloop", "hash", "merge"])
+    def test_null_keys_never_match(self, strategy):
+        left = values(["k", "x"], [(NULL, 1), ("a", 2)])
+        right = values(["k2", "y"], [(NULL, 10), ("a", 20)])
+        result = set(self.build(strategy, "left", left, right).execute())
+        assert (NULL, 1, NULL, NULL) in result
+        assert ("a", 2, "a", 20) in result
+
+    def test_residual_condition_checked(self, left, right):
+        condition = Comparison("<", Column("y"), Literal(11))
+        node = HashJoinNode(left, right, "inner",
+                            Comparison("=", Column("k"), Column("k2")).__class__(
+                                "=", Column("k"), Column("k2")),
+                            self.KEYS)
+        # With an extra residual conjunct, only y=10 survives.
+        from repro.engine.expressions import And
+
+        node = HashJoinNode(left, right, "inner",
+                            And(Comparison("=", Column("k"), Column("k2")), condition),
+                            self.KEYS)
+        assert node.execute() == [("a", 1, "a", 10)]
+
+    def test_hash_and_merge_require_keys(self, left, right):
+        with pytest.raises(PlanError):
+            HashJoinNode(left, right, "inner", None, [])
+        with pytest.raises(PlanError):
+            MergeJoinNode(left, right, "inner", None, [])
+
+    def test_unknown_kind(self, left, right):
+        with pytest.raises(PlanError):
+            NestedLoopJoinNode(left, right, "sideways", None)
+
+    def test_cross_join(self, left, right):
+        node = NestedLoopJoinNode(left, right, "cross", None)
+        assert len(node.execute()) == 9
+
+
+class TestAggregation:
+    def test_grouped_aggregates(self):
+        child = values(["g", "x"], [("a", 1), ("a", 3), ("b", 5)])
+        node = HashAggregateNode(
+            child,
+            [(Column("g"), "g")],
+            [
+                AggregateCall("COUNT", None, "cnt"),
+                AggregateCall("SUM", Column("x"), "total"),
+                AggregateCall("AVG", Column("x"), "mean"),
+                AggregateCall("MIN", Column("x"), "low"),
+                AggregateCall("MAX", Column("x"), "high"),
+            ],
+        )
+        rows = {row[0]: row[1:] for row in node.execute()}
+        assert rows["a"] == (2, 4, 2.0, 1, 3)
+        assert rows["b"] == (1, 5, 5.0, 5, 5)
+
+    def test_global_aggregate_on_empty_input(self):
+        node = HashAggregateNode(values(["x"], []), [], [AggregateCall("COUNT", None, "cnt")])
+        assert node.execute() == [(0,)]
+
+    def test_nulls_skipped(self):
+        child = values(["x"], [(1,), (NULL,)])
+        node = HashAggregateNode(child, [], [
+            AggregateCall("COUNT", Column("x"), "cnt"),
+            AggregateCall("SUM", Column("x"), "total"),
+        ])
+        assert node.execute() == [(2, 1)] or node.execute() == [(2, 1)]
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(PlanError):
+            AggregateCall("MEDIAN", None, "m")
+
+
+class TestSetOpsAndAbsorb:
+    def test_union_all_and_union(self):
+        a = values(["x"], [(1,), (2,)])
+        b = values(["x"], [(2,), (3,)])
+        assert SetOpNode("union_all", a, b).execute() == [(1,), (2,), (2,), (3,)]
+        assert SetOpNode("union", a, b).execute() == [(1,), (2,), (3,)]
+
+    def test_except_and_intersect(self):
+        a = values(["x"], [(1,), (2,), (2,)])
+        b = values(["x"], [(2,)])
+        assert SetOpNode("except", a, b).execute() == [(1,)]
+        assert SetOpNode("intersect", a, b).execute() == [(2,)]
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(PlanError):
+            SetOpNode("union", values(["x"], []), values(["x", "y"], []))
+        with pytest.raises(PlanError):
+            SetOpNode("symmetric_difference", values(["x"], []), values(["x"], []))
+
+    def test_absorb_removes_covered_rows(self):
+        child = values(["v", "ts", "te"], [("a", 1, 9), ("a", 3, 7), ("b", 3, 7), ("a", 1, 9)])
+        node = AbsorbNode(child, start_index=1, end_index=2)
+        assert set(node.execute()) == {("a", 1, 9), ("b", 3, 7)}
+
+    def test_absorb_preserves_column_positions(self):
+        child = values(["ts", "v", "te"], [(1, "a", 9), (3, "a", 7)])
+        node = AbsorbNode(child, start_index=0, end_index=2)
+        assert node.execute() == [(1, "a", 9)]

@@ -1,0 +1,188 @@
+"""Engine building blocks: tables, statistics and scalar expressions."""
+
+import pytest
+
+from repro.engine.expressions import (
+    And,
+    Arithmetic,
+    Between,
+    Column,
+    Comparison,
+    FunctionCall,
+    IndexColumn,
+    IsNull,
+    Literal,
+    Negate,
+    Not,
+    Or,
+    PythonPredicate,
+    conjunction,
+    equijoin_keys,
+    resolve_column,
+)
+from repro.engine.statistics import StatisticsCatalog, TableStatistics
+from repro.engine.table import Table
+from repro.relation.errors import QueryError, SchemaError
+from repro.relation.relation import TemporalRelation
+from repro.relation.schema import Schema
+from repro.relation.tuple import NULL
+from repro.temporal.interval import Interval
+
+
+class TestTable:
+    def test_construction_and_access(self):
+        table = Table("t", ["a", "b"], [(1, 2), (3, 4)])
+        assert len(table) == 2
+        assert table.column_index("b") == 1
+        table.append((5, 6))
+        assert list(table)[-1] == (5, 6)
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("t", ["a", "a"])
+
+    def test_append_width_checked(self):
+        table = Table("t", ["a"])
+        with pytest.raises(SchemaError):
+            table.append((1, 2))
+
+    def test_unknown_column(self):
+        with pytest.raises(SchemaError):
+            Table("t", ["a"]).column_index("zzz")
+
+    def test_relation_roundtrip(self):
+        relation = TemporalRelation(Schema(["n"]))
+        relation.insert(("Ann",), Interval(0, 7))
+        table = Table.from_relation("r", relation)
+        assert table.columns == ("n", "ts", "te")
+        assert table.rows == [("Ann", 0, 7)]
+        back = table.to_relation()
+        assert back == relation
+
+    def test_pretty(self):
+        table = Table("t", ["a"], [(i,) for i in range(30)])
+        rendered = table.pretty(limit=3)
+        assert "more rows" in rendered
+
+
+class TestStatistics:
+    def test_row_and_distinct_counts(self):
+        table = Table("t", ["a", "b"], [(1, "x"), (2, "x"), (2, "y")])
+        stats = TableStatistics(table)
+        assert stats.row_count == 3
+        assert stats.distinct_count("a") == 2
+        assert stats.distinct_count("b") == 2
+        assert 0 < stats.selectivity_of_equality("a") <= 1
+
+    def test_catalog_caches_and_invalidates(self):
+        table = Table("t", ["a"], [(1,)])
+        catalog = StatisticsCatalog()
+        first = catalog.for_table(table)
+        assert catalog.for_table(table) is first
+        table.append((2,))
+        assert catalog.for_table(table).row_count == 2
+        catalog.invalidate("t")
+        catalog.invalidate()
+
+
+class TestResolution:
+    def test_exact_and_base_name_matching(self):
+        columns = ["r.a", "r.b", "s.c"]
+        assert resolve_column("r.a", columns) == 0
+        assert resolve_column("b", columns) == 1
+        assert resolve_column("s.c", columns) == 2
+
+    def test_ambiguous_and_unknown(self):
+        columns = ["r.a", "s.a"]
+        with pytest.raises(QueryError):
+            resolve_column("a", columns)
+        with pytest.raises(QueryError):
+            resolve_column("zzz", columns)
+
+
+class TestExpressions:
+    COLUMNS = ["x", "y", "name"]
+
+    def evaluate(self, expression, row):
+        return expression.bind(self.COLUMNS)(row)
+
+    def test_literal_and_column(self):
+        assert self.evaluate(Literal(42), (1, 2, "a")) == 42
+        assert self.evaluate(Column("y"), (1, 2, "a")) == 2
+
+    def test_index_column(self):
+        assert self.evaluate(IndexColumn(2), (1, 2, "a")) == "a"
+        with pytest.raises(QueryError):
+            IndexColumn(9).bind(self.COLUMNS)
+
+    def test_comparisons(self):
+        assert self.evaluate(Comparison("<", Column("x"), Column("y")), (1, 2, "a"))
+        assert not self.evaluate(Comparison(">=", Column("x"), Column("y")), (1, 2, "a"))
+        assert self.evaluate(Comparison("=", Column("name"), Literal("a")), (1, 2, "a"))
+        with pytest.raises(QueryError):
+            Comparison("~", Literal(1), Literal(2))
+
+    def test_null_comparisons_are_false(self):
+        assert not self.evaluate(Comparison("=", Column("x"), Literal(NULL)), (NULL, 2, "a"))
+        assert not self.evaluate(Comparison("<", Column("x"), Column("y")), (NULL, 2, "a"))
+
+    def test_boolean_connectives(self):
+        true = Comparison("<", Literal(1), Literal(2))
+        false = Comparison(">", Literal(1), Literal(2))
+        assert self.evaluate(And(true, true), ())
+        assert not self.evaluate(And(true, false), ())
+        assert self.evaluate(Or(false, true), ())
+        assert self.evaluate(Not(false), ())
+
+    def test_arithmetic_and_negate(self):
+        assert self.evaluate(Arithmetic("+", Column("x"), Column("y")), (1, 2, "a")) == 3
+        assert self.evaluate(Arithmetic("*", Literal(3), Literal(4)), ()) == 12
+        assert self.evaluate(Negate(Column("x")), (5, 0, "")) == -5
+        from repro.relation.tuple import is_null
+
+        assert is_null(self.evaluate(Arithmetic("-", Column("x"), Literal(NULL)), (1, 2, "a")))
+
+    def test_functions(self):
+        assert self.evaluate(FunctionCall("DUR", [Literal(3), Literal(9)]), ()) == 6
+        assert self.evaluate(FunctionCall("DUR", [Literal(Interval(3, 9))]), ()) == 6
+        assert self.evaluate(FunctionCall("GREATEST", [Literal(3), Literal(NULL), Literal(7)]), ()) == 7
+        assert self.evaluate(FunctionCall("LEAST", [Literal(3), Literal(7)]), ()) == 3
+        assert self.evaluate(FunctionCall("COALESCE", [Literal(NULL), Literal(5)]), ()) == 5
+        assert self.evaluate(FunctionCall("ABS", [Literal(-5)]), ()) == 5
+        assert self.evaluate(
+            FunctionCall("OVERLAPS", [Literal(1), Literal(5), Literal(4), Literal(9)]), ()
+        )
+        with pytest.raises(QueryError):
+            FunctionCall("NO_SUCH_FUNCTION", [])
+
+    def test_between_and_is_null(self):
+        assert self.evaluate(Between(Column("x"), Literal(0), Literal(5)), (3, 0, ""))
+        assert not self.evaluate(Between(Column("x"), Literal(0), Literal(5)), (9, 0, ""))
+        assert self.evaluate(IsNull(Column("x")), (NULL, 0, ""))
+        assert self.evaluate(IsNull(Column("x"), negated=True), (3, 0, ""))
+
+    def test_python_predicate(self):
+        predicate = PythonPredicate(lambda env: env["x"] + env["y"] == 3)
+        assert self.evaluate(predicate, (1, 2, "a"))
+
+    def test_conjunction_helper(self):
+        assert conjunction([]) is None
+        single = Comparison("=", Literal(1), Literal(1))
+        assert conjunction([single]) is single
+        assert isinstance(conjunction([single, single]), And)
+
+    def test_equijoin_key_extraction(self):
+        left = ["r.a", "r.ts"]
+        right = ["s.b", "s.ts"]
+        condition = And(
+            Comparison("=", Column("r.a"), Column("s.b")),
+            Comparison("<", Column("r.ts"), Column("s.ts")),
+        )
+        assert equijoin_keys(condition, left, right) == [("r.a", "s.b")]
+        flipped = Comparison("=", Column("s.b"), Column("r.a"))
+        assert equijoin_keys(flipped, left, right) == [("r.a", "s.b")]
+        assert equijoin_keys(None, left, right) == []
+
+    def test_references(self):
+        condition = And(Comparison("=", Column("a"), Literal(1)), Between(Column("b"), Literal(0), Column("c")))
+        assert set(condition.references()) == {"a", "b", "c"}

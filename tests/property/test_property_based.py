@@ -1,0 +1,234 @@
+"""Property-based tests (hypothesis) for the core invariants of the paper.
+
+Relations are generated duplicate free (the data-model assumption of
+Sec. 3.1); the properties checked are the load-bearing claims: the behaviour
+of the primitives (Lemma 1, Propositions 1–4), equivalence of the reduction
+rules with the snapshot reference (Theorem 1), idempotence of absorb, and the
+snapshot/change-preservation properties of representative operators.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Interval, Schema, TemporalRelation, predicates
+from repro.core import reduction, snapshot
+from repro.core.alignment import align_pair, align_relation, alignment_cardinality_bound
+from repro.core.lineage import left_outer_join_lineage, union_lineage
+from repro.core.normalization import normalize, normalize_pair
+from repro.core.primitives import absorb, align_tuple, split_tuple
+from repro.core.properties import change_preservation_violations
+from repro.temporal.interval import coalesce
+
+SETTINGS = settings(max_examples=40, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def intervals(draw, span: int = 30, max_length: int = 8) -> Interval:
+    start = draw(st.integers(min_value=0, max_value=span))
+    length = draw(st.integers(min_value=1, max_value=max_length))
+    return Interval(start, start + length)
+
+
+@st.composite
+def relations(draw, attribute: str = "v", values: Tuple[str, ...] = ("a", "b", "c"),
+              max_size: int = 8) -> TemporalRelation:
+    """Duplicate-free single-attribute relations."""
+    rows: List[Tuple[str, Interval]] = draw(
+        st.lists(st.tuples(st.sampled_from(values), intervals()), max_size=max_size)
+    )
+    relation = TemporalRelation(Schema([attribute]))
+    taken: List[Tuple[str, Interval]] = []
+    for value, interval in rows:
+        if any(value == v and interval.overlaps(iv) for v, iv in taken):
+            continue
+        taken.append((value, interval))
+        relation.insert((value,), interval)
+    return relation
+
+
+class TestIntervalProperties:
+    @SETTINGS
+    @given(intervals(), intervals())
+    def test_intersection_is_largest_common_subinterval(self, a, b):
+        common = a.intersect(b)
+        assert common.duration() == len(set(a.points()) & set(b.points()))
+
+    @SETTINGS
+    @given(st.lists(intervals(), max_size=10))
+    def test_coalesce_preserves_covered_points(self, items):
+        merged = coalesce(items)
+        covered = set()
+        for interval in items:
+            covered |= set(interval.points())
+        merged_points = set()
+        for interval in merged:
+            merged_points |= set(interval.points())
+        assert covered == merged_points
+        for x, y in zip(merged, merged[1:]):
+            assert x.end < y.start  # disjoint and non-adjacent
+
+
+class TestPrimitiveProperties:
+    @SETTINGS
+    @given(intervals(), st.lists(intervals(), max_size=6))
+    def test_split_partitions_the_interval(self, interval, group):
+        pieces = split_tuple(interval, group)
+        assert sum(p.duration() for p in pieces) == interval.duration()
+        for piece in pieces:
+            for g in group:
+                assert not piece.overlaps(g) or g.contains_interval(piece)
+
+    @SETTINGS
+    @given(intervals(), st.lists(intervals(), max_size=6))
+    def test_align_covers_the_interval_and_respects_lemma1(self, interval, group):
+        pieces = align_tuple(interval, group)
+        covered = coalesce(pieces)
+        assert covered == [interval]
+        assert len(pieces) <= 2 * len(group) + 1  # Lemma 1 base case
+
+    @SETTINGS
+    @given(relations())
+    def test_absorb_is_idempotent(self, relation):
+        once = absorb(relation)
+        twice = absorb(once)
+        assert once.as_set() == twice.as_set()
+
+    @SETTINGS
+    @given(relations())
+    def test_absorb_preserves_snapshots(self, relation):
+        absorbed = absorb(relation)
+        for point in relation.active_points():
+            assert absorbed.timeslice(point) == relation.timeslice(point)
+
+
+class TestNormalizationProperties:
+    @SETTINGS
+    @given(relations(), relations())
+    def test_proposition_2(self, left, right):
+        normalized_left, normalized_right = normalize_pair(left, right)
+        for a in normalized_left:
+            for b in normalized_right:
+                if a.values == b.values:
+                    assert a.interval == b.interval or not a.interval.overlaps(b.interval)
+
+    @SETTINGS
+    @given(relations(), relations())
+    def test_normalization_preserves_snapshots(self, left, right):
+        normalized = normalize(left, right, ("v",))
+        for point in left.active_points() + right.active_points():
+            assert normalized.timeslice(point) == left.timeslice(point)
+
+
+class TestAlignmentProperties:
+    @SETTINGS
+    @given(relations(), relations())
+    def test_lemma_1_bound(self, left, right):
+        aligned = align_relation(left, right)
+        assert len(aligned) <= alignment_cardinality_bound(len(left), len(right))
+
+    @SETTINGS
+    @given(relations(), relations())
+    def test_proposition_3(self, left, right):
+        theta = predicates.attr_eq("v")
+        aligned_left, aligned_right = align_pair(left, right, theta)
+        left_set = aligned_left.as_set()
+        right_set = aligned_right.as_set()
+        for r in left:
+            for s in right:
+                if theta(r, s) and r.interval.overlaps(s.interval):
+                    common = r.interval.intersect(s.interval)
+                    assert (r.values, common) in left_set
+                    assert (s.values, common) in right_set
+
+
+class TestTheorem1:
+    """Reduction rules equal the snapshot-reference ground truth."""
+
+    @SETTINGS
+    @given(relations(), relations())
+    def test_union(self, left, right):
+        assert (
+            reduction.temporal_union(left, right).as_set()
+            == snapshot.reference_union(left, right).as_set()
+        )
+
+    @SETTINGS
+    @given(relations(), relations())
+    def test_difference(self, left, right):
+        assert (
+            reduction.temporal_difference(left, right).as_set()
+            == snapshot.reference_difference(left, right).as_set()
+        )
+
+    @SETTINGS
+    @given(relations(), relations())
+    def test_left_outer_join(self, left, right):
+        theta = predicates.attr_eq("v")
+        assert (
+            reduction.temporal_left_outer_join(left, right, theta).as_set()
+            == snapshot.reference_left_outer_join(left, right, theta).as_set()
+        )
+
+    @SETTINGS
+    @given(relations(), relations())
+    def test_antijoin(self, left, right):
+        theta = predicates.attr_eq("v")
+        assert (
+            reduction.temporal_antijoin(left, right, theta).as_set()
+            == snapshot.reference_antijoin(left, right, theta).as_set()
+        )
+
+    @SETTINGS
+    @given(relations())
+    def test_projection(self, relation):
+        assert (
+            reduction.temporal_projection(relation, ["v"]).as_set()
+            == snapshot.reference_projection(relation, ["v"]).as_set()
+        )
+
+
+class TestSequencedSemanticsProperties:
+    @SETTINGS
+    @given(relations(), relations())
+    def test_union_is_change_preserving(self, left, right):
+        result = reduction.temporal_union(left, right)
+        lineage = union_lineage(left, right)
+        assert change_preservation_violations(result, lineage, [left, right]) == []
+
+    @SETTINGS
+    @given(relations(), relations())
+    def test_left_outer_join_is_snapshot_reducible(self, left, right):
+        from repro.relation.tuple import NULL
+
+        theta = predicates.attr_eq("v")
+        result = reduction.temporal_left_outer_join(left, right, theta)
+        points = set(left.active_points()) | set(right.active_points())
+        for point in points:
+            expected = set()
+            left_snapshot = left.timeslice(point)
+            right_snapshot = right.timeslice(point)
+            for l in left_snapshot:
+                matches = [s for s in right_snapshot if l[0] == s[0]]
+                if matches:
+                    expected.update(l + s for s in matches)
+                else:
+                    expected.add(l + (NULL,))
+            assert result.timeslice(point) == expected
+
+    @SETTINGS
+    @given(relations(), relations())
+    def test_results_are_duplicate_free(self, left, right):
+        theta = predicates.attr_eq("v")
+        for result in (
+            reduction.temporal_union(left, right),
+            reduction.temporal_difference(left, right),
+            reduction.temporal_join(left, right, theta),
+            reduction.temporal_left_outer_join(left, right, theta),
+        ):
+            assert result.is_duplicate_free()

@@ -1,0 +1,109 @@
+"""Unit tests for the temporal relation container."""
+
+import pytest
+
+from repro.relation.errors import DuplicateTupleError, SchemaError
+from repro.relation.relation import TemporalRelation
+from repro.relation.schema import Schema
+from repro.relation.tuple import TemporalTuple
+from repro.temporal.interval import Interval
+
+
+@pytest.fixture
+def relation():
+    r = TemporalRelation(Schema(["n"]))
+    r.insert(("Ann",), Interval(0, 7))
+    r.insert(("Joe",), Interval(1, 5))
+    r.insert(("Ann",), Interval(7, 11))
+    return r
+
+
+class TestConstruction:
+    def test_insert_and_len(self, relation):
+        assert len(relation) == 3
+        assert relation.cardinality() == 3
+        assert bool(relation)
+
+    def test_insert_accepts_pairs(self):
+        r = TemporalRelation(Schema(["n"]))
+        r.insert(("Ann",), (2, 4))
+        assert r.tuples()[0].interval == Interval(2, 4)
+
+    def test_from_rows_and_dicts(self):
+        schema = Schema(["n"])
+        a = TemporalRelation.from_rows(schema, [(("Ann",), Interval(0, 2))])
+        b = TemporalRelation.from_dicts(schema, [{"n": "Ann", "T": (0, 2)}])
+        assert a == b
+
+    def test_schema_mismatch_rejected(self, relation):
+        other = TemporalTuple(Schema(["x"]), ("v",), Interval(0, 1))
+        with pytest.raises(SchemaError):
+            relation.add(other)
+
+    def test_duplicate_free_enforcement(self):
+        r = TemporalRelation(Schema(["n"]), enforce_duplicate_free=True)
+        r.insert(("Ann",), Interval(0, 5))
+        r.insert(("Ann",), Interval(5, 9))  # adjacent is fine
+        with pytest.raises(DuplicateTupleError):
+            r.insert(("Ann",), Interval(3, 6))
+
+    def test_equality_is_set_based(self):
+        a = TemporalRelation(Schema(["n"]))
+        b = TemporalRelation(Schema(["n"]))
+        a.insert(("x",), Interval(0, 1))
+        a.insert(("y",), Interval(0, 1))
+        b.insert(("y",), Interval(0, 1))
+        b.insert(("x",), Interval(0, 1))
+        assert a == b
+
+
+class TestInterrogation:
+    def test_is_duplicate_free(self, relation):
+        assert relation.is_duplicate_free()
+        relation.insert(("Ann",), Interval(6, 8))
+        assert not relation.is_duplicate_free()
+
+    def test_active_points(self, relation):
+        assert relation.active_points() == [0, 1, 5, 7, 11]
+
+    def test_span(self, relation):
+        assert relation.span() == Interval(0, 11)
+        assert TemporalRelation(Schema(["n"])).span() is None
+
+    def test_timeslice(self, relation):
+        assert relation.timeslice(3) == {("Ann",), ("Joe",)}
+        assert relation.timeslice(6) == {("Ann",)}
+        assert relation.timeslice(11) == set()
+
+    def test_timeslice_relation(self, relation):
+        sliced = relation.timeslice_relation(3)
+        assert len(sliced) == 2
+
+
+class TestOperators:
+    def test_extend_propagates_timestamps(self, relation):
+        extended = relation.extend("U")
+        assert extended.schema.attribute_names == ("n", "U")
+        for t in extended:
+            assert t.value("U") == t.interval
+
+    def test_filter_map_limit(self, relation):
+        assert len(relation.filter(lambda t: t.value("n") == "Ann")) == 2
+        shifted = relation.map_intervals(lambda iv: iv.shift(100))
+        assert shifted.span() == Interval(100, 111)
+        assert len(relation.limit(2)) == 2
+
+    def test_rename(self, relation):
+        renamed = relation.rename({"n": "name"})
+        assert renamed.schema.attribute_names == ("name",)
+        assert len(renamed) == len(relation)
+
+    def test_sorted_by_interval(self, relation):
+        ordered = relation.sorted_by_interval().tuples()
+        assert [t.start for t in ordered] == sorted(t.start for t in relation)
+
+    def test_pretty_contains_rows(self, relation):
+        rendered = relation.pretty()
+        assert "Ann" in rendered and "Joe" in rendered
+        limited = relation.pretty(limit=1)
+        assert "more tuples" in limited

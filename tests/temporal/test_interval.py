@@ -1,0 +1,160 @@
+"""Unit tests for half-open intervals."""
+
+import pytest
+
+from repro.temporal.interval import (
+    EMPTY_INTERVAL,
+    Interval,
+    IntervalError,
+    coalesce,
+    covered_points,
+    duration,
+    overlaps,
+    span,
+)
+
+
+class TestConstruction:
+    def test_valid_interval(self):
+        interval = Interval(1, 6)
+        assert interval.start == 1
+        assert interval.end == 6
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(IntervalError):
+            Interval(5, 3)
+
+    def test_empty_interval_allowed(self):
+        assert Interval(4, 4).is_empty()
+
+    def test_immutable(self):
+        interval = Interval(1, 2)
+        with pytest.raises(AttributeError):
+            interval.start = 5
+        with pytest.raises(AttributeError):
+            del interval.end
+
+    def test_repr_and_str(self):
+        assert repr(Interval(1, 6)) == "Interval(1, 6)"
+        assert str(Interval(1, 6)) == "[1, 6)"
+
+
+class TestProtocol:
+    def test_equality_and_hash(self):
+        assert Interval(1, 6) == Interval(1, 6)
+        assert Interval(1, 6) != Interval(1, 7)
+        assert len({Interval(1, 6), Interval(1, 6), Interval(2, 6)}) == 2
+
+    def test_ordering(self):
+        assert Interval(1, 6) < Interval(2, 3)
+        assert Interval(1, 3) < Interval(1, 6)
+        assert Interval(2, 3) >= Interval(1, 9)
+
+    def test_containment_of_points(self):
+        interval = Interval(1, 6)
+        assert 1 in interval
+        assert 5 in interval
+        assert 6 not in interval
+        assert 0 not in interval
+
+    def test_iteration_and_len(self):
+        assert list(Interval(2, 5)) == [2, 3, 4]
+        assert len(Interval(2, 5)) == 3
+
+    def test_bool(self):
+        assert Interval(1, 2)
+        assert not Interval(3, 3)
+
+
+class TestInterrogation:
+    def test_duration(self):
+        assert Interval(1, 6).duration() == 5
+        assert duration(Interval(0, 1)) == 1
+
+    def test_points_range(self):
+        assert Interval(3, 6).points() == range(3, 6)
+
+    def test_as_pair(self):
+        assert Interval(3, 6).as_pair() == (3, 6)
+
+
+class TestRelationships:
+    @pytest.mark.parametrize(
+        "a, b, expected",
+        [
+            ((1, 5), (4, 8), True),
+            ((1, 5), (5, 8), False),   # half-open: touching does not overlap
+            ((1, 5), (0, 1), False),
+            ((1, 5), (2, 3), True),
+            ((1, 5), (1, 5), True),
+        ],
+    )
+    def test_overlaps(self, a, b, expected):
+        assert Interval(*a).overlaps(Interval(*b)) is expected
+        assert overlaps(Interval(*b), Interval(*a)) is expected
+
+    def test_contains_interval(self):
+        assert Interval(1, 9).contains_interval(Interval(2, 5))
+        assert Interval(1, 9).contains_interval(Interval(1, 9))
+        assert not Interval(1, 9).contains_interval(Interval(0, 5))
+        assert Interval(1, 9).contains_interval(EMPTY_INTERVAL)
+
+    def test_properly_contains(self):
+        assert Interval(1, 9).properly_contains(Interval(1, 8))
+        assert not Interval(1, 9).properly_contains(Interval(1, 9))
+
+    def test_meets_and_adjacent(self):
+        assert Interval(1, 3).meets(Interval(3, 5))
+        assert not Interval(1, 3).meets(Interval(4, 5))
+        assert Interval(3, 5).adjacent(Interval(1, 3))
+
+    def test_precedes(self):
+        assert Interval(1, 3).precedes(Interval(3, 5))
+        assert not Interval(1, 4).precedes(Interval(3, 5))
+
+
+class TestDerivation:
+    def test_intersect(self):
+        assert Interval(1, 6).intersect(Interval(3, 9)) == Interval(3, 6)
+        assert Interval(1, 3).intersect(Interval(5, 9)).is_empty()
+
+    def test_union_hull(self):
+        assert Interval(1, 3).union_hull(Interval(5, 9)) == Interval(1, 9)
+        assert Interval(1, 3).union_hull(Interval(3, 3)) == Interval(1, 3)
+
+    def test_minus(self):
+        assert Interval(1, 9).minus(Interval(3, 5)) == [Interval(1, 3), Interval(5, 9)]
+        assert Interval(1, 9).minus(Interval(0, 10)) == []
+        assert Interval(1, 9).minus(Interval(0, 5)) == [Interval(5, 9)]
+        assert Interval(1, 9).minus(Interval(10, 12)) == [Interval(1, 9)]
+
+    def test_split_at(self):
+        assert Interval(0, 10).split_at([2, 4]) == [
+            Interval(0, 2), Interval(2, 4), Interval(4, 10)
+        ]
+        assert Interval(0, 10).split_at([0, 10, 20]) == [Interval(0, 10)]
+        assert Interval(5, 5).split_at([1]) == []
+
+    def test_shift_and_expand(self):
+        assert Interval(1, 4).shift(10) == Interval(11, 14)
+        assert Interval(5, 6).expand(before=2, after=3) == Interval(3, 9)
+
+
+class TestAggregates:
+    def test_coalesce_merges_overlapping_and_adjacent(self):
+        merged = coalesce([Interval(5, 8), Interval(1, 3), Interval(3, 6)])
+        assert merged == [Interval(1, 8)]
+
+    def test_coalesce_keeps_gaps(self):
+        merged = coalesce([Interval(1, 3), Interval(5, 8)])
+        assert merged == [Interval(1, 3), Interval(5, 8)]
+
+    def test_coalesce_drops_empty(self):
+        assert coalesce([Interval(2, 2), Interval(1, 3)]) == [Interval(1, 3)]
+
+    def test_covered_points(self):
+        assert covered_points([Interval(1, 3), Interval(2, 5), Interval(7, 8)]) == 5
+
+    def test_span(self):
+        assert span([Interval(3, 5), Interval(1, 2)]) == Interval(1, 5)
+        assert span([]) is None

@@ -1,0 +1,52 @@
+"""Unit tests for the calendar ↔ time-point mapping."""
+
+import datetime
+
+import pytest
+
+from repro.temporal.interval import Interval
+from repro.temporal.timeline import DayTimeline, MonthTimeline, month_interval, parse_month
+
+
+class TestParseMonth:
+    def test_valid(self):
+        assert parse_month("2012/3") == (2012, 3)
+        assert parse_month(" 2013/12 ") == (2013, 12)
+
+    @pytest.mark.parametrize("label", ["2012", "2012/13", "2012/0", "march 2012"])
+    def test_invalid(self, label):
+        with pytest.raises(ValueError):
+            parse_month(label)
+
+
+class TestMonthTimeline:
+    def test_roundtrip(self):
+        months = MonthTimeline(2012)
+        assert months.to_point("2012/1") == 0
+        assert months.to_point("2013/1") == 12
+        assert months.from_point(7) == "2012/8"
+        assert months.from_point(months.to_point("2015/6")) == "2015/6"
+
+    def test_integer_passthrough(self):
+        assert MonthTimeline(2012).to_point(5) == 5
+
+    def test_interval_and_formatting(self):
+        months = MonthTimeline(2012)
+        interval = months.interval("2012/1", "2012/6")
+        assert interval == Interval(0, 5)
+        assert months.format_interval(interval) == "[2012/1, 2012/6)"
+
+    def test_month_interval_shortcut(self):
+        assert month_interval("2012/1", "2012/6").duration() == 5
+
+
+class TestDayTimeline:
+    def test_roundtrip(self):
+        days = DayTimeline(datetime.date(2000, 1, 1))
+        assert days.to_point("2000-01-01") == 0
+        assert days.to_point("2000-02-01") == 31
+        assert days.from_point(31) == "2000-02-01"
+
+    def test_date_object(self):
+        days = DayTimeline(datetime.date(2000, 1, 1))
+        assert days.to_point(datetime.date(2000, 1, 11)) == 10
