@@ -29,12 +29,16 @@ from repro.relation.relation import TemporalRelation
 from repro.relation.tuple import TemporalTuple
 
 
+ALIGN_STRATEGIES = ("auto", "sweep", "index")
+
+
 def align_relation(
     relation: TemporalRelation,
     reference: TemporalRelation,
     theta: Optional[ThetaPredicate] = None,
     equi_attributes: Optional[Sequence[str]] = None,
     reference_equi_attributes: Optional[Sequence[str]] = None,
+    strategy: str = "auto",
 ) -> TemporalRelation:
     """Compute the temporal alignment ``relation Φθ reference``.
 
@@ -50,6 +54,15 @@ def align_relation(
         Optional equality key: when given, only pairs whose key values match
         are considered (candidates are hash-partitioned before the sweep).
         This is the analogue of handing an equi-join θ to the optimizer.
+    strategy:
+        How the overlap groups are built.  ``"sweep"`` re-runs the event
+        sweep over both inputs (right for one-shot calls); ``"index"`` probes
+        the reference's cached
+        :class:`~repro.temporal.interval_index.IntervalIndex`, building it on
+        first use — the right choice when many relations are aligned against
+        one shared reference; ``"auto"`` (default) probes the index when the
+        reference already has one cached and sweeps otherwise, so repeated
+        callers get the amortised path without a flag.
 
     Notes
     -----
@@ -57,14 +70,26 @@ def align_relation(
     to the adjusted timestamps (the intersection would otherwise be empty and
     non-overlapping tuples create no gaps), so the group construction may
     safely require overlap — exactly what the kernel join in Fig. 8 does.
+    All strategies produce the same relation.
     """
+    if strategy not in ALIGN_STRATEGIES:
+        raise ValueError(f"unknown alignment strategy {strategy!r}; use one of {ALIGN_STRATEGIES}")
+
+    # The reference side's key attributes drive both the sweep's hash
+    # partition and the keyed index, so compute them exactly once.
     left_key: Optional[KeyFunction] = None
     right_key: Optional[KeyFunction] = None
+    index_attrs: Sequence[str] = ()
     if equi_attributes is not None:
-        left_key = value_key(equi_attributes)
-        right_key = value_key(
+        index_attrs = (
             reference_equi_attributes if reference_equi_attributes is not None else equi_attributes
         )
+        left_key = value_key(equi_attributes)
+        right_key = value_key(index_attrs)
+
+    index = None
+    if strategy == "index" or (strategy == "auto" and reference.has_interval_index(index_attrs)):
+        index = reference.interval_index(index_attrs)
 
     groups = overlap_groups(
         relation.tuples(),
@@ -72,6 +97,7 @@ def align_relation(
         theta=theta,
         left_key=left_key,
         right_key=right_key,
+        index=index,
     )
 
     result = TemporalRelation(relation.schema)

@@ -103,15 +103,26 @@ def _split_points_by_key(
     ``π_{B,Ts}(s) ∪ π_{B,Te}(s)`` (Sec. 6.3): only the endpoints matter for
     splitting, and imposing a total order on them gives the sweep constant
     memory per group.
+
+    The result is cached on ``reference`` (see
+    :meth:`~repro.relation.relation.TemporalRelation.derived`), so repeated
+    normalizations against the same reference — the hot pattern of Fig. 14's
+    attribute sweep and of any shared dimension relation — collect and sort
+    the endpoints once instead of once per call.  Inserting into the
+    reference invalidates the cache.
     """
-    collected: Dict[Hashable, set] = defaultdict(set)
-    for s in reference:
-        if s.interval.is_empty():
-            continue
-        key = s.values_of(attributes) if attributes else ()
-        collected[key].add(s.start)
-        collected[key].add(s.end)
-    return {key: sorted(points) for key, points in collected.items()}
+
+    def build() -> Dict[Hashable, List[int]]:
+        collected: Dict[Hashable, set] = defaultdict(set)
+        for s in reference:
+            if s.interval.is_empty():
+                continue
+            key = s.values_of(attributes) if attributes else ()
+            collected[key].add(s.start)
+            collected[key].add(s.end)
+        return {key: sorted(points) for key, points in collected.items()}
+
+    return reference.derived(("split_points", attributes), build)
 
 
 def _split_interval(interval: Interval, sorted_points: Sequence[int]) -> List[Interval]:

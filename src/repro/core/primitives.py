@@ -24,7 +24,16 @@ def split_tuple(tuple_interval: Interval, group: Iterable[Interval]) -> List[Int
     Produces the maximal sub-intervals of ``tuple_interval`` that are either
     contained in or disjoint from every interval of ``group``; equivalently,
     the pieces obtained by cutting ``tuple_interval`` at every group start or
-    end point that falls strictly inside it.
+    end point that falls strictly inside it.  This is the per-tuple kernel of
+    normalization ``N_B`` (Def. 9).
+
+    Args:
+        tuple_interval: The argument tuple's timestamp.
+        group: Timestamps of the tuple's group (matching reference tuples).
+
+    Returns:
+        The split pieces in ascending order; ``[]`` for an empty argument
+        interval, ``[tuple_interval]`` when no group point falls inside it.
 
     >>> split_tuple(Interval(0, 10), [Interval(2, 4)])
     [Interval(0, 2), Interval(2, 4), Interval(4, 10)]
@@ -46,7 +55,16 @@ def align_tuple(tuple_interval: Interval, group: Iterable[Interval]) -> List[Int
     Produces (a) the non-empty intersections of ``tuple_interval`` with each
     group interval and (b) the maximal sub-intervals of ``tuple_interval``
     not covered by any group interval.  Duplicate intersections are returned
-    once — the result is a set of intervals.
+    once — the result is a set of intervals.  This is the per-tuple kernel of
+    alignment ``Φθ`` (Def. 11).
+
+    Args:
+        tuple_interval: The argument tuple's timestamp.
+        group: Timestamps of the tuple's group (matching reference tuples).
+
+    Returns:
+        Intersections and gaps in ascending order; ``[]`` for an empty
+        argument interval, ``[tuple_interval]`` for an empty group.
 
     >>> align_tuple(Interval(1, 7), [Interval(2, 5), Interval(3, 4)])
     [Interval(1, 2), Interval(2, 5), Interval(3, 4), Interval(5, 7)]
@@ -81,6 +99,14 @@ def extend(relation: TemporalRelation, attribute: str = "U") -> TemporalRelation
 
     Thin wrapper over :meth:`TemporalRelation.extend`, re-exported here so the
     core package offers all primitives in one place.
+
+    Args:
+        relation: The relation whose timestamps should be propagated.
+        attribute: Name of the appended nontemporal attribute carrying a copy
+            of each tuple's original interval.
+
+    Returns:
+        A new relation over the extended schema; the input is not modified.
     """
     return relation.extend(attribute)
 
@@ -93,6 +119,13 @@ def absorb(relation: TemporalRelation) -> TemporalRelation:
     The reduction rules apply ``α`` after the nontemporal join step to remove
     temporal duplicates created by aligning each argument independently
     (Example 9 in the paper).
+
+    Args:
+        relation: The relation to absorb (typically a join result).
+
+    Returns:
+        A new relation containing, per value-equivalence class, only the
+        maximal intervals; the input is not modified.
     """
     by_values: Dict[Tuple, List[Interval]] = defaultdict(list)
     for t in relation:

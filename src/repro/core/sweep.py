@@ -17,9 +17,10 @@ sort-merge strategy PostgreSQL picks for this join when it is allowed to.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.relation.tuple import TemporalTuple
+from repro.temporal.interval_index import IntervalIndex, KeyedIntervalIndex
 
 #: A θ predicate over one tuple of each argument relation.
 ThetaPredicate = Callable[[TemporalTuple, TemporalTuple], bool]
@@ -34,22 +35,86 @@ def overlap_groups(
     theta: Optional[ThetaPredicate] = None,
     left_key: Optional[KeyFunction] = None,
     right_key: Optional[KeyFunction] = None,
+    index: Optional[Union[IntervalIndex, KeyedIntervalIndex]] = None,
 ) -> List[List[TemporalTuple]]:
     """For every tuple of ``left`` return the overlapping matches in ``right``.
 
-    The result is a list parallel to ``left``: entry ``i`` holds the tuples of
-    ``right`` whose interval overlaps ``left[i].interval`` and which satisfy
-    the optional equality key and residual ``theta`` predicate.
+    This is the group construction of Sec. 5/6.1: both adjustment primitives
+    (normalize, Def. 9; align, Def. 11) need, per ``left`` tuple, the group of
+    ``right`` tuples whose interval overlaps it.  The paper delegates this to
+    a DBMS left outer join and lets the optimizer choose a strategy; this
+    function is the native analogue, with the strategy chosen by its
+    arguments:
 
-    When ``left_key``/``right_key`` are given, only pairs with equal keys are
-    considered (this is how normalization restricts the group to tuples with
-    matching ``B`` values and how equi-θ joins avoid the full sweep).
+    * no key, no index — event-based plane sweep (sort-merge analogue);
+    * ``left_key``/``right_key`` — hash partition by key, sweep per partition
+      (hash-join analogue, used by normalization for its ``B`` attributes);
+    * ``index`` — probe a prebuilt
+      :class:`~repro.temporal.interval_index.IntervalIndex` (indexed
+      nested-loop analogue).  This wins when ``right`` is referenced by many
+      calls: the index is built once and each call pays only
+      ``O(|left| · log |right| + |output|)``.
+
+    Args:
+        left: Argument tuples; the result is parallel to this sequence.
+        right: Reference tuples searched for overlapping matches.  Ignored
+            when ``index`` is given (the index *is* the reference side).
+        theta: Optional residual predicate over ``(left tuple, right tuple)``
+            checked after the overlap/key match.
+        left_key, right_key: Optional equality-key functions restricting
+            candidate pairs to equal keys; must be given together.
+        index: Optional prebuilt index over the reference side, as returned by
+            :meth:`TemporalRelation.interval_index
+            <repro.relation.relation.TemporalRelation.interval_index>`.  Must
+            be a :class:`KeyedIntervalIndex` when ``left_key`` is given and a
+            plain :class:`IntervalIndex` otherwise.
+
+    Returns:
+        A list parallel to ``left``: entry ``i`` holds the tuples of ``right``
+        whose interval overlaps ``left[i].interval`` and which satisfy the
+        optional equality key and residual ``theta`` predicate.  All
+        strategies produce the same groups (up to member order).
     """
+    if index is not None:
+        if isinstance(index, KeyedIntervalIndex):
+            if left_key is None:
+                raise ValueError("a KeyedIntervalIndex requires a left_key function")
+        elif left_key is not None or right_key is not None:
+            raise ValueError("an equality key requires a KeyedIntervalIndex")
+        return _indexed_overlap_groups(left, theta, left_key, index)
     if left_key is not None or right_key is not None:
         if left_key is None or right_key is None:
             raise ValueError("left_key and right_key must be given together")
         return _keyed_overlap_groups(left, right, theta, left_key, right_key)
     return _sweep_overlap_groups(left, right, theta)
+
+
+def _indexed_overlap_groups(
+    left: Sequence[TemporalTuple],
+    theta: Optional[ThetaPredicate],
+    left_key: Optional[KeyFunction],
+    index: Union[IntervalIndex, KeyedIntervalIndex],
+) -> List[List[TemporalTuple]]:
+    """Probe a prebuilt interval index once per left tuple.
+
+    The amortised strategy for the repeated-reference case: the reference side
+    was sorted once at index build time, so each call is output-sensitive
+    instead of re-sorting the reference (as the sweep must).
+    """
+    keyed = isinstance(index, KeyedIntervalIndex)
+    groups: List[List[TemporalTuple]] = []
+    for r in left:
+        if r.interval.is_empty():
+            groups.append([])
+            continue
+        if keyed:
+            members = index.probe(left_key(r), r.start, r.end)
+        else:
+            members = index.probe(r.start, r.end)
+        if theta is not None:
+            members = [s for s in members if theta(r, s)]
+        groups.append(members)
+    return groups
 
 
 def _keyed_overlap_groups(
@@ -138,12 +203,26 @@ def matching_groups(
     left_key: Optional[KeyFunction] = None,
     right_key: Optional[KeyFunction] = None,
 ) -> List[List[TemporalTuple]]:
-    """Group construction used by the primitives.
+    """Group construction used by the primitives (Defs. 8/10: the set ``g``).
 
     With ``require_overlap`` (the default, and what alignment/normalization
-    need) the efficient sweep is used.  Without it every pair is tested with
-    ``theta`` — that variant exists only to cross-check the definitional
-    semantics in tests.
+    need — see the Notes of Def. 9/11 on non-contributing tuples) the
+    efficient sweep is used.  Without it every pair is tested with ``theta``
+    — that variant exists only to cross-check the definitional semantics in
+    tests.
+
+    Args:
+        left: Argument tuples; the result is parallel to this sequence.
+        right: Reference tuples searched for matches.
+        theta: Optional predicate over ``(left tuple, right tuple)``.
+        require_overlap: When true, only interval-overlapping pairs are
+            candidates and the sweep/key strategies of
+            :func:`overlap_groups` apply.
+        left_key, right_key: Optional equality-key functions (see
+            :func:`overlap_groups`); only honoured with ``require_overlap``.
+
+    Returns:
+        Per left tuple, the list of matching right tuples.
     """
     if require_overlap:
         return overlap_groups(left, right, theta, left_key=left_key, right_key=right_key)
@@ -154,7 +233,19 @@ def matching_groups(
 
 
 def value_key(attributes: Sequence[str]) -> KeyFunction:
-    """Key function returning the tuple of values of ``attributes``."""
+    """Key function returning the tuple of values of ``attributes``.
+
+    This is the equality key of normalization's group construction: tuples
+    agree on the ``B`` attributes of ``N_B`` (Def. 9) iff their keys are
+    equal.
+
+    Args:
+        attributes: Nontemporal attribute names forming the key.
+
+    Returns:
+        A function mapping a :class:`~repro.relation.tuple.TemporalTuple` to
+        the hashable tuple of its values of ``attributes``.
+    """
     names = tuple(attributes)
 
     def key(t: TemporalTuple) -> Tuple[Any, ...]:
@@ -166,9 +257,17 @@ def value_key(attributes: Sequence[str]) -> KeyFunction:
 def uncovered_intervals(interval, covers: Iterable) -> List:
     """Maximal sub-intervals of ``interval`` not covered by any of ``covers``.
 
-    ``covers`` is an iterable of :class:`~repro.temporal.interval.Interval`.
     Used by the aligner for the "no matching tuple" pieces (third and fourth
-    line of Def. 10).
+    line of Def. 10): the parts of an argument tuple's timestamp that no
+    group member's interval covers survive unchanged.
+
+    Args:
+        interval: The :class:`~repro.temporal.interval.Interval` to cover.
+        covers: Iterable of :class:`~repro.temporal.interval.Interval`
+            candidate covers (non-overlapping parts are ignored).
+
+    Returns:
+        List of maximal gap intervals in ascending order (possibly empty).
     """
     from repro.temporal.interval import Interval, coalesce
 

@@ -80,6 +80,22 @@ class Database:
         physical = plan if isinstance(plan, PhysicalNode) else self.plan(plan, settings)
         return Table(result_name, physical.columns, physical.execute())
 
+    def stream(
+        self,
+        plan: Union[LogicalPlan, PhysicalNode],
+        settings: Optional[Settings] = None,
+    ):
+        """Plan (if needed) and run a query as a lazy row iterator.
+
+        Unlike :meth:`execute` nothing is materialised: rows are produced on
+        demand, so a consumer that stops early (e.g. after ``k`` rows) only
+        pays for the upstream work those ``k`` rows required.  The pipeline
+        runs when the returned iterator is consumed, not when ``stream``
+        returns.
+        """
+        physical = plan if isinstance(plan, PhysicalNode) else self.plan(plan, settings)
+        return iter(physical)
+
     def explain(self, logical: LogicalPlan, settings: Optional[Settings] = None) -> str:
         """Return the costed physical plan as text (PostgreSQL-style EXPLAIN)."""
         return self.plan(logical, settings).explain()

@@ -17,6 +17,8 @@ from repro.engine.executor.filter import FilterNode
 from repro.engine.executor.project import ProjectNode
 from repro.engine.executor.sort import SortNode
 from repro.engine.executor.joins import HashJoinNode, MergeJoinNode, NestedLoopJoinNode
+from repro.engine.executor.interval_join import IntervalJoinNode
+from repro.engine.executor.instrument import CountingNode
 from repro.engine.executor.aggregate import HashAggregateNode
 from repro.engine.executor.setops import DistinctNode, SetOpNode
 from repro.engine.executor.adjustment import AdjustmentNode
@@ -34,6 +36,8 @@ __all__ = [
     "NestedLoopJoinNode",
     "HashJoinNode",
     "MergeJoinNode",
+    "IntervalJoinNode",
+    "CountingNode",
     "HashAggregateNode",
     "DistinctNode",
     "SetOpNode",

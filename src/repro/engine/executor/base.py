@@ -1,4 +1,24 @@
-"""Base class and trivial physical operators."""
+"""Base class and trivial physical operators.
+
+The executor follows the Volcano/iterator model, realised with Python
+generators: a physical node is an *iterable of rows*, and iterating it pulls
+rows from its children on demand.  Nothing runs until a consumer pulls, and a
+consumer that stops pulling (``LIMIT``, a ``semi`` join's first-match break)
+stops the whole upstream pipeline with it.  This demand-driven behaviour is
+what the paper's kernel integration gets for free from PostgreSQL's executor
+(Sec. 6.1) and what the cost model's pipelining assumptions rely on.
+
+The streaming protocol, which every operator in this package observes:
+
+* :meth:`PhysicalNode.rows` returns a **fresh** iterator over the node's
+  output; calling it again restarts the computation (nodes are re-iterable,
+  iterators are one-shot).
+* An operator only materialises what its algorithm forces it to (sort runs,
+  hash build sides, absorb groups); everything else is emitted as soon as it
+  is produced.
+* ``estimated_rows``/``estimated_cost`` are annotations written by the
+  planner; execution never reads them.
+"""
 
 from __future__ import annotations
 
@@ -16,6 +36,10 @@ class PhysicalNode:
     :meth:`rows`, a generator of value tuples.  ``estimated_rows`` and
     ``estimated_cost`` are filled in by the planner and used for plan choice
     and ``EXPLAIN`` output.
+
+    Args:
+        columns: Output column names, in row order.
+        children: Input nodes (kept for ``EXPLAIN`` tree rendering).
     """
 
     def __init__(self, columns: Sequence[str], children: Sequence["PhysicalNode"] = ()):
@@ -25,17 +49,37 @@ class PhysicalNode:
         self.estimated_cost: float = 0.0
 
     def rows(self) -> Iterator[Row]:
+        """A fresh iterator over the node's output rows.
+
+        Returns:
+            Generator of value tuples, produced lazily: pulling a row drives
+            exactly as much upstream work as that row requires.
+        """
         raise NotImplementedError
 
     def __iter__(self) -> Iterator[Row]:
+        """Iterate the node's output (each iteration restarts the pipeline)."""
         return self.rows()
 
     def execute(self) -> List[Row]:
-        """Materialise the full output (convenience for callers and tests)."""
+        """Materialise the full output (convenience for callers and tests).
+
+        Returns:
+            All output rows as a list; prefer iterating the node when the
+            consumer may stop early.
+        """
         return list(self.rows())
 
     def explain(self, indent: int = 0) -> str:
-        """Physical plan tree with cost estimates (PostgreSQL-style EXPLAIN)."""
+        """Physical plan tree with cost estimates (PostgreSQL-style EXPLAIN).
+
+        Args:
+            indent: Left margin of the root line (children indent two more).
+
+        Returns:
+            Multi-line string, one ``describe()`` plus estimates per node —
+            the reproduction's analogue of the plans shown in Fig. 12.
+        """
         line = (
             " " * indent
             + f"{self.describe()}  (rows={self.estimated_rows:.0f} cost={self.estimated_cost:.2f})"
@@ -43,6 +87,7 @@ class PhysicalNode:
         return "\n".join([line] + [c.explain(indent + 2) for c in self.children])
 
     def describe(self) -> str:
+        """One-line label of the node (operator name plus key parameters)."""
         return type(self).__name__
 
 

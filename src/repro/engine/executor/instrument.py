@@ -1,0 +1,49 @@
+"""Instrumentation wrappers for observing executor data flow.
+
+The streaming claim of the executor — a ``LIMIT k`` consumer pulls only
+``O(k)`` rows through the pipeline instead of paying for full intermediate
+results — is behaviour, not structure, so it needs to be *measured* to be
+tested.  :class:`CountingNode` is a transparent pass-through that counts the
+rows pulled through it; tests and ``benchmarks/bench_streaming_pipeline.py``
+splice it between pipeline stages to assert and report how many intermediate
+rows each plan actually produced.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.engine.executor.base import PhysicalNode, Row
+
+
+class CountingNode(PhysicalNode):
+    """Transparent wrapper counting the rows pulled through it.
+
+    The wrapper adds no buffering and preserves laziness: a row is counted at
+    the moment the consumer pulls it, so ``pulled`` reflects demand, not
+    upstream availability.  ``open_count`` counts how many times iteration
+    was (re)started, which exposes re-scans (e.g. by a nested loop inner).
+
+    Args:
+        child: The node whose output flow should be observed.
+    """
+
+    def __init__(self, child: PhysicalNode):
+        super().__init__(child.columns, [child])
+        self.child = child
+        self.pulled = 0
+        self.open_count = 0
+
+    def rows(self) -> Iterator[Row]:
+        self.open_count += 1
+        for row in self.child:
+            self.pulled += 1
+            yield row
+
+    def reset(self) -> None:
+        """Zero the counters (between benchmark rounds)."""
+        self.pulled = 0
+        self.open_count = 0
+
+    def describe(self) -> str:
+        return f"Counting(pulled={self.pulled})"

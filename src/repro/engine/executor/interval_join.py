@@ -1,0 +1,160 @@
+"""Interval overlap join strategies for the group-construction join.
+
+The paper leaves the group construction of ``ALIGN``/``NORMALIZE`` to the
+DBMS and relies on the optimizer to pick a join strategy for it
+(Sec. 6.1/7.2).  A θ without equality conjuncts leaves a stock engine only
+the nested loop, which is quadratic.  The two strategies here exploit the
+*shape* of the overlap predicate ``r.Ts < s.Te ∧ s.Ts < r.Te`` instead:
+
+* :class:`IntervalJoinNode` with ``strategy="probe"`` builds a
+  :class:`~repro.temporal.interval_index.IntervalIndex` over the inner input
+  once and probes it per outer row — the indexed-nested-loop analogue,
+  ``O(m log m + n log m + |output|)``.  The outer side is **streamed**: rows
+  are consumed one at a time and matches are emitted immediately, so a
+  downstream ``LIMIT`` stops the outer scan early.
+* ``strategy="sweep"`` sorts both inputs by start point and runs an event
+  sweep — the sort-merge analogue, ``O((n+m) log(n+m) + |output|)``; both
+  inputs are materialised (blocking) but never paired quadratically.
+
+Both strategies re-check the full join condition as a residual predicate, so
+handing them the complete θ ∧ overlap conjunction (as the planner does) is
+always correct; the overlap test itself is also enforced structurally, which
+makes the node usable with ``condition=None`` as a bare overlap join.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.engine.executor.base import PhysicalNode, Row
+from repro.engine.executor.joins import _JoinBase
+from repro.engine.expressions import Expression
+from repro.relation.errors import PlanError
+from repro.relation.tuple import is_null
+from repro.temporal.interval_index import IntervalIndex
+
+#: Column indexes of the interval bounds: (left start, left end, right start,
+#: right end); the right indexes are relative to the right input's columns.
+Bounds = Tuple[int, int, int, int]
+
+
+class IntervalJoinNode(_JoinBase):
+    """Overlap join ``left.Ts < right.Te AND right.Ts < left.Te``.
+
+    Args:
+        left, right: Input nodes.
+        kind: ``"inner"`` or ``"left"`` — the two kinds the adjustment
+            operators' group construction needs (Fig. 8 uses a left outer
+            join so dangling argument tuples survive).
+        condition: Residual predicate over the combined row, re-checked for
+            every structurally overlapping pair (pass the full θ ∧ overlap
+            conjunction; ``None`` means pure overlap join).
+        bounds: Interval bound column indexes ``(lts, lte, rts, rte)``.
+        strategy: ``"probe"`` (index the right input, stream the left) or
+            ``"sweep"`` (event sweep over both inputs).
+    """
+
+    STRATEGIES = ("probe", "sweep")
+
+    def __init__(
+        self,
+        left: PhysicalNode,
+        right: PhysicalNode,
+        kind: str,
+        condition: Optional[Expression],
+        bounds: Bounds,
+        strategy: str = "probe",
+    ):
+        if kind not in ("inner", "left"):
+            raise PlanError(f"interval join supports inner/left kinds, not {kind!r}")
+        if strategy not in self.STRATEGIES:
+            raise PlanError(f"unknown interval join strategy {strategy!r}")
+        super().__init__(left, right, kind, condition)
+        lts, lte, rts, rte = bounds
+        if not (0 <= lts < self._left_width and 0 <= lte < self._left_width):
+            raise PlanError("left interval bounds out of range")
+        if not (0 <= rts < self._right_width and 0 <= rte < self._right_width):
+            raise PlanError("right interval bounds out of range")
+        self.bounds: Bounds = (lts, lte, rts, rte)
+        self.strategy = strategy
+
+    def rows(self) -> Iterator[Row]:
+        if self.strategy == "probe":
+            return self._probe_rows()
+        return self._sweep_rows()
+
+    # -- indexed probe (streams the outer input) ---------------------------------
+
+    def _probe_rows(self) -> Iterator[Row]:
+        lts, lte, rts, rte = self.bounds
+        index_entries = []
+        for right_row in self.right:
+            start, end = right_row[rts], right_row[rte]
+            if is_null(start) or is_null(end):
+                continue  # null bounds never satisfy the overlap comparisons
+            index_entries.append((start, end, right_row))
+        index = IntervalIndex(index_entries)
+
+        for left_row in self.left:
+            start, end = left_row[lts], left_row[lte]
+            matched = False
+            if not (is_null(start) or is_null(end)):
+                # probe(start, end) returns rows with rts < end and rte > start
+                # — exactly the overlap predicate.
+                for right_row in index.probe(start, end):
+                    if self._matches(left_row, right_row):
+                        matched = True
+                        yield self._emit_pair(left_row, right_row)
+            if not matched and self.kind == "left":
+                yield self._pad_right(left_row)
+
+    # -- event sweep (sort-merge analogue) ----------------------------------------
+
+    def _sweep_rows(self) -> Iterator[Row]:
+        lts, lte, rts, rte = self.bounds
+        left_rows: List[Row] = list(self.left)
+        right_rows: List[Row] = list(self.right)
+        matched = [False] * len(left_rows)
+
+        # Events are start points; 0 = right before left at equal position so
+        # a right interval opening exactly at a left start is already active.
+        events: List[Tuple[int, int, int]] = []
+        for i, row in enumerate(left_rows):
+            if not (is_null(row[lts]) or is_null(row[lte])):
+                events.append((row[lts], 1, i))
+        for j, row in enumerate(right_rows):
+            if not (is_null(row[rts]) or is_null(row[rte])):
+                events.append((row[rts], 0, j))
+        events.sort(key=lambda e: (e[0], e[1]))
+
+        active_left: List[int] = []
+        active_right: List[int] = []
+        for position, which, idx in events:
+            if which == 1:
+                left_row = left_rows[idx]
+                active_right = [j for j in active_right if right_rows[j][rte] > position]
+                for j in active_right:
+                    right_row = right_rows[j]
+                    # Active-set pruning guarantees rte > lts; the other half
+                    # of the predicate needs the explicit check.
+                    if right_row[rts] < left_row[lte] and self._matches(left_row, right_row):
+                        matched[idx] = True
+                        yield self._emit_pair(left_row, right_row)
+                active_left.append(idx)
+            else:
+                right_row = right_rows[idx]
+                active_left = [i for i in active_left if left_rows[i][lte] > position]
+                for i in active_left:
+                    left_row = left_rows[i]
+                    if left_row[lts] < right_row[rte] and self._matches(left_row, right_row):
+                        matched[i] = True
+                        yield self._emit_pair(left_row, right_row)
+                active_right.append(idx)
+
+        if self.kind == "left":
+            for i, left_row in enumerate(left_rows):
+                if not matched[i]:
+                    yield self._pad_right(left_row)
+
+    def describe(self) -> str:
+        return f"IntervalJoin({self.kind}, strategy={self.strategy})"

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import functools
 from collections import defaultdict
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.engine.executor.base import PhysicalNode, Row
 from repro.engine.executor.sort import _compare_values
@@ -70,19 +70,62 @@ class _JoinBase(PhysicalNode):
         return (NULL,) * self._left_width + right_row
 
 
+class _ReplayBuffer:
+    """Lazily materialised, re-iterable view of a one-shot row iterator.
+
+    The nested loop needs to scan its inner input once per outer row, but a
+    Python iterator can be consumed only once.  Materialising the whole inner
+    input up front would defeat short-circuiting consumers (``LIMIT``,
+    ``semi``/``exists``), so the buffer pulls inner rows on demand and caches
+    them: the first pass reads from the child, later passes replay the cache
+    and extend it only as far as they are actually consumed.
+    """
+
+    def __init__(self, source: Iterable[Row]):
+        self._iterator = iter(source)
+        self._cache: List[Row] = []
+        self._exhausted = False
+
+    def __iter__(self) -> Iterator[Tuple[int, Row]]:
+        """Yield ``(index, row)`` pairs, pulling from the source as needed."""
+        index = 0
+        while True:
+            if index < len(self._cache):
+                row = self._cache[index]
+            elif self._exhausted:
+                return
+            else:
+                try:
+                    row = next(self._iterator)
+                except StopIteration:
+                    self._exhausted = True
+                    return
+                self._cache.append(row)
+            yield index, row
+            index += 1
+
+
 class NestedLoopJoinNode(_JoinBase):
-    """Nested loop join: works for every join kind and every condition."""
+    """Nested loop join: works for every join kind and every condition.
+
+    The inner input is buffered incrementally (see :class:`_ReplayBuffer`)
+    rather than materialised up front, so a short-circuiting consumer — a
+    downstream ``LIMIT``, or the ``semi`` kind's first-match break — stops
+    pulling inner rows as soon as it has what it needs.  Only the ``right``
+    and ``full`` kinds must drain the inner input completely (their dangling
+    pass needs every inner row).
+    """
 
     def rows(self) -> Iterator[Row]:
-        inner_rows = list(self.right)
-        matched_inner = [False] * len(inner_rows)
+        inner = _ReplayBuffer(self.right)
+        matched_inner: set = set()
 
         for left_row in self.left:
             matched = False
-            for index, right_row in enumerate(inner_rows):
+            for index, right_row in inner:
                 if self._matches(left_row, right_row):
                     matched = True
-                    matched_inner[index] = True
+                    matched_inner.add(index)
                     if self.kind == "semi":
                         break
                     if self.kind not in ("anti",):
@@ -95,8 +138,8 @@ class NestedLoopJoinNode(_JoinBase):
                 yield self._pad_right(left_row)
 
         if self.kind in ("right", "full"):
-            for index, right_row in enumerate(inner_rows):
-                if not matched_inner[index]:
+            for index, right_row in inner:
+                if index not in matched_inner:
                     yield self._pad_left(right_row)
 
     def describe(self) -> str:

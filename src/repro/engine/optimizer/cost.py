@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.engine.optimizer.settings import Settings
 
@@ -95,6 +96,69 @@ def merge_join_cost(settings: Settings, left: Estimate, right: Estimate, rows: f
         + right.cost
         + sort_term(left)
         + sort_term(right)
+        + settings.cpu_tuple_cost * rows,
+    )
+
+
+def overlap_join_rows(
+    settings: Settings,
+    left: Estimate,
+    right: Estimate,
+    kind: str,
+    selectivity: Optional[float] = None,
+) -> float:
+    """Output estimate of the overlap-shaped group-construction join.
+
+    ``selectivity`` is the estimated fraction of row pairs whose intervals
+    overlap — ideally :func:`repro.engine.statistics.overlap_selectivity`
+    from table statistics, else the default non-equality selectivity.  Outer
+    kinds keep at least one row per outer input row (the dangling ω rows of
+    Fig. 8).
+    """
+    if selectivity is None:
+        selectivity = settings.default_selectivity
+    rows = left.rows * right.rows * selectivity
+    if kind in ("left", "full", "anti", "semi"):
+        rows = max(rows, left.rows)
+    if kind in ("right", "full"):
+        rows = max(rows, right.rows)
+    return max(1.0, rows)
+
+
+def interval_probe_join_cost(
+    settings: Settings, left: Estimate, right: Estimate, rows: float
+) -> Estimate:
+    """Indexed overlap probe: sort/index the inner side once, probe per outer row.
+
+    ``O(m log m)`` build plus ``O(log m)`` per outer row plus the output —
+    the indexed-nested-loop analogue for the overlap predicate.
+    """
+    m = max(2.0, right.rows)
+    n = max(1.0, left.rows)
+    log_m = math.log2(m)
+    return Estimate(
+        rows=rows,
+        cost=left.cost
+        + right.cost
+        + settings.cpu_operator_cost * (m * log_m + n * log_m)
+        + settings.cpu_tuple_cost * rows,
+    )
+
+
+def interval_sweep_join_cost(
+    settings: Settings, left: Estimate, right: Estimate, rows: float
+) -> Estimate:
+    """Event-based plane sweep over both inputs: sort both, sweep once.
+
+    ``O((n+m) log(n+m) + output)`` — the sort-merge analogue for the overlap
+    predicate (what :mod:`repro.core.sweep` implements natively).
+    """
+    total = max(2.0, left.rows + right.rows)
+    return Estimate(
+        rows=rows,
+        cost=left.cost
+        + right.cost
+        + settings.cpu_operator_cost * total * math.log2(total)
         + settings.cpu_tuple_cost * rows,
     )
 

@@ -28,6 +28,7 @@ from repro.engine.executor import (
     FilterNode,
     HashAggregateNode,
     HashJoinNode,
+    IntervalJoinNode,
     LimitNode,
     MergeJoinNode,
     NestedLoopJoinNode,
@@ -52,6 +53,7 @@ from repro.engine.expressions import (
 from repro.engine.optimizer import cost
 from repro.engine.optimizer.cost import Estimate
 from repro.engine.optimizer.settings import Settings
+from repro.engine.statistics import IntervalStatistics, overlap_selectivity
 from repro.relation.errors import PlanError
 
 
@@ -165,14 +167,27 @@ class Planner:
         right_ts = left_width + resolve_column(node.right_start, right_columns)
         right_te = left_width + resolve_column(node.right_end, right_columns)
 
-        # Group construction: left outer join on θ ∧ overlap (Fig. 8).
+        # Group construction: left outer join on θ ∧ overlap (Fig. 8).  The
+        # overlap shape admits the interval strategies (indexed probe, plane
+        # sweep) in addition to the generic ones; the choice is costed like
+        # any other join and shows up in EXPLAIN.
         overlap = And(
             Comparison("<", IndexColumn(left_ts), IndexColumn(right_te)),
             Comparison("<", IndexColumn(right_ts), IndexColumn(left_te)),
         )
         condition = conjunction([node.condition, overlap])
         keys = self._key_indexes(node.condition, left_columns, right_columns)
-        join = self._choose_join(left, right, "left", condition, keys)
+        bounds = (
+            left_ts,
+            left_te,
+            right_ts - left_width,
+            right_te - left_width,
+        )
+        selectivity = overlap_selectivity(
+            self._scan_interval_statistics(node.left, node.left_start, node.left_end),
+            self._scan_interval_statistics(node.right, node.right_start, node.right_end),
+        )
+        join = self._choose_overlap_join(left, right, "left", condition, keys, bounds, selectivity)
 
         # Project to the r tuple plus the intersection bounds P1/P2.
         expressions: List[Tuple[Expression, str]] = [
@@ -334,6 +349,78 @@ class Planner:
         else:
             physical = NestedLoopJoinNode(left, right, kind, combined_condition)
         return self._estimated(physical, estimate)
+
+    def _choose_overlap_join(
+        self,
+        left: PhysicalNode,
+        right: PhysicalNode,
+        kind: str,
+        condition: Optional[Expression],
+        keys: Sequence[Tuple[int, int]],
+        bounds: Tuple[int, int, int, int],
+        selectivity: Optional[float],
+    ) -> PhysicalNode:
+        """Pick a strategy for the overlap-shaped group-construction join.
+
+        Candidates are the generic strategies (hash/merge when θ has an
+        equality part, nested loop as fallback) plus the two interval
+        strategies that exploit the overlap predicate itself: the indexed
+        probe (build an interval index over the reference side, probe per
+        argument row — streams the outer input) and the event plane sweep
+        (sort both sides once).  The cheapest estimate wins and the chosen
+        operator is visible in ``EXPLAIN`` output, mirroring how the paper's
+        Fig. 13 experiment reads the strategy off the PostgreSQL plan.
+        """
+        settings = self.settings
+        left_estimate = self._estimate(left)
+        right_estimate = self._estimate(right)
+        rows = cost.overlap_join_rows(settings, left_estimate, right_estimate, kind, selectivity)
+
+        candidates: List[Tuple[Estimate, str]] = []
+        if settings.enable_intervaljoin:
+            candidates.append(
+                (cost.interval_probe_join_cost(settings, left_estimate, right_estimate, rows), "probe")
+            )
+            candidates.append(
+                (cost.interval_sweep_join_cost(settings, left_estimate, right_estimate, rows), "sweep")
+            )
+        if keys and settings.enable_hashjoin:
+            candidates.append((cost.hash_join_cost(settings, left_estimate, right_estimate, rows), "hash"))
+        if keys and settings.enable_mergejoin:
+            candidates.append((cost.merge_join_cost(settings, left_estimate, right_estimate, rows), "merge"))
+        if settings.enable_nestloop or not candidates:
+            candidates.append((cost.nested_loop_cost(settings, left_estimate, right_estimate, rows), "nestloop"))
+
+        estimate, strategy = min(candidates, key=lambda item: item[0].cost)
+        if strategy in ("probe", "sweep"):
+            physical: PhysicalNode = IntervalJoinNode(
+                left, right, kind, condition, bounds, strategy=strategy
+            )
+        elif strategy == "hash":
+            physical = HashJoinNode(left, right, kind, condition, list(keys))
+        elif strategy == "merge":
+            physical = MergeJoinNode(left, right, kind, condition, list(keys))
+        else:
+            physical = NestedLoopJoinNode(left, right, kind, condition)
+        return self._estimated(physical, estimate)
+
+    def _scan_interval_statistics(
+        self, node: logical.LogicalPlan, start_column: str, end_column: str
+    ) -> Optional[IntervalStatistics]:
+        """Interval statistics of a logical input, when it is a base scan.
+
+        Plans whose adjustment inputs are arbitrary subplans get no endpoint
+        statistics (a real system would propagate them); the caller then
+        falls back to the default selectivity.
+        """
+        if not isinstance(node, logical.Scan):
+            return None
+        try:
+            table = self.database.get_table(node.table_name)
+        except Exception:
+            return None
+        statistics = self.database.statistics.for_table(table)
+        return statistics.interval_statistics(start_column, end_column)
 
     def _estimate(self, node: PhysicalNode) -> Estimate:
         return Estimate(rows=node.estimated_rows, cost=node.estimated_cost)

@@ -21,6 +21,10 @@ class Settings:
     enable_hashjoin: bool = True
     #: Allow sort-merge joins for equality conditions.
     enable_mergejoin: bool = True
+    #: Allow the interval strategies (indexed probe, plane sweep) for the
+    #: overlap-shaped group-construction join of ``ALIGN`` (Sec. 6.1's custom
+    #: join path; off reproduces a stock engine without interval support).
+    enable_intervaljoin: bool = True
 
     #: Cost charged per tuple-level operation (PostgreSQL's ``cpu_operator_cost``).
     cpu_operator_cost: float = 0.0025
@@ -41,6 +45,6 @@ class Settings:
     def describe(self) -> str:
         """One-line summary of the join switches (used in benchmark output)."""
         parts = []
-        for name in ("nestloop", "hashjoin", "mergejoin"):
+        for name in ("nestloop", "hashjoin", "mergejoin", "intervaljoin"):
             parts.append(f"{name}={'on' if getattr(self, 'enable_' + name) else 'off'}")
         return ", ".join(parts)

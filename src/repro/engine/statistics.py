@@ -1,24 +1,71 @@
 """Table statistics used by the cost model.
 
-Statistics are intentionally simple — row counts and per-column distinct
-counts — which is all the join-selectivity estimates of the planner need.
-They are computed lazily per table and cached on the catalog.
+Statistics are intentionally simple — row counts, per-column distinct counts
+and, for interval-timestamped tables, endpoint summaries — which is all the
+join-selectivity estimates of the planner need.  They are computed lazily per
+table and cached on the catalog.
+
+The interval summaries feed the selectivity estimate of the overlap-shaped
+group-construction join inside ``ALIGN`` (Sec. 6.1): the expected fraction of
+row pairs whose intervals overlap is roughly the combined mean duration over
+the common span, which is what separates the paper's dense/disjoint dataset
+regimes (``Dall`` vs ``Ddisj``, Sec. 7.1) in the cost model.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 from repro.engine.table import Table
+from repro.relation.tuple import is_null
+
+
+@dataclass(frozen=True)
+class IntervalStatistics:
+    """Endpoint summary of one ``(start, end)`` column pair of a table.
+
+    ``row_count`` counts only rows with non-null integer bounds; ``span`` is
+    the extent ``[min_start, max_end)`` those rows cover.
+    """
+
+    row_count: int
+    min_start: int
+    max_end: int
+    mean_duration: float
+
+    @property
+    def span(self) -> int:
+        """Width of the covered extent (0 for degenerate statistics)."""
+        return max(0, self.max_end - self.min_start)
+
+
+def overlap_selectivity(
+    left: Optional["IntervalStatistics"], right: Optional["IntervalStatistics"]
+) -> Optional[float]:
+    """Estimated fraction of row pairs with overlapping intervals.
+
+    Under a uniform-start model two random intervals of mean durations
+    ``d_l``/``d_r`` inside a common span ``W`` overlap with probability about
+    ``(d_l + d_r) / W``.  Returns ``None`` when either side has no usable
+    statistics (the planner then falls back to the default selectivity).
+    """
+    if left is None or right is None or left.row_count == 0 or right.row_count == 0:
+        return None
+    span = max(left.max_end, right.max_end) - min(left.min_start, right.min_start)
+    if span <= 0:
+        return 1.0
+    return max(0.0, min(1.0, (left.mean_duration + right.mean_duration) / span))
 
 
 class TableStatistics:
-    """Row count and per-column number of distinct values of one table."""
+    """Row count, distinct counts and interval summaries of one table."""
 
     def __init__(self, table: Table):
         self.table_name = table.name
         self.row_count = len(table)
         self._distinct: Dict[str, int] = {}
+        self._intervals: Dict[Tuple[str, str], Optional[IntervalStatistics]] = {}
         self._table = table
 
     def distinct_count(self, column: str) -> int:
@@ -31,6 +78,51 @@ class TableStatistics:
     def selectivity_of_equality(self, column: str) -> float:
         """Estimated selectivity of ``column = constant``."""
         return 1.0 / max(1, self.distinct_count(column))
+
+    def interval_statistics(
+        self, start_column: str, end_column: str
+    ) -> Optional[IntervalStatistics]:
+        """Endpoint summary of the ``[start_column, end_column)`` pair.
+
+        Computed lazily and cached.  Returns ``None`` when the columns do not
+        exist or no row carries usable integer bounds, so callers can fall
+        back to default selectivities without special-casing schema shape.
+        """
+        key = (start_column, end_column)
+        if key not in self._intervals:
+            self._intervals[key] = self._compute_interval_statistics(start_column, end_column)
+        return self._intervals[key]
+
+    def _compute_interval_statistics(
+        self, start_column: str, end_column: str
+    ) -> Optional[IntervalStatistics]:
+        try:
+            start_index = self._table.column_index(start_column)
+            end_index = self._table.column_index(end_column)
+        except Exception:
+            return None
+        count = 0
+        min_start: Optional[int] = None
+        max_end: Optional[int] = None
+        total_duration = 0
+        for row in self._table.rows:
+            start, end = row[start_index], row[end_index]
+            if is_null(start) or is_null(end):
+                continue
+            if not isinstance(start, int) or not isinstance(end, int):
+                return None
+            count += 1
+            min_start = start if min_start is None else min(min_start, start)
+            max_end = end if max_end is None else max(max_end, end)
+            total_duration += max(0, end - start)
+        if count == 0:
+            return None
+        return IntervalStatistics(
+            row_count=count,
+            min_start=min_start if min_start is not None else 0,
+            max_end=max_end if max_end is not None else 0,
+            mean_duration=total_duration / count,
+        )
 
 
 class StatisticsCatalog:

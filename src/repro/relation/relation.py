@@ -47,6 +47,10 @@ class TemporalRelation:
         self.schema = schema
         self.enforce_duplicate_free = enforce_duplicate_free
         self._tuples: List[TemporalTuple] = []
+        #: Cache of expensive derived structures (interval indexes, split
+        #: points); dropped on every mutation so cached entries are always
+        #: consistent with the current tuple set.
+        self._derived_cache: Dict[Any, Any] = {}
         if tuples is not None:
             for t in tuples:
                 self.add(t)
@@ -92,6 +96,8 @@ class TemporalRelation:
         if self.enforce_duplicate_free:
             self._check_duplicate_free(tuple_)
         self._tuples.append(tuple_)
+        if self._derived_cache:
+            self._derived_cache.clear()
         return tuple_
 
     def insert(self, values: Sequence[Any], interval: Interval) -> TemporalTuple:
@@ -186,6 +192,50 @@ class TemporalRelation:
     def cardinality(self) -> int:
         """Number of tuples (alias of ``len`` for readability in benchmarks)."""
         return len(self._tuples)
+
+    # -- derived structures ---------------------------------------------------
+
+    def derived(self, key: Any, builder: Callable[[], Any]) -> Any:
+        """Build-once cache for structures derived from the current tuples.
+
+        ``builder`` is called at most once per ``key`` until the relation is
+        mutated, at which point every cached entry is dropped.  Used for the
+        interval indexes and the normalization split points, so that relations
+        referenced by many adjustment calls pay the preprocessing cost once.
+        """
+        try:
+            return self._derived_cache[key]
+        except KeyError:
+            value = builder()
+            self._derived_cache[key] = value
+            return value
+
+    def interval_index(self, attributes: Sequence[str] = ()):
+        """The (lazily built, cached) overlap index over this relation.
+
+        With ``attributes`` empty a plain
+        :class:`~repro.temporal.interval_index.IntervalIndex` over all
+        non-empty tuples is returned; otherwise a
+        :class:`~repro.temporal.interval_index.KeyedIntervalIndex` partitioned
+        by the values of ``attributes`` (the ``B`` key of normalization or the
+        equi part of an alignment θ).
+
+        The index is a snapshot of the current tuple set; inserting into the
+        relation invalidates it and the next call rebuilds.  Repeatedly
+        aligning different query relations against one reference therefore
+        sorts the reference once instead of once per call.
+        """
+        from repro.temporal.interval_index import index_tuples
+
+        attrs = tuple(attributes)
+        key_function = (lambda t: t.values_of(attrs)) if attrs else None
+        return self.derived(
+            ("interval_index", attrs), lambda: index_tuples(self._tuples, key_function)
+        )
+
+    def has_interval_index(self, attributes: Sequence[str] = ()) -> bool:
+        """Whether :meth:`interval_index` for ``attributes`` is already cached."""
+        return ("interval_index", tuple(attributes)) in self._derived_cache
 
     # -- the paper's schema-level operators -----------------------------------
 

@@ -11,9 +11,13 @@ provides:
 * :mod:`~repro.temporal.timeline` — helpers mapping calendar-like labels
   (``"2012/3"`` or ISO dates) onto the discrete integer domain, so examples
   can be written in the paper's notation.
+* :mod:`~repro.temporal.interval_index` — sorted-endpoint overlap index used
+  to amortise the group-construction join when one relation is referenced
+  repeatedly.
 """
 
 from repro.temporal.interval import EMPTY_INTERVAL, Interval, coalesce, duration, overlaps
+from repro.temporal.interval_index import IntervalIndex, KeyedIntervalIndex, index_tuples
 from repro.temporal.timeline import (
     DayTimeline,
     MonthTimeline,
@@ -25,6 +29,9 @@ from repro.temporal.timeline import (
 __all__ = [
     "Interval",
     "EMPTY_INTERVAL",
+    "IntervalIndex",
+    "KeyedIntervalIndex",
+    "index_tuples",
     "overlaps",
     "duration",
     "coalesce",
