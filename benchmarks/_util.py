@@ -8,10 +8,28 @@ from typing import List, Tuple
 #: Multiplier applied to every input-size sweep (``REPRO_BENCH_SCALE``).
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1"))
 
+#: Deterministic lower bound of every scaled size: sweeps stay meaningful
+#: (and generators well-defined) no matter how small the scale.
+MIN_SIZE = 10
+
 
 def scaled(sizes: List[int]) -> List[int]:
-    """Scale a list of input sizes by ``REPRO_BENCH_SCALE``."""
-    return [max(10, int(size * SCALE)) for size in sizes]
+    """Scale a list of input sizes by ``REPRO_BENCH_SCALE``.
+
+    Every size is floored at :data:`MIN_SIZE`, and a multi-point sweep is
+    kept *strictly increasing*: a very small ``REPRO_BENCH_SCALE`` would
+    otherwise collapse several sweep points onto the same floored value,
+    silently benchmarking one input size several times and producing
+    degenerate (flat) curves.  The result is deterministic for a given
+    scale value.
+    """
+    result: List[int] = []
+    for size in sizes:
+        value = max(MIN_SIZE, int(size * SCALE))
+        if result and value <= result[-1]:
+            value = result[-1] + 1
+        result.append(value)
+    return result
 
 
 def prefix_pair(pair, size) -> Tuple:

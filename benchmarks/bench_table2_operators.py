@@ -9,15 +9,49 @@ the harness doubles as an end-to-end integration test of the two code paths.
 
 from __future__ import annotations
 
+import os
+import time
+
 import pytest
 
-from benchmarks._util import prefix_pair, scaled
+from benchmarks._util import SCALE, prefix_pair, scaled
 from repro import avg, count, predicates
 from repro.core import reduction
 from repro.core.aggregates import duration_of
 from repro.workloads.synthetic import SyntheticConfig, generate_random
 
+#: Wall-clock budgets are meaningful on a quiet machine but can flake on
+#: loaded shared CI runners; ``REPRO_BENCH_STRICT=0`` downgrades the budget
+#: assertion to a reported number (same convention as the streaming harness).
+STRICT_TIMING = os.environ.get("REPRO_BENCH_STRICT", "1") != "0"
+
+#: Per-operator wall-clock budget: generous enough for slow hardware, tight
+#: enough to catch an accidental complexity blowup in a reduction rule.
+TIME_BUDGET_SECONDS = 30.0 * max(1.0, SCALE)
+
 SIZE = scaled([600])[0]
+
+
+def guarded(benchmark, action):
+    """Run ``action`` under ``benchmark`` and enforce the wall-clock budget."""
+    elapsed = {}
+
+    def run():
+        started = time.perf_counter()
+        result = action()
+        elapsed["seconds"] = time.perf_counter() - started
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    seconds = elapsed["seconds"]
+    benchmark.extra_info["seconds"] = round(seconds, 4)
+    if STRICT_TIMING:
+        assert seconds <= TIME_BUDGET_SECONDS, (
+            f"operator took {seconds:.1f}s, over the {TIME_BUDGET_SECONDS:.0f}s budget"
+        )
+    elif seconds > TIME_BUDGET_SECONDS:
+        print(f"\n[table2] over budget ({seconds:.1f}s > {TIME_BUDGET_SECONDS:.0f}s), not strict")
+    return result
 
 
 @pytest.fixture(scope="module")
@@ -31,28 +65,23 @@ EQUI = ["cat"]
 
 def test_table2_selection(benchmark, dataset):
     left, _ = dataset
-    benchmark.pedantic(
-        lambda: reduction.temporal_selection(left, lambda t: t.value("min_dur") <= 10),
-        rounds=1, iterations=1,
-    )
+    guarded(benchmark, lambda: reduction.temporal_selection(left, lambda t: t.value("min_dur") <= 10))
 
 
 def test_table2_projection(benchmark, dataset):
     left, _ = dataset
-    result = benchmark.pedantic(
-        lambda: reduction.temporal_projection(left, ["cat"]), rounds=1, iterations=1
-    )
+    result = guarded(benchmark, lambda: reduction.temporal_projection(left, ["cat"]))
     benchmark.extra_info["output_tuples"] = len(result)
 
 
 def test_table2_aggregation(benchmark, dataset):
     left, _ = dataset
     extended = left.extend("U")
-    result = benchmark.pedantic(
+    result = guarded(
+        benchmark,
         lambda: reduction.temporal_aggregate(
             extended, ["cat"], [count(name="n"), avg(duration_of("U"), name="avg_dur")]
         ),
-        rounds=1, iterations=1,
     )
     benchmark.extra_info["output_tuples"] = len(result)
 
@@ -61,15 +90,13 @@ def test_table2_aggregation(benchmark, dataset):
 def test_table2_set_operators(benchmark, dataset, operator):
     left, right = dataset
     function = getattr(reduction, f"temporal_{operator}")
-    result = benchmark.pedantic(lambda: function(left, right), rounds=1, iterations=1)
+    result = guarded(benchmark, lambda: function(left, right))
     benchmark.extra_info["output_tuples"] = len(result)
 
 
 def test_table2_cartesian_product(benchmark, dataset):
     left, right = prefix_pair(dataset, 150)
-    result = benchmark.pedantic(
-        lambda: reduction.temporal_cartesian_product(left, right), rounds=1, iterations=1
-    )
+    result = guarded(benchmark, lambda: reduction.temporal_cartesian_product(left, right))
     benchmark.extra_info["output_tuples"] = len(result)
 
 
@@ -80,9 +107,9 @@ def test_table2_cartesian_product(benchmark, dataset):
 def test_table2_join_family(benchmark, dataset, operator):
     left, right = dataset
     function = getattr(reduction, f"temporal_{operator}")
-    result = benchmark.pedantic(
+    result = guarded(
+        benchmark,
         lambda: function(left, right, THETA,
                          left_equi_attributes=EQUI, right_equi_attributes=EQUI),
-        rounds=1, iterations=1,
     )
     benchmark.extra_info["output_tuples"] = len(result)

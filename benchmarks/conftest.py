@@ -9,11 +9,9 @@ reproduction asserts, not absolute seconds (see EXPERIMENTS.md).
 
 from __future__ import annotations
 
-import os
-from typing import List
-
 import pytest
 
+from benchmarks._util import SCALE, scaled  # noqa: F401  (re-exported for harnesses)
 from repro.workloads.incumben import IncumbenConfig, generate_incumben
 from repro.workloads.synthetic import (
     SyntheticConfig,
@@ -21,14 +19,6 @@ from repro.workloads.synthetic import (
     generate_equal,
     generate_random,
 )
-
-#: Multiplier applied to every input-size sweep.
-SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1"))
-
-
-def scaled(sizes: List[int]) -> List[int]:
-    """Scale a list of input sizes by ``REPRO_BENCH_SCALE``."""
-    return [max(10, int(size * SCALE)) for size in sizes]
 
 
 @pytest.fixture(scope="session")

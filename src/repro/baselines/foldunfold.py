@@ -17,7 +17,7 @@ The approach is conceptually simple but
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.sweep import ThetaPredicate
 from repro.relation.relation import TemporalRelation
@@ -81,9 +81,9 @@ def unfold_fold_join(
             right_by_point[point].append(s)
 
     joined_points: List[Tuple[Tuple, int]] = []
-    for l in left:
-        for point in l.interval.points():
+    for lt in left:
+        for point in lt.interval.points():
             for s in right_by_point.get(point, ()):
-                if theta is None or theta(l, s):
-                    joined_points.append((l.values + s.values, point))
+                if theta is None or theta(lt, s):
+                    joined_points.append((lt.values + s.values, point))
     return fold(schema, joined_points)

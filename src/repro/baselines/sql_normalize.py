@@ -21,8 +21,7 @@ from repro.core import adjusted_ops
 from repro.core.normalization import normalize
 from repro.core.sweep import ThetaPredicate
 from repro.relation.relation import TemporalRelation
-from repro.relation.schema import Schema
-from repro.relation.tuple import NULL, TemporalTuple
+from repro.relation.tuple import NULL
 
 
 def _positive_part(
@@ -39,15 +38,15 @@ def _positive_part(
     result = TemporalRelation(schema)
     buckets = _partition(right, right_equi_attributes or equi_attributes)
 
-    for l in left:
-        key = l.values_of(equi_attributes) if equi_attributes else ()
+    for lt in left:
+        key = lt.values_of(equi_attributes) if equi_attributes else ()
         for s in buckets.get(key, ()):
-            if theta is not None and not theta(l, s):
+            if theta is not None and not theta(lt, s):
                 continue
-            common = l.interval.intersect(s.interval)
+            common = lt.interval.intersect(s.interval)
             if common.is_empty():
                 continue
-            result.insert(l.values + s.values, common)
+            result.insert(lt.values + s.values, common)
     return result
 
 

@@ -24,11 +24,10 @@ characteristics of the SQL formulation are preserved:
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence
 
 from repro.core.sweep import ThetaPredicate
 from repro.relation.relation import TemporalRelation
-from repro.relation.schema import Schema
 from repro.relation.tuple import NULL, TemporalTuple
 from repro.temporal.interval import Interval
 
@@ -126,25 +125,25 @@ def sql_outer_join(
         return not found
 
     # Positive part: overlap join emitting the intersection of the timestamps.
-    for l in left:
-        for s in right_bucket(l):
-            if theta is not None and not theta(l, s):
+    for lt in left:
+        for s in right_bucket(lt):
+            if theta is not None and not theta(lt, s):
                 continue
-            common = l.interval.intersect(s.interval)
+            common = lt.interval.intersect(s.interval)
             if common.is_empty():
                 continue
-            result.insert(l.values + s.values, common)
+            result.insert(lt.values + s.values, common)
 
     # Negative part (left side): candidate gaps validated with NOT EXISTS.
-    for l in left:
-        bucket = right_bucket(l)
+    for lt in left:
+        bucket = right_bucket(lt)
         partners = [
             s for s in bucket
-            if (theta is None or theta(l, s)) and s.interval.overlaps(l.interval)
+            if (theta is None or theta(lt, s)) and s.interval.overlaps(lt.interval)
         ]
-        for candidate in _candidates(l, partners):
-            if not_exists(candidate, l, bucket, anchor_is_left=True):
-                result.insert(l.values + (NULL,) * len(right.schema), candidate)
+        for candidate in _candidates(lt, partners):
+            if not_exists(candidate, lt, bucket, anchor_is_left=True):
+                result.insert(lt.values + (NULL,) * len(right.schema), candidate)
 
     if kind == "full":
         # Negative part (right side), symmetric to the left one.
@@ -157,8 +156,8 @@ def sql_outer_join(
         for s in right:
             bucket = left_bucket(s)
             partners = [
-                l for l in bucket
-                if (theta is None or theta(l, s)) and l.interval.overlaps(s.interval)
+                lt for lt in bucket
+                if (theta is None or theta(lt, s)) and lt.interval.overlaps(s.interval)
             ]
             for candidate in _candidates(s, partners):
                 if not_exists(candidate, s, bucket, anchor_is_left=False):

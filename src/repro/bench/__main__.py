@@ -1,0 +1,9 @@
+"""``python -m repro.bench`` — run the benchmark scenarios (see runner.py)."""
+
+from repro.bench.runner import main
+
+# The guard matters: on spawn-based multiprocessing platforms, worker
+# processes re-import the parent's main module, and an unguarded main() call
+# would recursively relaunch the whole benchmark run in every worker.
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,311 @@
+"""Benchmark runner: timed scenarios with hard correctness gates.
+
+Each *scenario* runs one adjustment plan twice — once with the serial
+settings, once with the partition-parallel settings — over one synthetic
+family at one size, and records:
+
+* wall-clock seconds for both executions (best of ``repeats`` runs);
+* rows pulled through the plan root, observed with
+  :class:`~repro.engine.executor.instrument.CountingNode`;
+* the root line of both ``EXPLAIN`` outputs (so the report proves which
+  physical plan actually ran — the parallel one must show the
+  ``Exchange``/``Partition`` pair);
+* whether the two executions produced the identical relation.
+
+Result equality is a **hard** gate: any mismatch raises
+:class:`BenchmarkError` and the process exits non-zero, which is what the CI
+``bench`` job keys off.  Timings are always reported, never asserted — wall
+clock on shared runners is noise, order insensitivity is not (the
+``REPRO_BENCH_STRICT`` convention of the pytest harnesses applies the same
+philosophy there).
+
+Reports are JSON files named ``BENCH_<name>.json`` written to the repo root
+(or ``--output-dir``); the schema is documented in ``docs/benchmarking.md``.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.bench                    # native scenarios
+    PYTHONPATH=src python -m repro.bench --workers 4
+    PYTHONPATH=src python -m repro.bench --legacy benchmarks/bench_streaming_pipeline.py
+    REPRO_BENCH_SCALE=0.2 PYTHONPATH=src python -m repro.bench   # CI scale
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.engine.database import Database
+from repro.engine.executor import CountingNode
+from repro.engine.expressions import Column, Comparison
+from repro.engine.optimizer.settings import Settings
+from repro.engine.plan import LogicalPlan
+from repro.engine.temporal_plans import align_plan, normalize_plan, scan
+from repro.workloads.synthetic import (
+    SyntheticConfig,
+    generate_disjoint,
+    generate_equal,
+    generate_random,
+)
+
+#: Input-size multiplier shared with the pytest harnesses.
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1"))
+
+#: Per-family input sizes before scaling; every size yields one scenario.
+DEFAULT_SIZES = (1000, 2000)
+
+FAMILIES: Dict[str, Callable] = {
+    "disjoint": generate_disjoint,
+    "equal": generate_equal,
+    "random": generate_random,
+}
+
+
+class BenchmarkError(AssertionError):
+    """A correctness gate of the benchmark harness failed."""
+
+
+def scaled_sizes(sizes: Sequence[int], scale: float = SCALE) -> List[int]:
+    """Scale a size sweep, keeping it deterministic and strictly increasing.
+
+    Mirrors :func:`benchmarks._util.scaled` (kept dependency-free so the
+    package works without the pytest harnesses on the path).
+    """
+    result: List[int] = []
+    for size in sizes:
+        value = max(10, int(size * scale))
+        if result and value <= result[-1]:
+            value = result[-1] + 1
+        result.append(value)
+    return result
+
+
+def _best_of(repeats: int, action: Callable[[], object]):
+    best = float("inf")
+    result: object = None
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        result = action()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def _timed_execution(database: Database, plan: LogicalPlan, settings: Settings, repeats: int):
+    """Plan, instrument, and run; returns (seconds, sorted rows, pulled, plan root)."""
+    physical = database.plan(plan, settings)
+    root_line = physical.explain().splitlines()[0]
+    counter = CountingNode(physical)
+
+    def run():
+        counter.reset()
+        return list(counter)
+
+    seconds, rows = _best_of(repeats, run)
+    return seconds, sorted(rows), counter.pulled, root_line
+
+
+def _parallel_settings(workers: int) -> Settings:
+    """Settings that adopt the parallel plan whenever a partition key exists.
+
+    The comparison is strategy-vs-strategy (the Fig. 13 methodology): the
+    cost gate is lifted so both executions run even at benchmark-scale
+    inputs, and the report records which plan each side actually used.
+    """
+    return Settings(parallel_workers=workers, parallel_setup_cost=0.0, parallel_min_rows=0.0)
+
+
+def _adjustment_scenarios(
+    name: str,
+    build_plan: Callable[[Database], LogicalPlan],
+    sizes: Sequence[int],
+    workers: int,
+    repeats: int,
+) -> List[dict]:
+    scenarios = []
+    for family, generator in sorted(FAMILIES.items()):
+        for size in sizes:
+            left, right = generator(config=SyntheticConfig(size=size, categories=100, seed=42))
+            database = Database()
+            database.register_relation("l", left)
+            database.register_relation("r", right)
+            plan = build_plan(database)
+
+            serial_s, serial_rows, serial_pulled, serial_plan = _timed_execution(
+                database, plan, Settings(parallel_workers=0), repeats
+            )
+            parallel_s, parallel_rows, parallel_pulled, parallel_plan = _timed_execution(
+                database, plan, _parallel_settings(workers), repeats
+            )
+
+            identical = serial_rows == parallel_rows
+            scenario = {
+                "scenario": name,
+                "family": family,
+                "size": size,
+                "serial_seconds": round(serial_s, 6),
+                "parallel_seconds": round(parallel_s, 6),
+                "speedup": round(serial_s / max(parallel_s, 1e-9), 3),
+                "rows_pulled": {"serial": serial_pulled, "parallel": parallel_pulled},
+                "output_tuples": len(serial_rows),
+                "identical": identical,
+                "serial_plan": serial_plan,
+                "parallel_plan": parallel_plan,
+            }
+            scenarios.append(scenario)
+            print(
+                f"[{name}] {family} n={size}: serial={serial_s * 1e3:.1f}ms "
+                f"parallel={parallel_s * 1e3:.1f}ms out={len(serial_rows)} "
+                f"identical={identical}"
+            )
+            if not identical:
+                raise BenchmarkError(
+                    f"{name}/{family}/n={size}: parallel relation differs from serial "
+                    f"({len(parallel_rows)} vs {len(serial_rows)} rows)"
+                )
+            if "Exchange" not in parallel_plan:
+                raise BenchmarkError(
+                    f"{name}/{family}/n={size}: parallel settings did not produce an "
+                    f"Exchange plan (got {parallel_plan!r})"
+                )
+    return scenarios
+
+
+def run_parallel_alignment(
+    sizes: Optional[Sequence[int]] = None, workers: int = 2, repeats: int = 2
+) -> List[dict]:
+    """Serial vs partition-parallel ALIGN with an equi-θ on ``cat``."""
+
+    def build(database: Database) -> LogicalPlan:
+        return align_plan(
+            scan(database, "l", "l"),
+            scan(database, "r", "r"),
+            Comparison("=", Column("l.cat"), Column("r.cat")),
+        )
+
+    return _adjustment_scenarios(
+        "parallel_alignment", build, sizes or scaled_sizes(DEFAULT_SIZES), workers, repeats
+    )
+
+
+def run_parallel_normalization(
+    sizes: Optional[Sequence[int]] = None, workers: int = 2, repeats: int = 2
+) -> List[dict]:
+    """Serial vs partition-parallel ``N_cat(l; r)``."""
+
+    def build(database: Database) -> LogicalPlan:
+        return normalize_plan(scan(database, "l", "l"), scan(database, "r", "r"), using=["cat"])
+
+    return _adjustment_scenarios(
+        "parallel_normalization", build, sizes or scaled_sizes(DEFAULT_SIZES), workers, repeats
+    )
+
+
+def run_legacy_suite(path: str) -> dict:
+    """Wrap one pytest figure harness, recording wall-clock and outcome.
+
+    Timing assertions inside the harness are downgraded
+    (``REPRO_BENCH_STRICT=0``) — its correctness assertions stay hard and a
+    failing suite fails the report.
+    """
+    env = dict(os.environ)
+    env.setdefault("REPRO_BENCH_STRICT", "0")
+    src = os.path.join(os.getcwd(), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    started = time.perf_counter()
+    completed = subprocess.run(
+        [sys.executable, "-m", "pytest", "-q", path],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    seconds = time.perf_counter() - started
+    tail = completed.stdout.strip().splitlines()
+    return {
+        "scenario": "legacy",
+        "suite": path,
+        "seconds": round(seconds, 3),
+        "returncode": completed.returncode,
+        "summary": tail[-1] if tail else "",
+    }
+
+
+def write_report(name: str, scenarios: List[dict], output_dir: str, workers: int) -> str:
+    """Write ``BENCH_<name>.json`` and return its path."""
+    payload = {
+        "benchmark": name,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "scale": SCALE,
+        "workers": workers,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "scenarios": scenarios,
+    }
+    os.makedirs(output_dir, exist_ok=True)
+    path = os.path.join(output_dir, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    print(f"wrote {path} ({len(scenarios)} scenarios)")
+    return path
+
+
+NATIVE_SCENARIOS = {
+    "parallel_alignment": run_parallel_alignment,
+    "parallel_normalization": run_parallel_normalization,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        choices=sorted(NATIVE_SCENARIOS),
+        help="native scenario to run (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--legacy",
+        action="append",
+        default=[],
+        metavar="PYTEST_FILE",
+        help="pytest benchmark file to wrap (repeatable)",
+    )
+    parser.add_argument("--workers", type=int, default=2, help="parallel worker pool size")
+    parser.add_argument("--repeats", type=int, default=2, help="timing runs per measurement")
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=None, help="input sizes (before scaling)"
+    )
+    parser.add_argument("--output-dir", default=".", help="where BENCH_*.json files go")
+    arguments = parser.parse_args(argv)
+
+    sizes = scaled_sizes(arguments.sizes) if arguments.sizes else None
+    names = arguments.scenario or sorted(NATIVE_SCENARIOS)
+    failed = False
+    for name in names:
+        try:
+            scenarios = NATIVE_SCENARIOS[name](
+                sizes=sizes, workers=arguments.workers, repeats=arguments.repeats
+            )
+        except BenchmarkError as error:
+            print(f"CORRECTNESS FAILURE in {name}: {error}", file=sys.stderr)
+            failed = True
+            continue
+        write_report(name, scenarios, arguments.output_dir, arguments.workers)
+
+    if arguments.legacy:
+        results = [run_legacy_suite(path) for path in arguments.legacy]
+        write_report("legacy_suites", results, arguments.output_dir, arguments.workers)
+        failed = failed or any(result["returncode"] != 0 for result in results)
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

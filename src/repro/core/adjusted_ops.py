@@ -192,15 +192,15 @@ def join(
     matched_right: Set[int] = set()
 
     result = TemporalRelation(schema)
-    for l in left:
+    for lt in left:
         matches = 0
-        for right_index, r in buckets.get(l.interval, ()):  # noqa: B020 - explicit pairs
-            if theta is None or theta(l, r):
+        for right_index, r in buckets.get(lt.interval, ()):  # noqa: B020 - explicit pairs
+            if theta is None or theta(lt, r):
                 matches += 1
                 matched_right.add(right_index)
-                result.add(TemporalTuple(schema, l.values + r.values, l.interval))
+                result.add(TemporalTuple(schema, lt.values + r.values, lt.interval))
         if matches == 0 and kind in {"left", "full"}:
-            result.add(_pad_right(l, right_width, schema))
+            result.add(_pad_right(lt, right_width, schema))
 
     if kind in {"right", "full"}:
         for right_index, r in enumerate(right):
@@ -216,10 +216,10 @@ def _antijoin(
 ) -> TemporalRelation:
     buckets = _hash_by_interval(right)
     result = TemporalRelation(left.schema)
-    for l in left:
+    for lt in left:
         has_match = any(
-            theta is None or theta(l, r) for _, r in buckets.get(l.interval, ())
+            theta is None or theta(lt, r) for _, r in buckets.get(lt.interval, ())
         )
         if not has_match:
-            result.add(l)
+            result.add(lt)
     return result

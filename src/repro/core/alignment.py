@@ -21,15 +21,17 @@ PostgreSQL optimizer pick a hash or merge join.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
+from repro.core import parallel as parallel_support
 from repro.core.primitives import align_tuple
 from repro.core.sweep import KeyFunction, ThetaPredicate, overlap_groups, value_key
 from repro.relation.relation import TemporalRelation
 from repro.relation.tuple import TemporalTuple
+from repro.temporal.interval import Interval
 
 
-ALIGN_STRATEGIES = ("auto", "sweep", "index")
+ALIGN_STRATEGIES = ("auto", "sweep", "index", "parallel")
 
 
 def align_relation(
@@ -39,6 +41,7 @@ def align_relation(
     equi_attributes: Optional[Sequence[str]] = None,
     reference_equi_attributes: Optional[Sequence[str]] = None,
     strategy: str = "auto",
+    workers: Optional[int] = None,
 ) -> TemporalRelation:
     """Compute the temporal alignment ``relation Φθ reference``.
 
@@ -60,9 +63,17 @@ def align_relation(
         the reference's cached
         :class:`~repro.temporal.interval_index.IntervalIndex`, building it on
         first use — the right choice when many relations are aligned against
-        one shared reference; ``"auto"`` (default) probes the index when the
-        reference already has one cached and sweeps otherwise, so repeated
-        callers get the amortised path without a flag.
+        one shared reference; ``"parallel"`` hash-partitions both inputs on
+        the equality key and sweeps the partitions through a worker pool
+        (in-process below :func:`repro.core.parallel.min_pool_tuples` input
+        tuples, or when the θ predicate cannot be shipped to workers);
+        ``"auto"`` (default) probes the index when the reference already has
+        one cached and sweeps otherwise, so repeated callers get the
+        amortised path without a flag.
+    workers:
+        Pool size for the ``"parallel"`` strategy (default: the
+        ``REPRO_PARALLEL_WORKERS`` environment variable, else the CPU
+        count).  Ignored by the other strategies.
 
     Notes
     -----
@@ -75,6 +86,13 @@ def align_relation(
     if strategy not in ALIGN_STRATEGIES:
         raise ValueError(f"unknown alignment strategy {strategy!r}; use one of {ALIGN_STRATEGIES}")
 
+    # An empty key list restricts nothing — treat it exactly like "no key",
+    # so every strategy (notably the indexed paths, whose plain-vs-keyed
+    # index flavour follows the attribute list) agrees on the semantics.
+    if not equi_attributes:
+        equi_attributes = None
+        reference_equi_attributes = None
+
     # The reference side's key attributes drive both the sweep's hash
     # partition and the keyed index, so compute them exactly once.
     left_key: Optional[KeyFunction] = None
@@ -86,6 +104,11 @@ def align_relation(
         )
         left_key = value_key(equi_attributes)
         right_key = value_key(index_attrs)
+
+    if strategy == "parallel":
+        return _align_parallel(
+            relation, reference, theta, equi_attributes, index_attrs, workers
+        )
 
     index = None
     if strategy == "index" or (strategy == "auto" and reference.has_interval_index(index_attrs)):
@@ -107,6 +130,99 @@ def align_relation(
     return result
 
 
+# -- the parallel strategy ----------------------------------------------------
+
+
+def _align_partition_worker(payload) -> List[Tuple[int, List[Interval]]]:
+    """Align the argument tuples of one partition (runs in a pool worker).
+
+    The payload carries full :class:`TemporalTuple` values (they pickle via
+    ``__reduce__``) because the residual θ predicate needs them; the result
+    only carries the adjusted intervals, keyed by the argument tuple's
+    position in the original relation so the parent can merge
+    deterministically.
+    """
+    theta, equi_attributes, reference_equi_attributes, left_items, right_tuples = payload
+    # Hash buckets can hold several distinct keys (collisions), so the
+    # within-partition sweep still restricts candidates by the equality key.
+    left_key = value_key(equi_attributes) if equi_attributes is not None else None
+    right_key = (
+        value_key(reference_equi_attributes) if equi_attributes is not None else None
+    )
+    lefts = [item[1] for item in left_items]
+    groups = overlap_groups(
+        lefts, right_tuples, theta=theta, left_key=left_key, right_key=right_key
+    )
+    pieces: List[Tuple[int, List[Interval]]] = []
+    for (index, r), group in zip(left_items, groups):
+        pieces.append((index, align_tuple(r.interval, [g.interval for g in group])))
+    return pieces
+
+
+def _align_parallel(
+    relation: TemporalRelation,
+    reference: TemporalRelation,
+    theta: Optional[ThetaPredicate],
+    equi_attributes: Optional[Sequence[str]],
+    reference_equi_attributes: Sequence[str],
+    workers: Optional[int],
+) -> TemporalRelation:
+    """``align_relation`` with hash-partitioned, pool-executed sweeps.
+
+    Partitioning on the equality key is lossless: a reference tuple can only
+    belong to an argument tuple's group when the keys are equal, so both land
+    in the same partition and every partition alignment is self-contained.
+    Without an equality key everything collapses into a single partition and
+    the strategy degenerates to the serial sweep.
+    """
+    worker_count = parallel_support.resolve_workers(workers)
+    partition_count = max(1, worker_count * 4)
+
+    left_tuples = relation.tuples()
+    right_tuples = reference.tuples()
+    left_keys = [
+        t.values_of(equi_attributes) if equi_attributes is not None else () for t in left_tuples
+    ]
+    right_keys = [
+        t.values_of(reference_equi_attributes) if equi_attributes is not None else ()
+        for t in right_tuples
+    ]
+    left_buckets = parallel_support.partition_items(
+        list(enumerate(left_tuples)),
+        parallel_support.partition_indexes(left_keys, partition_count),
+        partition_count,
+    )
+    right_buckets = parallel_support.partition_items(
+        right_tuples,
+        parallel_support.partition_indexes(right_keys, partition_count),
+        partition_count,
+    )
+
+    equi = tuple(equi_attributes) if equi_attributes is not None else None
+    ref_equi = tuple(reference_equi_attributes) if equi_attributes is not None else None
+    payloads = [
+        (theta, equi, ref_equi, left_bucket, right_bucket)
+        for left_bucket, right_bucket in zip(left_buckets, right_buckets)
+        if left_bucket
+    ]
+    results = parallel_support.parallel_map(
+        _align_partition_worker,
+        payloads,
+        workers=worker_count,
+        total_items=len(left_tuples) + len(right_tuples),
+    )
+
+    pieces_by_index = {}
+    for partition_pieces in results:
+        for index, intervals in partition_pieces:
+            pieces_by_index[index] = intervals
+    result = TemporalRelation(relation.schema)
+    for index, r in enumerate(left_tuples):
+        for piece in pieces_by_index.get(index, ()):
+            result.add(r.with_interval(piece))
+    return result
+
+
 def align_pair(
     left: TemporalRelation,
     right: TemporalRelation,
@@ -120,9 +236,10 @@ def align_pair(
     argument order of ``theta``.  This is the preparation step shared by all
     tuple-based reduction rules.
     """
-    swapped: Optional[ThetaPredicate] = None
-    if theta is not None:
-        def swapped(s: TemporalTuple, r: TemporalTuple) -> bool:  # noqa: E731 - closure
+    if theta is None:
+        swapped: Optional[ThetaPredicate] = None
+    else:
+        def swapped(s: TemporalTuple, r: TemporalTuple) -> bool:
             return theta(r, s)
 
     aligned_left = align_relation(

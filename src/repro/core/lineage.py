@@ -15,7 +15,7 @@ result tuple is padded with ``ω``.
 
 from __future__ import annotations
 
-from typing import Callable, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Callable, FrozenSet, Optional, Sequence, Tuple
 
 from repro.core.sweep import ThetaPredicate
 from repro.relation.relation import TemporalRelation

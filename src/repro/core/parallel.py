@@ -1,0 +1,131 @@
+"""Worker-pool machinery shared by the parallel adjustment strategies.
+
+The native primitives (:mod:`repro.core.alignment`,
+:mod:`repro.core.normalization`) partition their work by the equality key of
+the group construction — the same decomposition the engine's
+:class:`~repro.engine.executor.partition.ExchangeNode` uses — and hand the
+partitions to :func:`parallel_map`.  The helper decides *where* the work
+runs: a ``multiprocessing`` pool for large inputs, the calling process
+otherwise, and always the calling process when the payloads cannot be
+shipped (e.g. a θ predicate that is a local closure).  The result is
+identical either way; parallelism is never allowed to change semantics.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import numbers
+import os
+import zlib
+from typing import Any, Callable, Hashable, List, Sequence, TypeVar
+
+from repro.relation.tuple import is_null
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def stable_hash(value: Any) -> int:
+    """Deterministic hash for partition routing.
+
+    Python's built-in ``hash`` is salted per process for strings, which would
+    make partition assignment (and therefore merged row order) vary between
+    runs and between pool workers.  Partition routing instead uses CRC32 over
+    a canonical encoding — not cryptographic, just stable.
+
+    Like any partitioning hash it must be *equality compatible*: values that
+    compare equal must hash equal, or equal join keys would land in
+    different partitions and the parallel plans would silently drop matches.
+    Python makes ``1 == True == 1.0 == Decimal(1) == Fraction(1)`` true
+    across the numeric tower, and the builtin ``hash`` is both unsalted for
+    numbers and equality-compatible across all of them — so numbers simply
+    use it.
+    """
+    if is_null(value):
+        return 0
+    if isinstance(value, numbers.Number):
+        return hash(value) & 0xFFFFFFFF
+    if isinstance(value, str):
+        return zlib.crc32(value.encode("utf-8"))
+    if isinstance(value, tuple):
+        return partition_hash(value)
+    return zlib.crc32(repr(value).encode("utf-8"))
+
+
+def partition_hash(key: Sequence[Any]) -> int:
+    """Combine the stable hashes of a composite key (FNV-style mix)."""
+    combined = 2166136261
+    for value in key:
+        combined = ((combined ^ stable_hash(value)) * 16777619) & 0xFFFFFFFF
+    return combined
+
+#: Combined input size below which the pool is never consulted (spawning
+#: processes costs more than sweeping a few thousand tuples in place).
+#: Override with ``REPRO_PARALLEL_MIN_TUPLES``.
+DEFAULT_MIN_TUPLES = 2048
+
+
+def resolve_workers(workers: "int | None" = None) -> int:
+    """Worker count to use: explicit argument, else env, else CPU count."""
+    if workers is None:
+        env = os.environ.get("REPRO_PARALLEL_WORKERS")
+        workers = int(env) if env else (os.cpu_count() or 1)
+    return max(1, int(workers))
+
+
+def min_pool_tuples() -> int:
+    """In-process threshold, overridable via ``REPRO_PARALLEL_MIN_TUPLES``."""
+    env = os.environ.get("REPRO_PARALLEL_MIN_TUPLES")
+    return int(env) if env else DEFAULT_MIN_TUPLES
+
+
+def partition_indexes(keys: Sequence[Hashable], partition_count: int) -> List[int]:
+    """Stable partition id per key (see :func:`partition_hash`)."""
+    return [
+        partition_hash(key if isinstance(key, tuple) else (key,)) % partition_count
+        for key in keys
+    ]
+
+
+def parallel_map(
+    worker: Callable[[T], R],
+    payloads: Sequence[T],
+    workers: int,
+    total_items: int,
+    min_items: "int | None" = None,
+) -> List[R]:
+    """Map ``worker`` over ``payloads``, pooling only when it can pay off.
+
+    Args:
+        worker: Module-level callable (multiprocessing addresses it by
+            reference); applied to each payload.
+        payloads: One payload per partition.
+        workers: Requested pool size; below 2 the map runs in-process.
+        total_items: Combined size of all partitions, compared against
+            ``min_items`` to gate pool creation.
+        min_items: In-process threshold; default from :func:`min_pool_tuples`.
+
+    Returns:
+        Worker results, in payload order — the caller can merge
+        deterministically regardless of execution placement.
+    """
+    threshold = min_pool_tuples() if min_items is None else min_items
+    if workers > 1 and len(payloads) > 1 and total_items >= threshold:
+        try:
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context("fork" if "fork" in methods else None)
+            with context.Pool(processes=min(workers, len(payloads))) as pool:
+                return pool.map(worker, list(payloads))
+        except Exception:
+            # Unpicklable payload (closure θ), missing fork support, resource
+            # limits — fall through to the in-process path.
+            pass
+    return [worker(payload) for payload in payloads]
+
+
+def partition_items(items: Sequence[Any], ids: Sequence[int], count: int) -> List[List[Any]]:
+    """Group ``items`` into ``count`` buckets by the parallel ``ids`` list."""
+    buckets: List[List[Any]] = [[] for _ in range(count)]
+    for item, bucket in zip(items, ids):
+        buckets[bucket].append(item)
+    return buckets

@@ -14,7 +14,6 @@ from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 from repro.core.sweep import uncovered_intervals
 from repro.relation.relation import TemporalRelation
-from repro.relation.tuple import TemporalTuple
 from repro.temporal.interval import Interval
 
 

@@ -27,7 +27,6 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tupl
 
 from repro.core.lineage import LineageFunction
 from repro.relation.relation import TemporalRelation
-from repro.relation.tuple import TemporalTuple
 
 #: Operator classification of Table 1.
 OPERATOR_PROPERTIES: Dict[str, Dict[str, bool]] = {

@@ -195,24 +195,24 @@ def join_rows(
         alive_right = _alive(right, point)
         output: SnapshotRows = {}
         matched_right: Set[TemporalTuple] = set()
-        for l in alive_left:
+        for lt in alive_left:
             matched = False
             for r in alive_right:
-                if theta is None or theta(l, r):
+                if theta is None or theta(lt, r):
                     matched = True
                     matched_right.add(r)
                     if kind != "anti":
-                        values = l.values + r.values
+                        values = lt.values + r.values
                         output[values] = (
-                            _matching(alive_left, l.values),
+                            _matching(alive_left, lt.values),
                             _matching(alive_right, r.values),
                         )
             if not matched:
                 if kind == "anti":
-                    output[l.values] = (_matching(alive_left, l.values), whole_right)
+                    output[lt.values] = (_matching(alive_left, lt.values), whole_right)
                 elif kind in {"left", "full"}:
-                    values = l.values + (NULL,) * right_width
-                    output[values] = (_matching(alive_left, l.values), whole_right)
+                    values = lt.values + (NULL,) * right_width
+                    output[values] = (_matching(alive_left, lt.values), whole_right)
         if kind in {"right", "full"}:
             for r in alive_right:
                 if r not in matched_right:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Optional, Sequence, Union
 
 from repro.engine.executor.base import PhysicalNode
 from repro.engine.optimizer.settings import Settings

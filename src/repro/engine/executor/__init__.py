@@ -22,6 +22,12 @@ from repro.engine.executor.instrument import CountingNode
 from repro.engine.executor.aggregate import HashAggregateNode
 from repro.engine.executor.setops import DistinctNode, SetOpNode
 from repro.engine.executor.adjustment import AdjustmentNode
+from repro.engine.executor.partition import (
+    AdjustmentTask,
+    ExchangeNode,
+    PartitionNode,
+    run_adjustment_task,
+)
 from repro.engine.executor.absorb import AbsorbNode
 from repro.engine.executor.limit import LimitNode
 
@@ -42,6 +48,10 @@ __all__ = [
     "DistinctNode",
     "SetOpNode",
     "AdjustmentNode",
+    "AdjustmentTask",
+    "PartitionNode",
+    "ExchangeNode",
+    "run_adjustment_task",
     "AbsorbNode",
     "LimitNode",
 ]

@@ -23,7 +23,7 @@ claim of Sec. 6.1/6.3.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, Optional, Sequence, Tuple
 
 from repro.engine.executor.base import PhysicalNode, Row
 from repro.relation.errors import PlanError

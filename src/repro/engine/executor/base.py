@@ -22,7 +22,7 @@ The streaming protocol, which every operator in this package observes:
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Iterator, List, Sequence, Tuple
 
 from repro.relation.errors import PlanError
 

@@ -24,7 +24,7 @@ makes the node usable with ``condition=None`` as a bare overlap join.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from repro.engine.executor.base import PhysicalNode, Row
 from repro.engine.executor.joins import _JoinBase

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterator, Sequence, Tuple
 
 from repro.engine.executor.base import PhysicalNode, Row
 from repro.engine.expressions import Expression

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from collections import Counter
 from typing import Iterator, Set
 
 from repro.engine.executor.base import PhysicalNode, Row

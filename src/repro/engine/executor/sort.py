@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import functools
-from typing import Any, Iterator, List, Sequence, Tuple
+from typing import Any, Iterator, Sequence, Tuple
 
 from repro.engine.executor.base import PhysicalNode, Row
 from repro.engine.expressions import Expression

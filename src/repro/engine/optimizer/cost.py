@@ -199,6 +199,44 @@ def normalization_cost(settings: Settings, child: Estimate, width: int) -> Estim
     )
 
 
+def partition_cost(settings: Settings, child: Estimate) -> Estimate:
+    """Hash-partitioning a child: one key hash per row, no output reduction."""
+    return Estimate(
+        rows=child.rows, cost=child.cost + settings.cpu_operator_cost * child.rows
+    )
+
+
+def parallel_adjustment_cost(
+    settings: Settings,
+    left: Estimate,
+    right: Estimate,
+    serial: Estimate,
+    workers: int,
+) -> Estimate:
+    """Cost of the partition-parallel ALIGN/NORMALIZE plan.
+
+    The inputs are produced once (their cost is not parallelised); the
+    adjustment work above them — join, project, sort, sweep, which is what
+    ``serial`` charges on top of its inputs — divides across the workers.
+    On top come the partitioning pass over both inputs, a fixed start-up
+    cost per worker (PostgreSQL's ``parallel_setup_cost``) and a per-tuple
+    merge cost (``parallel_tuple_cost``).  Because the row estimates feeding
+    ``serial`` come from :func:`overlap_join_rows` — i.e. from interval
+    statistics where available — the gate sharpens with better statistics.
+    """
+    workers = max(1, workers)
+    input_cost = left.cost + right.cost
+    work = max(0.0, serial.cost - input_cost)
+    total = (
+        input_cost
+        + settings.cpu_operator_cost * (left.rows + right.rows)  # partition pass
+        + work / workers
+        + settings.parallel_setup_cost * workers
+        + settings.parallel_tuple_cost * serial.rows
+    )
+    return Estimate(rows=serial.rows, cost=total)
+
+
 def absorb_cost(settings: Settings, child: Estimate) -> Estimate:
     return Estimate(rows=child.rows, cost=child.cost + settings.cpu_operator_cost * child.rows)
 

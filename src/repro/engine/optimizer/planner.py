@@ -24,7 +24,9 @@ from repro.engine import plan as logical
 from repro.engine.executor import (
     AbsorbNode,
     AdjustmentNode,
+    AdjustmentTask,
     DistinctNode,
+    ExchangeNode,
     FilterNode,
     HashAggregateNode,
     HashJoinNode,
@@ -32,6 +34,7 @@ from repro.engine.executor import (
     LimitNode,
     MergeJoinNode,
     NestedLoopJoinNode,
+    PartitionNode,
     PhysicalNode,
     ProjectNode,
     RelabelNode,
@@ -216,7 +219,24 @@ class Planner:
         estimate = cost.alignment_cost(
             self.settings, self._estimate(sorted_node), len(left_columns)
         )
-        return self._estimated(adjustment, estimate)
+        self._estimated(adjustment, estimate)
+
+        parallel = self._parallel_adjustment_plan(
+            left,
+            right,
+            keys=keys,
+            condition=condition,
+            bounds=bounds,
+            overlap=True,
+            selectivity=selectivity,
+            projections=expressions,
+            group_width=left_width,
+            ts_index=left_ts,
+            te_index=left_te,
+            isalign=True,
+            serial_estimate=estimate,
+        )
+        return parallel if parallel is not None else adjustment
 
     def _plan_normalize(self, node: logical.Normalize) -> PhysicalNode:
         left = self.plan(node.left)
@@ -292,7 +312,24 @@ class Planner:
         estimate = cost.normalization_cost(
             self.settings, self._estimate(sorted_node), len(left_columns)
         )
-        return self._estimated(adjustment, estimate)
+        self._estimated(adjustment, estimate)
+
+        parallel = self._parallel_adjustment_plan(
+            left,
+            split_points,
+            keys=keys,
+            condition=condition,
+            bounds=None,
+            overlap=False,
+            selectivity=None,
+            projections=expressions,
+            group_width=left_width,
+            ts_index=left_ts,
+            te_index=left_te,
+            isalign=False,
+            serial_estimate=estimate,
+        )
+        return parallel if parallel is not None else adjustment
 
     # -- helpers ---------------------------------------------------------------------------
 
@@ -317,6 +354,38 @@ class Planner:
             )
         return indexes
 
+    def _join_candidates(
+        self,
+        left_estimate: Estimate,
+        right_estimate: Estimate,
+        rows: float,
+        keys: Sequence[Tuple[int, int]],
+        overlap: bool = False,
+    ) -> List[Tuple[Estimate, str]]:
+        """Enumerate enabled join strategies with their cost estimates.
+
+        ``overlap`` admits the interval strategies (indexed probe, event
+        sweep) that exploit an overlap-shaped condition.  Shared by the
+        serial choosers and the per-partition strategy choice of the
+        parallel plans.
+        """
+        settings = self.settings
+        candidates: List[Tuple[Estimate, str]] = []
+        if overlap and settings.enable_intervaljoin:
+            candidates.append(
+                (cost.interval_probe_join_cost(settings, left_estimate, right_estimate, rows), "probe")
+            )
+            candidates.append(
+                (cost.interval_sweep_join_cost(settings, left_estimate, right_estimate, rows), "sweep")
+            )
+        if keys and settings.enable_hashjoin:
+            candidates.append((cost.hash_join_cost(settings, left_estimate, right_estimate, rows), "hash"))
+        if keys and settings.enable_mergejoin:
+            candidates.append((cost.merge_join_cost(settings, left_estimate, right_estimate, rows), "merge"))
+        if settings.enable_nestloop or not candidates:
+            candidates.append((cost.nested_loop_cost(settings, left_estimate, right_estimate, rows), "nestloop"))
+        return candidates
+
     def _choose_join(
         self,
         left: PhysicalNode,
@@ -330,14 +399,7 @@ class Planner:
         right_estimate = self._estimate(right)
         rows = cost.join_output_rows(settings, left_estimate, right_estimate, bool(keys), kind)
 
-        candidates: List[Tuple[Estimate, str]] = []
-        if keys and settings.enable_hashjoin:
-            candidates.append((cost.hash_join_cost(settings, left_estimate, right_estimate, rows), "hash"))
-        if keys and settings.enable_mergejoin:
-            candidates.append((cost.merge_join_cost(settings, left_estimate, right_estimate, rows), "merge"))
-        if settings.enable_nestloop or not candidates:
-            candidates.append((cost.nested_loop_cost(settings, left_estimate, right_estimate, rows), "nestloop"))
-
+        candidates = self._join_candidates(left_estimate, right_estimate, rows, keys)
         estimate, strategy = min(candidates, key=lambda item: item[0].cost)
         # The full condition is evaluated as a residual predicate by every
         # strategy, so correctness never depends on the choice.
@@ -376,21 +438,7 @@ class Planner:
         right_estimate = self._estimate(right)
         rows = cost.overlap_join_rows(settings, left_estimate, right_estimate, kind, selectivity)
 
-        candidates: List[Tuple[Estimate, str]] = []
-        if settings.enable_intervaljoin:
-            candidates.append(
-                (cost.interval_probe_join_cost(settings, left_estimate, right_estimate, rows), "probe")
-            )
-            candidates.append(
-                (cost.interval_sweep_join_cost(settings, left_estimate, right_estimate, rows), "sweep")
-            )
-        if keys and settings.enable_hashjoin:
-            candidates.append((cost.hash_join_cost(settings, left_estimate, right_estimate, rows), "hash"))
-        if keys and settings.enable_mergejoin:
-            candidates.append((cost.merge_join_cost(settings, left_estimate, right_estimate, rows), "merge"))
-        if settings.enable_nestloop or not candidates:
-            candidates.append((cost.nested_loop_cost(settings, left_estimate, right_estimate, rows), "nestloop"))
-
+        candidates = self._join_candidates(left_estimate, right_estimate, rows, keys, overlap=True)
         estimate, strategy = min(candidates, key=lambda item: item[0].cost)
         if strategy in ("probe", "sweep"):
             physical: PhysicalNode = IntervalJoinNode(
@@ -403,6 +451,90 @@ class Planner:
         else:
             physical = NestedLoopJoinNode(left, right, kind, condition)
         return self._estimated(physical, estimate)
+
+    def _parallel_adjustment_plan(
+        self,
+        left: PhysicalNode,
+        right: PhysicalNode,
+        keys: Sequence[Tuple[int, int]],
+        condition: Optional[Expression],
+        bounds: Optional[Tuple[int, int, int, int]],
+        overlap: bool,
+        selectivity: Optional[float],
+        projections: Sequence[Tuple[Expression, str]],
+        group_width: int,
+        ts_index: int,
+        te_index: int,
+        isalign: bool,
+        serial_estimate: Estimate,
+    ) -> Optional[PhysicalNode]:
+        """Partition-parallel alternative to a serial adjustment plan.
+
+        Eligibility requires an equality key to hash-partition on,
+        ``parallel_workers >= 2`` and enough input rows; the plan is then
+        adopted only when :func:`~repro.engine.optimizer.cost.parallel_adjustment_cost`
+        undercuts the serial estimate (the estimate already reflects interval
+        statistics through the overlap selectivity baked into
+        ``serial_estimate``).  Returns ``None`` when the serial plan stands.
+        """
+        settings = self.settings
+        workers = settings.parallel_workers
+        if workers < 2 or not keys:
+            return None
+        left_estimate = self._estimate(left)
+        right_estimate = self._estimate(right)
+        if left_estimate.rows + right_estimate.rows < settings.parallel_min_rows:
+            return None
+        parallel_estimate = cost.parallel_adjustment_cost(
+            settings, left_estimate, right_estimate, serial_estimate, workers
+        )
+        if parallel_estimate.cost >= serial_estimate.cost:
+            return None
+
+        partitions = settings.parallel_partitions or workers * 4
+        # Per-partition strategy choice over scaled-down estimates: each
+        # bucket sees roughly 1/partitions of either input.
+        bucket_left = Estimate(rows=max(1.0, left_estimate.rows / partitions), cost=0.0)
+        bucket_right = Estimate(rows=max(1.0, right_estimate.rows / partitions), cost=0.0)
+        if overlap:
+            bucket_rows = cost.overlap_join_rows(
+                settings, bucket_left, bucket_right, "left", selectivity
+            )
+        else:
+            bucket_rows = cost.join_output_rows(settings, bucket_left, bucket_right, True, "left")
+        candidates = self._join_candidates(
+            bucket_left, bucket_right, bucket_rows, keys, overlap=overlap
+        )
+        _, strategy = min(candidates, key=lambda item: item[0].cost)
+
+        left_partition = PartitionNode(left, [i for i, _ in keys], partitions)
+        self._estimated(left_partition, cost.partition_cost(settings, left_estimate))
+        right_partition = PartitionNode(right, [j for _, j in keys], partitions)
+        self._estimated(right_partition, cost.partition_cost(settings, right_estimate))
+
+        task = AdjustmentTask(
+            left_columns=tuple(left.columns),
+            right_columns=tuple(right.columns),
+            join_strategy=strategy,
+            join_kind="left",
+            condition=condition,
+            key_pairs=tuple(keys),
+            bounds=bounds,
+            projections=tuple(projections),
+            sort_width=len(projections),
+            group_width=group_width,
+            ts_index=ts_index,
+            te_index=te_index,
+            isalign=isalign,
+        )
+        exchange = ExchangeNode(
+            left_partition,
+            right_partition,
+            task,
+            workers=workers,
+            inprocess_threshold=int(settings.parallel_min_rows),
+        )
+        return self._estimated(exchange, parallel_estimate)
 
     def _scan_interval_statistics(
         self, node: logical.LogicalPlan, start_column: str, end_column: str

@@ -8,7 +8,7 @@ other join.  The same switches exist here and are honoured by the planner.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 
 @dataclass
@@ -38,6 +38,26 @@ class Settings:
     #: Default selectivity of an equality predicate with unknown statistics.
     equality_selectivity: float = 0.005
 
+    #: Worker pool size for partition-parallel ALIGN/NORMALIZE plans; values
+    #: below 2 disable the parallel paths entirely (the PostgreSQL analogue is
+    #: ``max_parallel_workers_per_gather``).  The parallel plan additionally
+    #: requires an equality key in the θ-condition / the ``B`` attributes to
+    #: partition on, and must win the cost comparison against the serial plan.
+    parallel_workers: int = 0
+    #: Hash partitions per parallel plan; 0 derives ``4 × parallel_workers``
+    #: so the pool stays busy even when partition sizes are skewed.
+    parallel_partitions: int = 0
+    #: Fixed cost charged per launched worker (process start-up, task
+    #: pickling) — PostgreSQL's ``parallel_setup_cost`` scaled to this cost
+    #: model's units.
+    parallel_setup_cost: float = 200.0
+    #: Cost charged per merged output tuple (worker → consumer transfer) —
+    #: PostgreSQL's ``parallel_tuple_cost`` analogue.
+    parallel_tuple_cost: float = 0.002
+    #: Minimum combined input cardinality before a parallel plan is even
+    #: considered; below it the executor also stays in-process at runtime.
+    parallel_min_rows: float = 1000.0
+
     def copy(self, **overrides: object) -> "Settings":
         """Copy with some fields replaced (handy in benchmarks and tests)."""
         return replace(self, **overrides)
@@ -47,4 +67,5 @@ class Settings:
         parts = []
         for name in ("nestloop", "hashjoin", "mergejoin", "intervaljoin"):
             parts.append(f"{name}={'on' if getattr(self, 'enable_' + name) else 'off'}")
+        parts.append(f"parallel_workers={self.parallel_workers}")
         return ", ".join(parts)

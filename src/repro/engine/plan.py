@@ -335,7 +335,7 @@ class Normalize(LogicalPlan):
         return [self.left, self.right]
 
     def describe(self) -> str:
-        using = ", ".join(f"{l}={r}" for l, r in self.using)
+        using = ", ".join(f"{left}={right}" for left, right in self.using)
         return f"Normalize(using=[{using}])"
 
 

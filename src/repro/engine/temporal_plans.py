@@ -30,7 +30,7 @@ from repro.engine.expressions import (
 )
 from repro.engine.optimizer.settings import Settings
 from repro.engine.plan import AggregateCall
-from repro.engine.table import END_COLUMN, START_COLUMN, Table
+from repro.engine.table import END_COLUMN, START_COLUMN
 from repro.relation.errors import PlanError
 from repro.relation.relation import TemporalRelation
 

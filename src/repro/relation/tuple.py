@@ -94,6 +94,12 @@ class TemporalTuple:
     def __delattr__(self, name: str) -> None:
         raise AttributeError("TemporalTuple instances are immutable")
 
+    def __reduce__(self):
+        # The immutability guard breaks slot-based pickling; reconstruct
+        # through the constructor instead (needed to ship tuples to the
+        # worker processes of the parallel adjustment strategies).
+        return (TemporalTuple, (self.schema, self.values, self.interval))
+
     # -- basic protocol ----------------------------------------------------
 
     def __repr__(self) -> str:

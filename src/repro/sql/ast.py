@@ -10,7 +10,7 @@ sub-queries (resolved into semi/anti joins).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 from repro.engine.expressions import Expression
 from repro.relation.errors import QueryError

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 from repro.engine.database import Database
 from repro.engine.optimizer.settings import Settings

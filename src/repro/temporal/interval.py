@@ -54,6 +54,12 @@ class Interval:
     def __delattr__(self, name: str) -> None:
         raise AttributeError("Interval instances are immutable")
 
+    def __reduce__(self):
+        # The immutability guard breaks slot-based pickling; reconstruct
+        # through the constructor instead (needed to ship intervals to the
+        # worker processes of the partition-parallel executor).
+        return (Interval, (self.start, self.end))
+
     # -- basic protocol ----------------------------------------------------
 
     def __repr__(self) -> str:

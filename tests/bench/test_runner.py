@@ -1,0 +1,51 @@
+"""The machine-readable benchmark runner of :mod:`repro.bench`."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench import runner
+
+
+def test_scaled_sizes_keep_deterministic_minimum_and_monotonicity():
+    # A tiny scale floors every size at 10 — the sweep must stay strictly
+    # increasing instead of collapsing into repeated identical points.
+    assert runner.scaled_sizes([1000, 2000, 4000], scale=0.001) == [10, 11, 12]
+    assert runner.scaled_sizes([1000, 2000], scale=0.5) == [500, 1000]
+    assert runner.scaled_sizes([1000, 2000], scale=0.001) == runner.scaled_sizes(
+        [1000, 2000], scale=0.001
+    )
+
+
+def test_parallel_alignment_scenarios_and_report(tmp_path):
+    scenarios = runner.run_parallel_alignment(sizes=[40], workers=2, repeats=1)
+    assert len(scenarios) == len(runner.FAMILIES)
+    for scenario in scenarios:
+        assert scenario["identical"] is True
+        assert "Exchange" in scenario["parallel_plan"]
+        assert "Exchange" not in scenario["serial_plan"]
+        assert scenario["rows_pulled"]["serial"] == scenario["output_tuples"]
+
+    path = runner.write_report("test_report", scenarios, str(tmp_path), workers=2)
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    assert payload["benchmark"] == "test_report"
+    assert payload["workers"] == 2
+    assert len(payload["scenarios"]) == len(scenarios)
+
+
+def test_main_writes_reports(tmp_path):
+    code = runner.main(
+        [
+            "--scenario",
+            "parallel_normalization",
+            "--sizes",
+            "40",
+            "--repeats",
+            "1",
+            "--output-dir",
+            str(tmp_path),
+        ]
+    )
+    assert code == 0
+    assert (tmp_path / "BENCH_parallel_normalization.json").exists()

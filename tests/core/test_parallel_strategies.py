@@ -1,0 +1,141 @@
+"""The ``parallel`` strategy of the native adjustment primitives.
+
+Every test is an equality assertion against the serial strategy — the
+parallel decomposition by equality key must be invisible in the result, on
+all three synthetic families, with and without residual θ predicates, and
+regardless of whether the partitions run in-process or in a worker pool.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import predicates
+from repro.core import parallel as parallel_support
+from repro.core.alignment import align_relation
+from repro.core.normalization import normalize, normalize_pair
+from repro.workloads.synthetic import (
+    SyntheticConfig,
+    generate_disjoint,
+    generate_equal,
+    generate_random,
+)
+
+FAMILIES = {
+    "disjoint": generate_disjoint,
+    "equal": generate_equal,
+    "random": generate_random,
+}
+
+
+def _pair(family, size=200):
+    return FAMILIES[family](config=SyntheticConfig(size=size, categories=10, seed=21))
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_parallel_alignment_matches_sweep(family):
+    left, right = _pair(family)
+    serial = align_relation(left, right, equi_attributes=["cat"], strategy="sweep")
+    parallel = align_relation(left, right, equi_attributes=["cat"], strategy="parallel", workers=2)
+    assert serial == parallel
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_parallel_normalization_matches_serial(family):
+    left, right = _pair(family)
+    serial = normalize(left, right, ["cat"])
+    parallel = normalize(left, right, ["cat"], strategy="parallel", workers=2)
+    assert serial == parallel
+
+
+def test_parallel_alignment_with_theta_falls_back_and_matches():
+    # ``predicates.attr_eq`` returns a closure, which cannot be pickled to a
+    # worker process — the strategy must silently run in-process and still
+    # produce the exact serial result.
+    left, right = _pair("random")
+    theta = predicates.attr_eq("cat")
+    serial = align_relation(left, right, theta=theta, equi_attributes=["cat"], strategy="sweep")
+    parallel = align_relation(
+        left, right, theta=theta, equi_attributes=["cat"], strategy="parallel", workers=2
+    )
+    assert serial == parallel
+
+
+def test_parallel_alignment_without_keys_degenerates():
+    left, right = _pair("random", size=80)
+    serial = align_relation(left, right, strategy="sweep")
+    parallel = align_relation(left, right, strategy="parallel", workers=2)
+    assert serial == parallel
+
+
+def test_mixed_numeric_keys_do_not_lose_matches():
+    # Equality-compatible partition routing: Decimal('1') == 1 must join.
+    from decimal import Decimal
+
+    from repro import Interval, Schema, TemporalRelation
+
+    left = TemporalRelation(Schema(["k"]))
+    right = TemporalRelation(Schema(["k"]))
+    left.insert((Decimal("1"),), Interval(0, 10))
+    right.insert((1,), Interval(2, 4))
+    serial = align_relation(left, right, equi_attributes=["k"], strategy="sweep")
+    parallel = align_relation(left, right, equi_attributes=["k"], strategy="parallel", workers=2)
+    assert serial == parallel
+    assert len(serial) == 3  # [0,2), [2,4), [4,10)
+
+
+def test_empty_equi_attributes_means_no_key_on_every_strategy():
+    left, right = _pair("random", size=40)
+    expected = align_relation(left, right, equi_attributes=[], strategy="sweep")
+    assert align_relation(left, right, equi_attributes=[], strategy="index") == expected
+    right.interval_index(())  # cache a plain index, then take the auto path
+    assert align_relation(left, right, equi_attributes=[], strategy="auto") == expected
+    assert align_relation(left, right, equi_attributes=[], strategy="parallel") == expected
+
+
+def test_parallel_normalization_empty_attribute_list():
+    left, right = _pair("random", size=80)
+    assert normalize(left, right) == normalize(left, right, strategy="parallel", workers=2)
+
+
+def test_parallel_strategies_through_pool(monkeypatch):
+    # Force the multiprocessing path even for small inputs.
+    monkeypatch.setenv("REPRO_PARALLEL_MIN_TUPLES", "1")
+    left, right = _pair("random", size=120)
+    assert align_relation(left, right, equi_attributes=["cat"], strategy="sweep") == align_relation(
+        left, right, equi_attributes=["cat"], strategy="parallel", workers=2
+    )
+    assert normalize(left, right, ["cat"]) == normalize(
+        left, right, ["cat"], strategy="parallel", workers=2
+    )
+
+
+def test_normalize_pair_unchanged_by_parallel_primitives():
+    left, right = _pair("random", size=100)
+    serial_left, serial_right = normalize_pair(left, right, ["cat"])
+    assert normalize(left, right, ["cat"], strategy="parallel") == serial_left
+    assert normalize(right, left, ["cat"], strategy="parallel") == serial_right
+
+
+def test_unknown_strategies_rejected():
+    left, right = _pair("random", size=20)
+    with pytest.raises(ValueError):
+        align_relation(left, right, strategy="threads")
+    with pytest.raises(ValueError):
+        normalize(left, right, strategy="threads")
+
+
+def test_resolve_workers(monkeypatch):
+    assert parallel_support.resolve_workers(3) == 3
+    assert parallel_support.resolve_workers(0) == 1
+    monkeypatch.setenv("REPRO_PARALLEL_WORKERS", "5")
+    assert parallel_support.resolve_workers() == 5
+    monkeypatch.delenv("REPRO_PARALLEL_WORKERS")
+    assert parallel_support.resolve_workers() >= 1
+
+
+def test_partition_indexes_stable_and_in_range():
+    keys = [("C%04d" % i,) for i in range(50)]
+    ids = parallel_support.partition_indexes(keys, 8)
+    assert ids == parallel_support.partition_indexes(keys, 8)
+    assert all(0 <= i < 8 for i in ids)

@@ -1,0 +1,122 @@
+"""Direct coverage of the :mod:`repro.workloads` generators.
+
+The generators feed every benchmark and most integration tests, so their
+contracts — determinism under a fixed seed, schema shape, and the interval
+structure that *defines* each synthetic family — are asserted here rather
+than assumed downstream.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.workloads.hotel import HOTEL_TIMELINE, hotel_prices, hotel_reservations
+from repro.workloads.incumben import IncumbenConfig, generate_incumben
+from repro.workloads.synthetic import (
+    SYNTHETIC_SCHEMA,
+    SyntheticConfig,
+    generate_disjoint,
+    generate_equal,
+    generate_random,
+)
+
+GENERATORS = {
+    "disjoint": generate_disjoint,
+    "equal": generate_equal,
+    "random": generate_random,
+}
+
+CONFIG = SyntheticConfig(size=150, categories=12, seed=77)
+
+
+@pytest.mark.parametrize("family", sorted(GENERATORS))
+class TestSyntheticFamilies:
+    def test_deterministic_under_fixed_seed(self, family):
+        first = GENERATORS[family](config=CONFIG)
+        second = GENERATORS[family](config=CONFIG)
+        assert first[0] == second[0]
+        assert first[1] == second[1]
+
+    def test_seed_actually_matters(self, family):
+        baseline = GENERATORS[family](config=CONFIG)
+        other = GENERATORS[family](config=SyntheticConfig(size=150, categories=12, seed=78))
+        assert baseline[0] != other[0]
+
+    def test_schema_and_sizes(self, family):
+        left, right = GENERATORS[family](config=CONFIG)
+        for relation in (left, right):
+            assert relation.schema.attribute_names == SYNTHETIC_SCHEMA
+            assert len(relation) == CONFIG.size
+
+    def test_value_invariants(self, family):
+        left, right = GENERATORS[family](config=CONFIG)
+        category = re.compile(r"^C\d{4}$")
+        for t in list(left) + list(right):
+            assert category.match(t.value("cat"))
+            assert 1 <= t.value("min_dur") <= t.value("max_dur")
+            assert not t.interval.is_empty()
+
+
+class TestFamilyIntervalStructure:
+    def test_disjoint_intervals_never_overlap(self):
+        left, right = generate_disjoint(config=CONFIG)
+        intervals = sorted(t.interval for t in list(left) + list(right))
+        for previous, current in zip(intervals, intervals[1:]):
+            assert previous.end <= current.start
+
+    def test_equal_intervals_all_identical(self):
+        left, right = generate_equal(config=CONFIG)
+        intervals = {t.interval for t in list(left) + list(right)}
+        assert len(intervals) == 1
+        (shared,) = intervals
+        assert shared.duration() == CONFIG.interval_length
+
+    def test_random_intervals_bounded_by_config(self):
+        left, right = generate_random(config=CONFIG)
+        for t in list(left) + list(right):
+            assert 0 <= t.start < CONFIG.time_span
+            assert 1 <= t.interval.duration() <= CONFIG.interval_length
+
+
+class TestIncumben:
+    CONFIG = IncumbenConfig(size=400, distinct_positions=50, seed=13)
+
+    def test_deterministic_and_sized(self):
+        first = generate_incumben(config=self.CONFIG)
+        second = generate_incumben(config=self.CONFIG)
+        assert first == second
+        assert len(first) == self.CONFIG.size
+        assert first.schema.attribute_names == ("ssn", "pcn")
+
+    def test_published_statistic_shapes(self):
+        relation = generate_incumben(config=self.CONFIG)
+        ssn = re.compile(r"^E\d{6}$")
+        pcn = re.compile(r"^P\d{5}$")
+        durations = []
+        for t in relation:
+            assert ssn.match(t.value("ssn"))
+            assert pcn.match(t.value("pcn"))
+            durations.append(t.interval.duration())
+        assert min(durations) >= self.CONFIG.min_duration
+        assert max(durations) <= self.CONFIG.max_duration
+        # Mean duration tracks the published ≈180 days, loosely (small sample).
+        mean = sum(durations) / len(durations)
+        assert 0.4 * self.CONFIG.mean_duration < mean < 2.0 * self.CONFIG.mean_duration
+
+    def test_size_override_wins(self):
+        assert len(generate_incumben(120, config=self.CONFIG)) == 120
+
+
+class TestHotelExample:
+    def test_running_example_matches_figure_1(self):
+        reservations = hotel_reservations()
+        prices = hotel_prices()
+        assert len(reservations) == 3
+        assert len(prices) == 5
+        assert reservations.schema.attribute_names == ("n",)
+        assert prices.schema.attribute_names == ("a", "min", "max")
+        ann = [t for t in reservations if t.value("n") == "Ann"]
+        assert len(ann) == 2
+        assert ann[0].interval == HOTEL_TIMELINE.interval("2012/1", "2012/8")
