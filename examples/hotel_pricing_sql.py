@@ -2,7 +2,10 @@
 
 Shows the temporal SQL extensions — ``ALIGN``, ``NORMALIZE ... USING()`` and
 ``ABSORB`` — and the costed physical plan the engine chooses (EXPLAIN-style),
-including the group-construction join inside the alignment node.
+including the group-construction join inside the alignment node.  The last
+section mutates the price relation with a *sequenced* ``UPDATE ... FOR
+PERIOD`` (the price rows are split at the period boundaries; only the
+fragment inside the period changes) and re-runs Q1 against the new state.
 
 Run with::
 
@@ -49,6 +52,20 @@ def main() -> None:
 
     print("\nPhysical plan of Q2:")
     print(connection.explain(Q2_SQL))
+
+    # -- a price change, stated as sequenced temporal DML ----------------------
+    # From 2012/10 the 40/month band becomes 45/month.  FOR PERIOD splits the
+    # affected price tuples at the boundary: the [2012/1, 2012/6) tuple is
+    # untouched, the [2012/10, 2013/1) tuple is rewritten in place.
+    update = "UPDATE p SET a = a + 5 WHERE a = 40 FOR PERIOD [9, 12)"
+    print(f"\n{update}")
+    print(connection.execute(update).pretty())
+
+    print("\nPrices after the sequenced update:")
+    print(connection.execute("SELECT a, min, max, ts, te FROM p ORDER BY ts, a").pretty())
+
+    print("\nQ1 against the updated prices (Ann's autumn stay now costs 45):")
+    print(connection.query_relation(Q1_SQL).pretty(HOTEL_TIMELINE))
 
 
 if __name__ == "__main__":

@@ -41,12 +41,14 @@ import sys
 import time
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.core.alignment import align_relation
 from repro.engine.database import Database
 from repro.engine.executor import CountingNode
 from repro.engine.expressions import Column, Comparison
 from repro.engine.optimizer.settings import Settings
 from repro.engine.plan import LogicalPlan
 from repro.engine.temporal_plans import align_plan, normalize_plan, scan
+from repro.temporal.interval import Interval
 from repro.workloads.synthetic import (
     SyntheticConfig,
     generate_disjoint,
@@ -206,6 +208,136 @@ def run_parallel_normalization(
     )
 
 
+def _mutation_stream(size: int, count: int):
+    """A deterministic mixed insert/delete stream over both relations."""
+    import random as random_module
+
+    rng = random_module.Random(size * 31 + 7)
+    operations = []
+    for index in range(count):
+        target = "l" if index % 2 == 0 else "r"
+        start = rng.randrange(16 * 365)
+        if index % 3 == 2:
+            period = Interval(start, start + 1 + rng.randrange(60))
+            operations.append(("delete", target, period))
+        else:
+            category = f"C{rng.randrange(100):04d}"
+            interval = Interval(start, start + 1 + rng.randrange(30))
+            operations.append(("insert", target, (category, interval)))
+    return operations
+
+
+def run_view_maintenance(
+    sizes: Optional[Sequence[int]] = None, workers: int = 2, repeats: int = 2
+) -> List[dict]:
+    """Incremental view maintenance vs full ALIGN recompute under mutations.
+
+    For every synthetic family and size an ALIGN view (equi-θ on ``cat``) is
+    materialized, then a mixed insert/delete stream is applied; after every
+    mutation the incrementally maintained view is compared against a
+    from-scratch ``align_relation`` sweep — any difference is a **hard**
+    failure (this is the equality gate CI enforces).  Finally a single-tuple
+    insert measures the headline number: time to fold one delta in vs time to
+    realign everything.  The ≥5x speedup expectation is asserted only under
+    ``REPRO_BENCH_STRICT`` (default on; CI relaxes it to reporting).
+
+    ``workers`` is unused (maintenance is single-threaded) but kept so all
+    native scenarios share the runner's calling convention.
+    """
+    del workers
+    sizes = sizes or scaled_sizes(DEFAULT_SIZES)
+    strict = os.environ.get("REPRO_BENCH_STRICT", "1") != "0"
+    scenarios = []
+    for family, generator in sorted(FAMILIES.items()):
+        for size in sizes:
+            left, right = generator(config=SyntheticConfig(size=size, categories=100, seed=42))
+            database = Database()
+            database.register_relation("l", left)
+            database.register_relation("r", right)
+            view = database.views.create_align_view(
+                "v", "l", "r",
+                condition=Comparison("=", Column("l.cat"), Column("r.cat")),
+            )
+
+            def recompute():
+                return align_relation(
+                    left, right, equi_attributes=["cat"], strategy="sweep"
+                )
+
+            stream = _mutation_stream(size, count=max(4, size // 50))
+            incremental_total = 0.0
+            recompute_total = 0.0
+            for kind, target, payload in stream:
+                if kind == "insert":
+                    category, interval = payload
+                    database.insert_rows(target, [((category, 1, 5), interval)])
+                else:
+                    database.delete_rows(target, period=payload)
+                # Timed: the maintenance itself (delta propagation) vs the
+                # full from-scratch adjustment a viewless system would run.
+                started = time.perf_counter()
+                view.refresh()
+                incremental_total += time.perf_counter() - started
+                started = time.perf_counter()
+                expected = recompute()
+                recompute_total += time.perf_counter() - started
+                # Untimed hard gate: the maintained contents must be the
+                # recomputed contents, after every single mutation.
+                maintained = view.result()
+                if maintained != expected:
+                    raise BenchmarkError(
+                        f"view_maintenance/{family}/n={size}: maintained view differs "
+                        f"from recompute after {kind} ({len(maintained)} vs "
+                        f"{len(expected)} tuples)"
+                    )
+
+            # Headline: one single-tuple mutation, incremental vs recompute.
+            database.insert_rows("l", [(("C0000", 1, 5), Interval(0, 20))])
+            started = time.perf_counter()
+            outcome = view.refresh()
+            single_incremental = time.perf_counter() - started
+            single_recompute, expected = _best_of(repeats, recompute)
+            if outcome != "incremental":
+                raise BenchmarkError(
+                    f"view_maintenance/{family}/n={size}: single-tuple refresh took "
+                    f"the {outcome!r} path instead of incremental maintenance"
+                )
+            if view.result() != expected:
+                raise BenchmarkError(
+                    f"view_maintenance/{family}/n={size}: maintained view differs "
+                    "from recompute after the single-tuple insert"
+                )
+            speedup = single_recompute / max(single_incremental, 1e-9)
+
+            scenario = {
+                "scenario": "view_maintenance",
+                "family": family,
+                "size": size,
+                "mutations": len(stream),
+                "incremental_stream_seconds": round(incremental_total, 6),
+                "recompute_stream_seconds": round(recompute_total, 6),
+                "single_mutation_incremental_seconds": round(single_incremental, 6),
+                "single_mutation_recompute_seconds": round(single_recompute, 6),
+                "single_mutation_speedup": round(speedup, 3),
+                "output_tuples": len(expected),
+                "identical": True,
+                "maintenance": dict(view.stats),
+            }
+            scenarios.append(scenario)
+            print(
+                f"[view_maintenance] {family} n={size}: stream "
+                f"incr={incremental_total * 1e3:.1f}ms vs recompute="
+                f"{recompute_total * 1e3:.1f}ms; single-mutation speedup={speedup:.1f}x"
+            )
+            if strict and speedup < 5.0:
+                raise BenchmarkError(
+                    f"view_maintenance/{family}/n={size}: single-mutation speedup "
+                    f"{speedup:.2f}x below the 5x bar (set REPRO_BENCH_STRICT=0 to "
+                    "report instead of assert)"
+                )
+    return scenarios
+
+
 def run_legacy_suite(path: str) -> dict:
     """Wrap one pytest figure harness, recording wall-clock and outcome.
 
@@ -259,6 +391,7 @@ def write_report(name: str, scenarios: List[dict], output_dir: str, workers: int
 NATIVE_SCENARIOS = {
     "parallel_alignment": run_parallel_alignment,
     "parallel_normalization": run_parallel_normalization,
+    "view_maintenance": run_view_maintenance,
 }
 
 

@@ -2,15 +2,18 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.engine.executor.base import PhysicalNode
 from repro.engine.optimizer.settings import Settings
 from repro.engine.plan import LogicalPlan
 from repro.engine.statistics import StatisticsCatalog, TableStatistics
 from repro.engine.table import Table
+from repro.relation.changelog import Delta
 from repro.relation.errors import SchemaError
 from repro.relation.relation import TemporalRelation
+from repro.relation.tuple import TemporalTuple
+from repro.temporal.interval import Interval
 
 
 class Database:
@@ -20,12 +23,28 @@ class Database:
     ``te`` columns (the kernel's representation); the temporal semantics live
     entirely in the plans built on top — exactly the architecture of the
     paper's PostgreSQL implementation.
+
+    Relations registered through :meth:`register_relation` stay *live*: the
+    database keeps the backing :class:`TemporalRelation` (with change
+    tracking enabled), routes DML through it, and lazily re-derives the
+    ``ts``/``te`` table snapshot after mutations.  Materialized views over
+    registered relations live in :attr:`views` and are maintained from the
+    relations' change logs.
     """
 
     def __init__(self, settings: Optional[Settings] = None):
+        from repro.views.catalog import ViewCatalog
+
         self.settings = settings if settings is not None else Settings()
         self.tables: Dict[str, Table] = {}
+        #: Backing temporal relations of tables created via
+        #: :meth:`register_relation` — the authoritative, mutable store.
+        self.relations: Dict[str, TemporalRelation] = {}
+        #: Materialized views (incremental and recompute kinds).
+        self.views = ViewCatalog(self)
         self.statistics = StatisticsCatalog()
+        self._stale_tables: set = set()
+        self._relation_listeners: Dict[str, tuple] = {}
 
     # -- catalog ---------------------------------------------------------------------
 
@@ -42,12 +61,38 @@ class Database:
         return table
 
     def register_relation(self, name: str, relation: TemporalRelation) -> Table:
-        """Store a temporal relation as a table with ``ts``/``te`` columns."""
+        """Store a temporal relation as a table with ``ts``/``te`` columns.
+
+        The relation itself is retained (and change tracking enabled on it):
+        subsequent DML — through :meth:`insert_rows` / :meth:`delete_rows` /
+        :meth:`update_rows` or directly on the relation — is observed, the
+        table snapshot re-derived lazily, and dependent materialized views
+        maintained from the recorded deltas.
+        """
+        if name in self.relations:
+            self.drop_table(name)  # detach the old relation and its views
+        relation.enable_change_tracking()
+        self.relations[name] = relation
+        listener = self._listener_for(name)
+        self._relation_listeners[name] = (relation, listener)
+        relation.add_mutation_listener(listener)
         table = Table.from_relation(name, relation)
         table.name = name
         return self.register_table(table)
 
+    def _listener_for(self, name: str) -> Callable[[TemporalRelation, List[Delta]], None]:
+        def mark_stale(_relation: TemporalRelation, _deltas: List[Delta]) -> None:
+            self._stale_tables.add(name)
+
+        return mark_stale
+
     def get_table(self, name: str) -> Table:
+        if name in self.views:
+            # The last materialized snapshot: fine for column resolution and
+            # EXPLAIN; execution goes through ViewScan, which refreshes.
+            return self.views.get(name).peek_table()
+        if name in self._stale_tables:
+            self._refresh_table(name)
         try:
             return self.tables[name]
         except KeyError:
@@ -55,12 +100,75 @@ class Database:
                 f"unknown table {name!r}; registered: {sorted(self.tables)}"
             ) from None
 
+    def _refresh_table(self, name: str) -> None:
+        """Re-derive a table snapshot from its mutated backing relation."""
+        relation = self.relations.get(name)
+        self._stale_tables.discard(name)
+        if relation is None:  # relation was dropped meanwhile
+            return
+        table = Table.from_relation(name, relation)
+        table.name = name
+        self.register_table(table)
+
     def drop_table(self, name: str) -> None:
+        """Drop a table/relation, cascading to every dependent view.
+
+        The mutation listener is detached from the dropped relation (it may
+        live on outside the database) and any view that transitively depends
+        on the name is dropped — a view must not serve data from a dropped
+        relation, nor silently match a different relation registered later
+        under the same name.
+        """
         self.tables.pop(name, None)
+        self.relations.pop(name, None)
+        registered = self._relation_listeners.pop(name, None)
+        if registered is not None:
+            relation, listener = registered
+            relation.remove_mutation_listener(listener)
+        self._stale_tables.discard(name)
         self.statistics.invalidate(name)
+        self.views.drop_dependents(name)
+
+    def get_relation(self, name: str) -> TemporalRelation:
+        """The live backing relation of a temporal table (DML target)."""
+        try:
+            return self.relations[name]
+        except KeyError:
+            raise SchemaError(
+                f"{name!r} is not a registered temporal relation; DML requires "
+                f"register_relation (relations: {sorted(self.relations)})"
+            ) from None
 
     def table_statistics(self, name: str) -> TableStatistics:
         return self.statistics.for_table(self.get_table(name))
+
+    # -- DML -------------------------------------------------------------------------
+
+    def insert_rows(
+        self, name: str, rows: Sequence[Tuple[Sequence[Any], Interval]]
+    ) -> List[TemporalTuple]:
+        """Sequenced INSERT: add ``(values, interval)`` rows to a relation."""
+        relation = self.get_relation(name)
+        return [relation.insert(values, interval) for values, interval in rows]
+
+    def delete_rows(
+        self,
+        name: str,
+        predicate: Optional[Callable[[TemporalTuple], bool]] = None,
+        period: Optional[Interval] = None,
+    ) -> List[Delta]:
+        """Sequenced DELETE (see :meth:`TemporalRelation.delete`)."""
+        return self.get_relation(name).delete(predicate, period)
+
+    def update_rows(
+        self,
+        name: str,
+        assignments: Mapping[str, Any],
+        predicate: Optional[Callable[[TemporalTuple], bool]] = None,
+        period: Optional[Interval] = None,
+    ) -> List[Delta]:
+        """Sequenced UPDATE (see :meth:`TemporalRelation.update`)."""
+        return self.get_relation(name).update(assignments, predicate, period)
 
     # -- planning and execution ---------------------------------------------------------
 

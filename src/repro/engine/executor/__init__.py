@@ -30,6 +30,7 @@ from repro.engine.executor.partition import (
 )
 from repro.engine.executor.absorb import AbsorbNode
 from repro.engine.executor.limit import LimitNode
+from repro.engine.executor.view_scan import ViewScanNode
 
 __all__ = [
     "PhysicalNode",
@@ -54,4 +55,5 @@ __all__ = [
     "run_adjustment_task",
     "AbsorbNode",
     "LimitNode",
+    "ViewScanNode",
 ]

@@ -237,6 +237,68 @@ def parallel_adjustment_cost(
     return Estimate(rows=serial.rows, cost=total)
 
 
+def view_scan_cost(settings: Settings, rows: float) -> Estimate:
+    """Scanning a materialized view: emit the stored tuples, nothing else.
+
+    This is what makes a fresh view beat re-running the adjustment pipeline
+    it replaces — the scan pays neither the group-construction join nor the
+    sweep.
+    """
+    rows = max(1.0, rows)
+    return Estimate(rows=rows, cost=settings.cpu_tuple_cost * rows)
+
+
+def incremental_maintenance_cost(
+    settings: Settings, pending: int, base_rows: int, reference_rows: int
+) -> Estimate:
+    """Cost of folding ``pending`` deltas into a materialized adjustment view.
+
+    Each delta pays two index probes (finding the affected overlap groups on
+    one side, recomputing fragments against the other) plus a fixed
+    bookkeeping overhead (``Settings.view_delta_overhead``).  Deliberately
+    pessimistic about fan-out so that near-full-relation delta batches lose
+    against :func:`full_recompute_cost` and the catalog falls back.
+    """
+    n = max(2.0, float(base_rows))
+    m = max(2.0, float(reference_rows))
+    per_delta = math.log2(n) + math.log2(m) + settings.view_delta_overhead
+    return Estimate(
+        rows=float(pending), cost=settings.cpu_operator_cost * pending * per_delta
+    )
+
+
+def full_recompute_cost(settings: Settings, base_rows: int, reference_rows: int) -> Estimate:
+    """Cost of rebuilding a materialized adjustment view from scratch.
+
+    The sweep bound of the native strategies — ``O((n+m) log(n+m))`` group
+    construction plus the ≤3·n output tuples of the alignment estimate
+    (Sec. 6.2).
+    """
+    total = max(2.0, float(base_rows) + float(reference_rows))
+    rows = 3.0 * max(1.0, float(base_rows))
+    return Estimate(
+        rows=rows,
+        cost=settings.cpu_operator_cost * total * math.log2(total)
+        + settings.cpu_tuple_cost * rows,
+    )
+
+
+def maintenance_strategy(
+    settings: Settings, pending: int, base_rows: int, reference_rows: int
+) -> str:
+    """Decide ``"incremental"`` vs ``"recompute"`` for a stale view.
+
+    The staleness threshold of the view catalog is not a magic constant but
+    this cost comparison — better statistics (or tuned cost constants)
+    sharpen it exactly like they sharpen join choice.
+    """
+    if pending <= 0:
+        return "incremental"
+    incremental = incremental_maintenance_cost(settings, pending, base_rows, reference_rows)
+    recompute = full_recompute_cost(settings, base_rows, reference_rows)
+    return "incremental" if incremental.cost < recompute.cost else "recompute"
+
+
 def absorb_cost(settings: Settings, child: Estimate) -> Estimate:
     return Estimate(rows=child.rows, cost=child.cost + settings.cpu_operator_cost * child.rows)
 

@@ -42,6 +42,7 @@ from repro.engine.executor import (
     SetOpNode,
     SortNode,
     ValuesNode,
+    ViewScanNode,
 )
 from repro.engine.expressions import (
     And,
@@ -78,6 +79,14 @@ class Planner:
     # -- leaves -----------------------------------------------------------------------
 
     def _plan_scan(self, node: logical.Scan) -> PhysicalNode:
+        # A scan of a materialized view becomes a ViewScan: the view refreshes
+        # itself at execution time instead of serving a possibly stale table.
+        view = self._catalog_view(node.table_name)
+        if view is not None:
+            physical: PhysicalNode = ViewScanNode(view, columns=node.columns)
+            return self._estimated(
+                physical, cost.view_scan_cost(self.settings, view.estimated_rows())
+            )
         table = self.database.get_table(node.table_name)
         physical = SeqScanNode(table, node.alias)
         estimate = cost.scan_cost(self.settings, len(table))
@@ -159,6 +168,9 @@ class Planner:
     # -- temporal nodes ----------------------------------------------------------------------
 
     def _plan_align(self, node: logical.Align) -> PhysicalNode:
+        substituted = self._view_substitute(node, kind="align")
+        if substituted is not None:
+            return substituted
         left = self.plan(node.left)
         right = self.plan(node.right)
         left_columns = left.columns
@@ -239,6 +251,9 @@ class Planner:
         return parallel if parallel is not None else adjustment
 
     def _plan_normalize(self, node: logical.Normalize) -> PhysicalNode:
+        substituted = self._view_substitute(node, kind="normalize")
+        if substituted is not None:
+            return substituted
         left = self.plan(node.left)
         right = self.plan(node.right)
         left_columns = left.columns
@@ -330,6 +345,73 @@ class Planner:
             serial_estimate=estimate,
         )
         return parallel if parallel is not None else adjustment
+
+    # -- materialized view substitution ------------------------------------------------------
+
+    def _catalog_view(self, name: str):
+        """The named materialized view, when substitution is enabled."""
+        if not self.settings.enable_viewscan:
+            return None
+        catalog = getattr(self.database, "views", None)
+        if catalog is None or name not in catalog:
+            return None
+        return catalog.get(name)
+
+    def _view_substitute(
+        self, node, kind: str
+    ) -> Optional[PhysicalNode]:
+        """Replace an Align/Normalize subtree by a matching materialized view.
+
+        Matching is structural: both inputs must be base-table scans of
+        registered relations, the boundary columns the engine defaults, and
+        the view catalog must hold an incremental view whose fingerprint
+        (tables + alias-normalized condition) equals the node's.  The view
+        must still be backed by the *same* relation objects — re-registering
+        a table under an old name orphans views built over the former
+        relation, and those must not serve the query.
+        """
+        if not self.settings.enable_viewscan:
+            return None
+        catalog = getattr(self.database, "views", None)
+        if catalog is None or len(catalog) == 0:
+            return None
+        if not isinstance(node.left, logical.Scan) or not isinstance(node.right, logical.Scan):
+            return None
+        bounds = (node.left_start, node.left_end, node.right_start, node.right_end)
+        if tuple(b.rsplit(".", 1)[-1] for b in bounds) != ("ts", "te", "ts", "te"):
+            return None
+
+        from repro.views.catalog import (
+            align_fingerprint,
+            condition_fingerprint,
+            normalize_fingerprint,
+        )
+
+        left_table = node.left.table_name
+        right_table = node.right.table_name
+        if kind == "align":
+            fingerprint = align_fingerprint(
+                left_table,
+                right_table,
+                condition_fingerprint(node.condition, node.left.columns, node.right.columns),
+            )
+        else:
+            pairs = [
+                (lc.rsplit(".", 1)[-1], rc.rsplit(".", 1)[-1]) for lc, rc in node.using
+            ]
+            fingerprint = normalize_fingerprint(left_table, right_table, pairs)
+        view = catalog.match(fingerprint)
+        if view is None or view.kind != kind:
+            return None
+        if (
+            self.database.relations.get(left_table) is not view.base
+            or self.database.relations.get(right_table) is not view.reference
+        ):
+            return None
+        physical = ViewScanNode(view, columns=node.left.columns)
+        return self._estimated(
+            physical, cost.view_scan_cost(self.settings, view.estimated_rows())
+        )
 
     # -- helpers ---------------------------------------------------------------------------
 

@@ -58,6 +58,16 @@ class Settings:
     #: considered; below it the executor also stays in-process at runtime.
     parallel_min_rows: float = 1000.0
 
+    #: Allow the planner to substitute matching materialized views
+    #: (``ViewScan`` nodes) for ALIGN/NORMALIZE subtrees and view-name scans.
+    enable_viewscan: bool = True
+    #: Fixed per-delta work assumed by the view-maintenance cost model on top
+    #: of the logarithmic index probes (fragment rewrite, bookkeeping).  The
+    #: crossover between incremental maintenance and full recompute moves
+    #: with this constant: larger values make the optimizer fall back to
+    #: recompute earlier.
+    view_delta_overhead: float = 16.0
+
     def copy(self, **overrides: object) -> "Settings":
         """Copy with some fields replaced (handy in benchmarks and tests)."""
         return replace(self, **overrides)

@@ -11,6 +11,7 @@ This package implements the data model of Sec. 3.1 of the paper:
   propagation, Def. 3).
 """
 
+from repro.relation.changelog import ChangeLog, ChangeLogTruncatedError, Delta
 from repro.relation.errors import DuplicateTupleError, ReproError, SchemaError
 from repro.relation.relation import TemporalRelation
 from repro.relation.schema import Attribute, Schema
@@ -26,4 +27,7 @@ __all__ = [
     "ReproError",
     "SchemaError",
     "DuplicateTupleError",
+    "ChangeLog",
+    "ChangeLogTruncatedError",
+    "Delta",
 ]

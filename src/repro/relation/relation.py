@@ -13,16 +13,28 @@ outside the algebra proper:
 
 * the timeslice operator ``τ_t`` (Sec. 3.1), and
 * the extend operator ``U`` for timestamp propagation (Def. 3).
+
+Mutations follow *sequenced* semantics: ``delete``/``update`` restricted to a
+period split the affected tuples' intervals at the period boundaries (the
+same split machinery normalization uses, :meth:`Interval.split_at`), touch
+only the fragment inside the period and leave the rest intact.  Relations
+with change tracking enabled additionally record every mutation as ``+``/``-``
+:class:`~repro.relation.changelog.Delta` records, which is what the
+incremental view maintenance of :mod:`repro.views` consumes.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro.relation.changelog import ChangeLog, Delta
 from repro.relation.errors import DuplicateTupleError, SchemaError
 from repro.relation.schema import Schema
 from repro.relation.tuple import TemporalTuple
 from repro.temporal.interval import Interval
+
+#: Signature of a mutation listener: ``fn(relation, deltas)``.
+MutationListener = Callable[["TemporalRelation", List[Delta]], None]
 
 
 class TemporalRelation:
@@ -47,10 +59,18 @@ class TemporalRelation:
         self.schema = schema
         self.enforce_duplicate_free = enforce_duplicate_free
         self._tuples: List[TemporalTuple] = []
+        #: Rowids parallel to ``_tuples``: stable physical identity of each
+        #: stored tuple (two value-equal tuples carry distinct rowids).
+        self._rowids: List[int] = []
+        self._next_rowid: int = 0
         #: Cache of expensive derived structures (interval indexes, split
         #: points); dropped on every mutation so cached entries are always
         #: consistent with the current tuple set.
         self._derived_cache: Dict[Any, Any] = {}
+        #: Change log (``None`` until tracking is enabled — intermediate
+        #: results built by the adjustment operators never pay for logging).
+        self._changelog: Optional[ChangeLog] = None
+        self._listeners: List[MutationListener] = []
         if tuples is not None:
             for t in tuples:
                 self.add(t)
@@ -95,8 +115,13 @@ class TemporalRelation:
             )
         if self.enforce_duplicate_free:
             self._check_duplicate_free(tuple_)
+        rowid = self._next_rowid
+        self._next_rowid += 1
         self._tuples.append(tuple_)
-        if self._derived_cache:
+        self._rowids.append(rowid)
+        if self._changelog is not None:
+            self._after_mutation([self._changelog.append("+", rowid, tuple_)])
+        elif self._derived_cache:
             self._derived_cache.clear()
         return tuple_
 
@@ -113,6 +138,212 @@ class TemporalRelation:
                     f"tuple {candidate!r} is value-equivalent to {existing!r} "
                     "over a common time point"
                 )
+
+    # -- change tracking -----------------------------------------------------
+
+    def enable_change_tracking(self) -> None:
+        """Start recording mutations as :class:`Delta` records.
+
+        Idempotent.  Tracking is opt-in so that the millions of intermediate
+        tuples the adjustment operators build never pay for logging; the
+        engine enables it for every relation registered in a
+        :class:`~repro.engine.database.Database`.
+        """
+        if self._changelog is None:
+            self._changelog = ChangeLog()
+
+    @property
+    def tracks_changes(self) -> bool:
+        """Whether mutations are being recorded in a change log."""
+        return self._changelog is not None
+
+    @property
+    def version(self) -> int:
+        """Version of the last recorded change (0 when untracked/unchanged)."""
+        return self._changelog.version if self._changelog is not None else 0
+
+    def changes_since(self, version: int) -> List[Delta]:
+        """Deltas newer than ``version`` (oldest first); requires tracking.
+
+        Raises :class:`~repro.relation.changelog.ChangeLogTruncatedError` when
+        the cursor predates a trimmed prefix — consumers then recompute.
+        """
+        if self._changelog is None:
+            raise SchemaError("change tracking is not enabled on this relation")
+        return self._changelog.since(version)
+
+    def trim_changelog(self, below: int) -> int:
+        """Drop change records with version ``<= below`` (memory bound)."""
+        if self._changelog is None:
+            return 0
+        return self._changelog.trim(below)
+
+    def add_mutation_listener(self, listener: MutationListener) -> None:
+        """Register ``listener(relation, deltas)`` to run after each mutation."""
+        self._listeners.append(listener)
+
+    def remove_mutation_listener(self, listener: MutationListener) -> None:
+        self._listeners.remove(listener)
+
+    def rows_with_ids(self) -> List[Tuple[int, TemporalTuple]]:
+        """``(rowid, tuple)`` pairs in insertion order (a copy)."""
+        return list(zip(self._rowids, self._tuples))
+
+    def _after_mutation(self, deltas: List[Delta]) -> None:
+        """Shared epilogue of every mutation path.
+
+        Drops **all** derived caches (interval indexes, split points) so no
+        stale structure can be served, then notifies listeners.  Every
+        mutation — ``add``/``insert``, ``delete``, ``update`` — funnels
+        through here.
+        """
+        if self._derived_cache:
+            self._derived_cache.clear()
+        if deltas and self._listeners:
+            for listener in list(self._listeners):
+                listener(self, deltas)
+
+    # -- sequenced mutations -------------------------------------------------
+
+    def delete(
+        self,
+        predicate: Optional[Callable[[TemporalTuple], bool]] = None,
+        period: Optional[Interval] = None,
+    ) -> List[Delta]:
+        """Sequenced ``DELETE``: remove matching tuples over ``period``.
+
+        Without ``period`` matching tuples are removed entirely.  With a
+        period, each matching tuple whose interval overlaps it is split at
+        the period boundaries; the overlapping fragment disappears and the
+        fragments outside the period survive with their original values —
+        the textbook sequenced-delete semantics.
+
+        Returns the list of deltas describing the change (``-`` for each
+        removed tuple, ``+`` for each surviving fragment); empty when nothing
+        matched.  The deltas are also appended to the change log when
+        tracking is enabled.
+        """
+        return self._mutate(predicate, period, assignments=None)
+
+    def update(
+        self,
+        assignments: Mapping[str, Any],
+        predicate: Optional[Callable[[TemporalTuple], bool]] = None,
+        period: Optional[Interval] = None,
+    ) -> List[Delta]:
+        """Sequenced ``UPDATE``: rewrite matching tuples over ``period``.
+
+        ``assignments`` maps attribute names to new values; a value may be a
+        callable receiving the original tuple (``lambda t: t["a"] + 10``).
+        With a ``period`` the affected tuples are split at the period
+        boundaries (reusing the normalization split machinery,
+        :meth:`Interval.split_at`): fragments inside the period carry the new
+        values, fragments outside keep the old ones.  Without a period the
+        whole tuple is rewritten.
+
+        Returns the deltas describing the change.
+        """
+        if not assignments:
+            return []
+        missing = [a for a in assignments if a not in self.schema.attribute_names]
+        if missing:
+            raise SchemaError(
+                f"cannot update unknown attributes {missing}; schema has "
+                f"{list(self.schema.attribute_names)}"
+            )
+        return self._mutate(predicate, period, assignments=dict(assignments))
+
+    def _mutate(
+        self,
+        predicate: Optional[Callable[[TemporalTuple], bool]],
+        period: Optional[Interval],
+        assignments: Optional[Dict[str, Any]],
+    ) -> List[Delta]:
+        """Shared engine of :meth:`delete` (``assignments is None``) and
+        :meth:`update`: rebuild the tuple list with affected tuples replaced
+        by their fragments, keeping untouched tuples in place."""
+        if period is not None and not isinstance(period, Interval):
+            period = Interval(*period)
+        if period is not None and period.is_empty():
+            return []
+
+        new_tuples: List[TemporalTuple] = []
+        new_rowids: List[int] = []
+        removed: List[Tuple[int, TemporalTuple]] = []
+        added_positions: List[int] = []
+
+        for rowid, t in zip(self._rowids, self._tuples):
+            affected = (predicate is None or predicate(t)) and (
+                period is None or not t.interval.intersect(period).is_empty()
+            )
+            if not affected:
+                new_tuples.append(t)
+                new_rowids.append(rowid)
+                continue
+            removed.append((rowid, t))
+            for fragment in self._fragments_of(t, period, assignments):
+                added_positions.append(len(new_tuples))
+                new_tuples.append(fragment)
+                new_rowids.append(-1)  # real rowid assigned after validation
+
+        if not removed:
+            return []
+
+        if self.enforce_duplicate_free and not _tuples_duplicate_free(new_tuples):
+            raise DuplicateTupleError(
+                "mutation would violate the duplicate-free condition; no change applied"
+            )
+
+        for position in added_positions:
+            new_rowids[position] = self._next_rowid
+            self._next_rowid += 1
+        self._tuples = new_tuples
+        self._rowids = new_rowids
+
+        deltas: List[Delta] = []
+        if self._changelog is not None:
+            for rowid, t in removed:
+                deltas.append(self._changelog.append("-", rowid, t))
+            for position in added_positions:
+                deltas.append(
+                    self._changelog.append("+", new_rowids[position], new_tuples[position])
+                )
+        else:  # untracked: still describe the change (version 0, not logged)
+            deltas.extend(Delta("-", rowid, t, 0) for rowid, t in removed)
+            deltas.extend(
+                Delta("+", new_rowids[p], new_tuples[p], 0) for p in added_positions
+            )
+        self._after_mutation(deltas)
+        return deltas
+
+    def _fragments_of(
+        self,
+        t: TemporalTuple,
+        period: Optional[Interval],
+        assignments: Optional[Dict[str, Any]],
+    ) -> List[TemporalTuple]:
+        """Surviving fragments of one affected tuple under a sequenced mutation."""
+        if assignments is None:  # delete
+            if period is None:
+                return []
+            return [t.with_interval(piece) for piece in t.interval.minus(period)]
+        updated = self._apply_assignments(t, assignments)
+        if period is None:
+            return [updated]
+        fragments: List[TemporalTuple] = []
+        # Split at the period boundaries — the normalization split machinery.
+        for piece in t.interval.split_at((period.start, period.end)):
+            source = updated if piece.is_contained_in(period) else t
+            fragments.append(source.with_interval(piece))
+        return fragments
+
+    def _apply_assignments(
+        self, t: TemporalTuple, assignments: Dict[str, Any]
+    ) -> TemporalTuple:
+        values = list(t.values)
+        for name, value in assignments.items():
+            values[self.schema.index_of(name)] = value(t) if callable(value) else value
+        return TemporalTuple(self.schema, tuple(values), t.interval)
 
     # -- basic protocol ------------------------------------------------------
 
@@ -158,15 +389,7 @@ class TemporalRelation:
         Uses a sweep per value-equivalence class, so it is ``O(n log n)``
         rather than quadratic.
         """
-        groups: Dict[Tuple[Any, ...], List[Interval]] = {}
-        for t in self._tuples:
-            groups.setdefault(t.values, []).append(t.interval)
-        for intervals in groups.values():
-            intervals.sort()
-            for previous, current in zip(intervals, intervals[1:]):
-                if current.start < previous.end:
-                    return False
-        return True
+        return _tuples_duplicate_free(self._tuples)
 
     def active_points(self) -> List[int]:
         """All start/end points appearing in the relation, sorted and unique.
@@ -321,6 +544,19 @@ class TemporalRelation:
         if limit is not None and len(self._tuples) > limit:
             lines.append(f"... ({len(self._tuples) - limit} more tuples)")
         return "\n".join(lines)
+
+
+def _tuples_duplicate_free(tuples: Iterable[TemporalTuple]) -> bool:
+    """Whether no two value-equivalent tuples overlap (Sec. 3.1 condition)."""
+    groups: Dict[Tuple[Any, ...], List[Interval]] = {}
+    for t in tuples:
+        groups.setdefault(t.values, []).append(t.interval)
+    for intervals in groups.values():
+        intervals.sort()
+        for previous, current in zip(intervals, intervals[1:]):
+            if current.start < previous.end:
+                return False
+    return True
 
 
 def _sort_key(values: Tuple[Any, ...]) -> Tuple[Any, ...]:

@@ -145,3 +145,91 @@ class SelectStatement:
     limit: Optional[int] = None
     ctes: List[CommonTableExpression] = field(default_factory=list)
     set_operation: Optional[Tuple[str, "SelectStatement"]] = None  # (kind, rhs)
+
+
+# -- temporal DML ----------------------------------------------------------------------
+
+
+@dataclass
+class PeriodLiteral:
+    """A half-open application period ``[start, end)``.
+
+    ``start``/``end`` are constant scalar expressions (evaluated without any
+    row context), matching how SQL:2011 writes application-time periods.
+    """
+
+    start: Expression
+    end: Expression
+
+
+@dataclass
+class InsertStatement:
+    """``INSERT INTO t [(cols)] VALUES (..), .. VALID PERIOD [a, b)``.
+
+    The ``VALID PERIOD`` clause supplies the valid-time interval of every
+    inserted row; the value lists cover only the nontemporal columns.
+    """
+
+    table: str
+    columns: Optional[List[str]]
+    rows: List[List[Expression]]
+    period: PeriodLiteral
+
+
+@dataclass
+class UpdateStatement:
+    """``UPDATE t SET col = expr, .. [WHERE cond] [FOR PERIOD [a, b)]``.
+
+    With ``FOR PERIOD`` the update is *sequenced*: affected tuples are split
+    at the period boundaries and only the fragment inside the period is
+    rewritten.  Without it the whole tuple is rewritten.
+    """
+
+    table: str
+    assignments: List[Tuple[str, Expression]]
+    where: Optional[Expression] = None
+    period: Optional[PeriodLiteral] = None
+
+
+@dataclass
+class DeleteStatement:
+    """``DELETE FROM t [WHERE cond] [FOR PERIOD [a, b)]`` (sequenced delete)."""
+
+    table: str
+    where: Optional[Expression] = None
+    period: Optional[PeriodLiteral] = None
+
+
+@dataclass
+class CreateViewStatement:
+    """``CREATE MATERIALIZED VIEW name AS SELECT ...``."""
+
+    name: str
+    query: SelectStatement
+
+
+@dataclass
+class DropViewStatement:
+    """``DROP MATERIALIZED VIEW name``."""
+
+    name: str
+
+
+@dataclass
+class RefreshViewStatement:
+    """``REFRESH MATERIALIZED VIEW name`` (explicit refresh; views also
+    refresh themselves on access)."""
+
+    name: str
+
+
+#: Any parsed statement.
+Statement = Union[
+    SelectStatement,
+    InsertStatement,
+    UpdateStatement,
+    DeleteStatement,
+    CreateViewStatement,
+    DropViewStatement,
+    RefreshViewStatement,
+]

@@ -8,13 +8,20 @@ from repro.engine.database import Database
 from repro.engine.optimizer.settings import Settings
 from repro.engine.plan import LogicalPlan
 from repro.engine.table import Table
+from repro.relation.errors import QueryError
 from repro.relation.relation import TemporalRelation
+from repro.sql import ast
 from repro.sql.analyzer import Analyzer
 from repro.sql.parser import parse
 
 
 class Connection:
     """Parse → analyze → plan → execute SQL against a :class:`Database`.
+
+    Queries (``SELECT``/``WITH``) run through the planner and executor;
+    the temporal DML (``INSERT … VALID PERIOD``, ``UPDATE``/``DELETE``
+    ``… FOR PERIOD``) and materialized-view statements mutate the database
+    directly and return a one-row status table.
 
     >>> from repro.engine import Database
     >>> db = Database()
@@ -39,16 +46,26 @@ class Connection:
     # -- query processing ----------------------------------------------------------------
 
     def logical_plan(self, sql_text: str) -> LogicalPlan:
-        """Parse and analyze a statement without executing it."""
-        return self.analyzer.analyze(parse(sql_text))
+        """Parse and analyze a query without executing it (SELECT only)."""
+        statement = parse(sql_text)
+        if not isinstance(statement, ast.SelectStatement):
+            raise QueryError(
+                f"{type(statement).__name__} has no logical plan; only queries do"
+            )
+        return self.analyzer.analyze(statement)
 
     def explain(self, sql_text: str, settings: Optional[Settings] = None) -> str:
         """Costed physical plan of a statement (``EXPLAIN``-style)."""
         return self.database.plan(self.logical_plan(sql_text), settings).explain()
 
     def execute(self, sql_text: str, settings: Optional[Settings] = None) -> Table:
-        """Run a statement and return the result table."""
-        return self.database.execute(self.logical_plan(sql_text), settings)
+        """Run a statement and return the result (or DML status) table."""
+        statement = parse(sql_text)
+        if isinstance(statement, ast.SelectStatement):
+            return self.database.execute(self.analyzer.analyze(statement), settings)
+        from repro.sql.dml import execute_statement
+
+        return execute_statement(self.database, statement)
 
     def query_relation(
         self,

@@ -21,6 +21,9 @@ KEYWORDS = {
     "UNION", "ALL", "EXCEPT", "INTERSECT", "WITH", "ALIGN", "NORMALIZE",
     "USING", "ASC", "DESC", "TRUE", "FALSE", "CASE", "WHEN", "THEN", "ELSE",
     "END",
+    # Temporal DML and materialized views.
+    "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE", "FOR", "PERIOD",
+    "VALID", "CREATE", "MATERIALIZED", "VIEW", "DROP", "REFRESH",
 }
 
 _TOKEN_RE = re.compile(
@@ -30,7 +33,7 @@ _TOKEN_RE = re.compile(
     | (?P<number>\d+(\.\d+)?)
     | (?P<string>'(?:[^']|'')*')
     | (?P<name>[A-Za-z_][A-Za-z_0-9]*(\.[A-Za-z_][A-Za-z_0-9]*)*)
-    | (?P<op><=|>=|<>|!=|=|<|>|\+|-|\*|/|%|\(|\)|,|\.)
+    | (?P<op><=|>=|<>|!=|=|<|>|\+|-|\*|/|%|\(|\)|\[|\]|,|\.)
     """,
     re.VERBOSE,
 )

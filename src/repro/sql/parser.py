@@ -31,10 +31,13 @@ from repro.sql import ast
 from repro.sql.lexer import Token, tokenize
 
 
-def parse(text: str) -> ast.SelectStatement:
-    """Parse one SELECT statement (the only statement kind of the dialect)."""
+def parse(text: str) -> ast.Statement:
+    """Parse one statement: SELECT/WITH, the temporal DML statements
+    (``INSERT … VALID PERIOD``, ``UPDATE … FOR PERIOD``, ``DELETE … FOR
+    PERIOD``) or the materialized-view DDL (``CREATE/DROP/REFRESH
+    MATERIALIZED VIEW``)."""
     parser = _Parser(tokenize(text))
-    statement = parser.parse_statement()
+    statement = parser.parse_any_statement()
     parser.expect_eof()
     return statement
 
@@ -92,6 +95,111 @@ class _Parser:
             raise self.error("unexpected trailing input")
 
     # -- statements --------------------------------------------------------------------
+
+    def parse_any_statement(self) -> ast.Statement:
+        if self.check_keyword("INSERT"):
+            return self.parse_insert()
+        if self.check_keyword("UPDATE"):
+            return self.parse_update()
+        if self.check_keyword("DELETE"):
+            return self.parse_delete()
+        if self.check_keyword("CREATE"):
+            return self.parse_create_view()
+        if self.check_keyword("DROP"):
+            return self.parse_drop_view()
+        if self.check_keyword("REFRESH"):
+            return self.parse_refresh_view()
+        return self.parse_statement()
+
+    # -- temporal DML -------------------------------------------------------------------
+
+    def parse_insert(self) -> ast.InsertStatement:
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        table = self.expect("NAME").value
+        columns: Optional[List[str]] = None
+        if self.accept("OP", "("):
+            columns = [self.expect("NAME").value]
+            while self.accept("OP", ","):
+                columns.append(self.expect("NAME").value)
+            self.expect("OP", ")")
+        self.expect_keyword("VALUES")
+        rows = [self.parse_value_list()]
+        while self.accept("OP", ","):
+            rows.append(self.parse_value_list())
+        self.expect_keyword("VALID")
+        self.expect_keyword("PERIOD")
+        period = self.parse_period()
+        return ast.InsertStatement(table, columns, rows, period)
+
+    def parse_value_list(self) -> List[Expression]:
+        self.expect("OP", "(")
+        values = [self.parse_expression()]
+        while self.accept("OP", ","):
+            values.append(self.parse_expression())
+        self.expect("OP", ")")
+        return values
+
+    def parse_update(self) -> ast.UpdateStatement:
+        self.expect_keyword("UPDATE")
+        table = self.expect("NAME").value
+        self.expect_keyword("SET")
+        assignments = [self.parse_assignment()]
+        while self.accept("OP", ","):
+            assignments.append(self.parse_assignment())
+        where = self.parse_expression() if self.accept_keyword("WHERE") else None
+        period = self.parse_for_period()
+        return ast.UpdateStatement(table, assignments, where, period)
+
+    def parse_assignment(self):
+        name = self.expect("NAME").value
+        self.expect("OP", "=")
+        return (name, self.parse_expression())
+
+    def parse_delete(self) -> ast.DeleteStatement:
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        table = self.expect("NAME").value
+        where = self.parse_expression() if self.accept_keyword("WHERE") else None
+        period = self.parse_for_period()
+        return ast.DeleteStatement(table, where, period)
+
+    def parse_for_period(self) -> Optional[ast.PeriodLiteral]:
+        if self.accept_keyword("FOR"):
+            self.expect_keyword("PERIOD")
+            return self.parse_period()
+        return None
+
+    def parse_period(self) -> ast.PeriodLiteral:
+        """``[start, end)`` — a half-open application-time period."""
+        self.expect("OP", "[")
+        start = self.parse_additive()
+        self.expect("OP", ",")
+        end = self.parse_additive()
+        self.expect("OP", ")")
+        return ast.PeriodLiteral(start, end)
+
+    # -- materialized views -------------------------------------------------------------
+
+    def parse_create_view(self) -> ast.CreateViewStatement:
+        self.expect_keyword("CREATE")
+        self.expect_keyword("MATERIALIZED")
+        self.expect_keyword("VIEW")
+        name = self.expect("NAME").value
+        self.expect_keyword("AS")
+        return ast.CreateViewStatement(name, self.parse_statement())
+
+    def parse_drop_view(self) -> ast.DropViewStatement:
+        self.expect_keyword("DROP")
+        self.expect_keyword("MATERIALIZED")
+        self.expect_keyword("VIEW")
+        return ast.DropViewStatement(self.expect("NAME").value)
+
+    def parse_refresh_view(self) -> ast.RefreshViewStatement:
+        self.expect_keyword("REFRESH")
+        self.expect_keyword("MATERIALIZED")
+        self.expect_keyword("VIEW")
+        return ast.RefreshViewStatement(self.expect("NAME").value)
 
     def parse_statement(self) -> ast.SelectStatement:
         ctes: List[ast.CommonTableExpression] = []

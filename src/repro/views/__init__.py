@@ -1,0 +1,34 @@
+"""Materialized, incrementally maintained adjustment views.
+
+The reduction rules make every temporal operator a nontemporal plan over
+ALIGN/NORMALIZE, so the expensive part of any repeated temporal query is the
+adjustment itself.  This package materializes adjusted results and keeps them
+consistent under the sequenced mutations of
+:class:`~repro.relation.relation.TemporalRelation` by propagating per-tuple
+deltas *through* the adjustment — the same per-tuple lineage that powers the
+change-preservation property (Def. 6/7) tells maintenance exactly which
+result fragments a base delta touches:
+
+* a deleted base tuple removes exactly its lineage-derived fragments;
+* an inserted base tuple is adjusted against only the overlap groups it
+  touches, probed via the reference's cached
+  :class:`~repro.temporal.interval_index.IntervalIndex`;
+* a reference-side delta re-adjusts only the base tuples whose groups it
+  enters or leaves.
+
+Past a staleness threshold decided by the optimizer's cost model
+(:func:`repro.engine.optimizer.cost.maintenance_strategy`) maintenance falls
+back to a full recompute.  The planner substitutes fresh views into matching
+query plans as ``ViewScan(name, fresh|maintained)`` nodes.
+"""
+
+from repro.views.catalog import ViewCatalog, ViewError
+from repro.views.view import AlignView, NormalizeView, RecomputeView
+
+__all__ = [
+    "ViewCatalog",
+    "ViewError",
+    "AlignView",
+    "NormalizeView",
+    "RecomputeView",
+]

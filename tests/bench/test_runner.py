@@ -34,6 +34,22 @@ def test_parallel_alignment_scenarios_and_report(tmp_path):
     assert len(payload["scenarios"]) == len(scenarios)
 
 
+def test_view_maintenance_scenarios_enforce_equality(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_STRICT", "0")  # timings are noise at n=40
+    scenarios = runner.run_view_maintenance(sizes=[40], workers=2, repeats=1)
+    assert len(scenarios) == len(runner.FAMILIES)
+    for scenario in scenarios:
+        assert scenario["identical"] is True
+        assert scenario["mutations"] >= 4
+        assert scenario["maintenance"]["incremental"] >= 1
+        assert scenario["single_mutation_speedup"] > 0
+
+    path = runner.write_report("test_views", scenarios, str(tmp_path), workers=2)
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    assert payload["scenarios"][0]["scenario"] == "view_maintenance"
+
+
 def test_main_writes_reports(tmp_path):
     code = runner.main(
         [
