@@ -36,8 +36,10 @@ import argparse
 import json
 import os
 import platform
+import shutil
 import subprocess
 import sys
+import tempfile
 import time
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -267,12 +269,9 @@ def run_view_maintenance(
             stream = _mutation_stream(size, count=max(4, size // 50))
             incremental_total = 0.0
             recompute_total = 0.0
-            for kind, target, payload in stream:
-                if kind == "insert":
-                    category, interval = payload
-                    database.insert_rows(target, [((category, 1, 5), interval)])
-                else:
-                    database.delete_rows(target, period=payload)
+            for operation in stream:
+                _apply_mutation(database, operation)
+                kind = operation[0]
                 # Timed: the maintenance itself (delta propagation) vs the
                 # full from-scratch adjustment a viewless system would run.
                 started = time.perf_counter()
@@ -338,6 +337,176 @@ def run_view_maintenance(
     return scenarios
 
 
+def _apply_mutation(database: Database, operation) -> None:
+    """Apply one ``_mutation_stream`` operation (shared by all scenarios)."""
+    kind, target, payload = operation
+    if kind == "insert":
+        category, interval = payload
+        database.insert_rows(target, [((category, 1, 5), interval)])
+    else:
+        database.delete_rows(target, period=payload)
+
+
+def _apply_mutation_stream(database: Database, stream) -> None:
+    for operation in stream:
+        _apply_mutation(database, operation)
+
+
+def run_durability(
+    sizes: Optional[Sequence[int]] = None, workers: int = 2, repeats: int = 2
+) -> List[dict]:
+    """WAL-append overhead per mutation and crash-recovery time vs. size.
+
+    For every synthetic family and size a durable database (WAL fsync'd on
+    every commit) and an in-memory twin run the same deterministic mutation
+    stream; the per-mutation difference is the durability overhead.  The
+    database is checkpointed mid-stream, mutated further, then "crashed"
+    (never closed) and re-opened from a copy of its directory — the recovery
+    path is snapshot + WAL suffix, timed best-of-``repeats``.
+
+    Hard gates (CI enforces these; timings are only reported):
+
+    * the recovered relations are identical to the last committed state,
+      including rowids and change-log versions;
+    * the recovered ALIGN view equals the pre-crash view;
+    * a single-tuple mutation after recovery refreshes the view via the
+      *incremental* path (strategy introspection, not timing).
+
+    ``workers`` is unused (durability is single-threaded) but kept so all
+    native scenarios share the runner's calling convention.
+    """
+    del workers
+    sizes = sizes or scaled_sizes(DEFAULT_SIZES)
+    scenarios = []
+    for family, generator in sorted(FAMILIES.items()):
+        for size in sizes:
+            config = SyntheticConfig(size=size, categories=100, seed=42)
+            stream = _mutation_stream(size, count=max(8, size // 25))
+            with tempfile.TemporaryDirectory(prefix="repro-durability-") as root:
+                directory = os.path.join(root, "db")
+                left, right = generator(config=config)
+                database = Database.open(directory)
+                database.register_relation("l", left)
+                database.register_relation("r", right)
+                view = database.views.create_align_view(
+                    "v", "l", "r",
+                    condition=Comparison("=", Column("l.cat"), Column("r.cat")),
+                )
+
+                started = time.perf_counter()
+                _apply_mutation_stream(database, stream)
+                durable_seconds = time.perf_counter() - started
+
+                # The in-memory twin: identical relations (same generator and
+                # seed) and the same stream, just no WAL — the timing
+                # difference is the durability overhead.
+                memory = _register_twin(Database(), *generator(config=config))
+                started = time.perf_counter()
+                _apply_mutation_stream(memory, stream)
+                inmemory_seconds = time.perf_counter() - started
+
+                started = time.perf_counter()
+                snapshot_bytes = database.storage.checkpoint()
+                checkpoint_seconds = time.perf_counter() - started
+                records_at_checkpoint = database.storage.stats["records"]
+
+                # WAL suffix past the snapshot, then crash (no close()).
+                suffix = _mutation_stream(size + 1, count=4)
+                _apply_mutation_stream(database, suffix)
+                expected_view = view.result()
+                expected_rows = {
+                    name: relation.rows_with_ids()
+                    for name, relation in database.relations.items()
+                }
+                expected_versions = {
+                    name: relation.version
+                    for name, relation in database.relations.items()
+                }
+                # Both metrics describe the same log: the post-checkpoint
+                # suffix the recovery below will replay.
+                wal_bytes = os.path.getsize(database.storage.wal_path)
+                wal_records = database.storage.stats["records"] - records_at_checkpoint
+                database.storage.abandon()  # crash: handles released, no checkpoint
+                del database
+
+                recovery_seconds = float("inf")
+                recovered = None
+                for attempt in range(max(1, repeats)):
+                    clone = os.path.join(root, f"recover-{attempt}")
+                    shutil.copytree(directory, clone)
+                    started = time.perf_counter()
+                    candidate = Database.open(clone)
+                    recovery_seconds = min(
+                        recovery_seconds, time.perf_counter() - started
+                    )
+                    if recovered is None:
+                        recovered = candidate
+                    else:  # timing-only candidate: release its WAL handle
+                        candidate.close()
+
+                for name, rows in expected_rows.items():
+                    if recovered.relations[name].rows_with_ids() != rows:
+                        raise BenchmarkError(
+                            f"durability/{family}/n={size}: relation {name!r} "
+                            "differs from the last committed state after recovery"
+                        )
+                    if recovered.relations[name].version != expected_versions[name]:
+                        raise BenchmarkError(
+                            f"durability/{family}/n={size}: change-log version of "
+                            f"{name!r} not restored"
+                        )
+                recovered_view = recovered.views.get("v")
+                if recovered_view.result() != expected_view:
+                    raise BenchmarkError(
+                        f"durability/{family}/n={size}: recovered view differs "
+                        "from the pre-crash view"
+                    )
+                recomputes = recovered_view.stats["recomputed"]
+                recovered.insert_rows("l", [(("C0000", 1, 5), Interval(0, 20))])
+                outcome = recovered_view.refresh()
+                if outcome != "incremental" or recovered_view.stats["recomputed"] != recomputes:
+                    raise BenchmarkError(
+                        f"durability/{family}/n={size}: post-recovery refresh took "
+                        f"the {outcome!r} path instead of incremental maintenance"
+                    )
+                recovered.close()
+
+                mutations = len(stream)
+                scenario = {
+                    "scenario": "durability",
+                    "family": family,
+                    "size": size,
+                    "mutations": mutations,
+                    "durable_stream_seconds": round(durable_seconds, 6),
+                    "inmemory_stream_seconds": round(inmemory_seconds, 6),
+                    "wal_overhead_per_mutation_ms": round(
+                        max(0.0, durable_seconds - inmemory_seconds) / mutations * 1e3, 4
+                    ),
+                    "wal_bytes": wal_bytes,
+                    "wal_records": wal_records,
+                    "snapshot_bytes": snapshot_bytes,
+                    "checkpoint_seconds": round(checkpoint_seconds, 6),
+                    "recovery_seconds": round(recovery_seconds, 6),
+                    "identical": True,
+                    "post_recovery_refresh": outcome,
+                }
+                scenarios.append(scenario)
+                print(
+                    f"[durability] {family} n={size}: stream durable="
+                    f"{durable_seconds * 1e3:.1f}ms vs memory="
+                    f"{inmemory_seconds * 1e3:.1f}ms; recovery="
+                    f"{recovery_seconds * 1e3:.1f}ms "
+                    f"(wal={wal_bytes}B, snapshot={snapshot_bytes}B)"
+                )
+    return scenarios
+
+
+def _register_twin(database: Database, left, right) -> Database:
+    database.register_relation("l", left)
+    database.register_relation("r", right)
+    return database
+
+
 def run_legacy_suite(path: str) -> dict:
     """Wrap one pytest figure harness, recording wall-clock and outcome.
 
@@ -389,6 +558,7 @@ def write_report(name: str, scenarios: List[dict], output_dir: str, workers: int
 
 
 NATIVE_SCENARIOS = {
+    "durability": run_durability,
     "parallel_alignment": run_parallel_alignment,
     "parallel_normalization": run_parallel_normalization,
     "view_maintenance": run_view_maintenance,

@@ -16,8 +16,10 @@ from __future__ import annotations
 import multiprocessing
 import numbers
 import os
+import pickle
+import warnings
 import zlib
-from typing import Any, Callable, Hashable, List, Sequence, TypeVar
+from typing import Any, Callable, Hashable, List, Sequence, Tuple, TypeVar
 
 from repro.relation.tuple import is_null
 
@@ -87,14 +89,56 @@ def partition_indexes(keys: Sequence[Hashable], partition_count: int) -> List[in
     ]
 
 
-def parallel_map(
+#: Fallback causes already reported this process — each distinct cause warns
+#: exactly once, so a tight loop of small maps cannot flood stderr.  Keyed on
+#: ``kind:ExceptionType``, not the message: pickling errors embed per-object
+#: reprs (memory addresses), which would defeat the dedup.
+_warned_fallbacks: "set[str]" = set()
+
+
+def _warn_fallback(key: str, cause: str) -> None:
+    if key in _warned_fallbacks:
+        return
+    _warned_fallbacks.add(key)
+    warnings.warn(
+        f"parallel execution fell back to the in-process path: {cause} "
+        "(results are identical; reported timings are serial)",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def _is_ship_error(error: Exception) -> bool:
+    """Whether an exception from ``pool.map`` means the *pool could not do
+    its job* — as opposed to a genuine error raised by the worker's code.
+
+    Fallback-worthy: pickling failures (:class:`pickle.PickleError` for
+    closures/lambdas, ``TypeError``/``AttributeError`` whose message names
+    pickling, ``MaybeEncodingError`` for an unpicklable *result*) and the
+    pool's IPC plumbing dying underneath us (``BrokenPipeError``/
+    ``ConnectionError``/``EOFError`` from a child killed by the OOM killer
+    or a sandbox ulimit).  Anything else — including an ordinary ``OSError``
+    such as ``FileNotFoundError`` raised by the worker's own code — must
+    propagate: retrying the whole map serially would double the work and
+    blame the pool for it.
+    """
+    from multiprocessing.pool import MaybeEncodingError
+
+    if isinstance(error, (pickle.PickleError, MaybeEncodingError)):
+        return True
+    if isinstance(error, (BrokenPipeError, ConnectionError, EOFError)):
+        return True
+    return isinstance(error, (TypeError, AttributeError)) and "pickle" in str(error).lower()
+
+
+def parallel_map_with_mode(
     worker: Callable[[T], R],
     payloads: Sequence[T],
     workers: int,
     total_items: int,
     min_items: "int | None" = None,
-) -> List[R]:
-    """Map ``worker`` over ``payloads``, pooling only when it can pay off.
+) -> Tuple[List[R], str]:
+    """Map ``worker`` over ``payloads`` and report *where* the map ran.
 
     Args:
         worker: Module-level callable (multiprocessing addresses it by
@@ -106,21 +150,49 @@ def parallel_map(
         min_items: In-process threshold; default from :func:`min_pool_tuples`.
 
     Returns:
-        Worker results, in payload order — the caller can merge
-        deterministically regardless of execution placement.
+        ``(results, mode)`` with results in payload order — the caller can
+        merge deterministically regardless of execution placement.  ``mode``
+        is ``"pool[n]"`` when a worker pool ran the map, ``"in-process"``
+        when the gates kept it local, or ``"in-process (fallback: …)"`` when
+        a pool was attempted and failed (unpicklable payload, no usable
+        start method, resource limits).  A fallback additionally emits a
+        one-time :class:`RuntimeWarning` naming the cause — a silently
+        serial "parallel" run would otherwise report meaningless speedups.
     """
     threshold = min_pool_tuples() if min_items is None else min_items
-    if workers > 1 and len(payloads) > 1 and total_items >= threshold:
-        try:
-            methods = multiprocessing.get_all_start_methods()
-            context = multiprocessing.get_context("fork" if "fork" in methods else None)
-            with context.Pool(processes=min(workers, len(payloads))) as pool:
-                return pool.map(worker, list(payloads))
-        except Exception:
-            # Unpicklable payload (closure θ), missing fork support, resource
-            # limits — fall through to the in-process path.
-            pass
-    return [worker(payload) for payload in payloads]
+    if not (workers > 1 and len(payloads) > 1 and total_items >= threshold):
+        return [worker(payload) for payload in payloads], "in-process"
+    pool_size = min(workers, len(payloads))
+    try:
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context("fork" if "fork" in methods else None)
+        pool = context.Pool(processes=pool_size)
+    except Exception as error:
+        cause = f"worker pool unavailable ({type(error).__name__}: {error})"
+        _warn_fallback(f"pool:{type(error).__name__}", cause)
+        return [worker(payload) for payload in payloads], f"in-process (fallback: {cause})"
+    try:
+        with pool:
+            return pool.map(worker, list(payloads)), f"pool[{pool_size}]"
+    except Exception as error:
+        if not _is_ship_error(error):
+            raise  # the worker's own exception — the serial path would hit it too
+        cause = f"payload could not be shipped ({type(error).__name__}: {error})"
+        _warn_fallback(f"ship:{type(error).__name__}", cause)
+        return [worker(payload) for payload in payloads], f"in-process (fallback: {cause})"
+
+
+def parallel_map(
+    worker: Callable[[T], R],
+    payloads: Sequence[T],
+    workers: int,
+    total_items: int,
+    min_items: "int | None" = None,
+) -> List[R]:
+    """:func:`parallel_map_with_mode` without the mode (most callers merge
+    results and do not report placement)."""
+    results, _mode = parallel_map_with_mode(worker, payloads, workers, total_items, min_items)
+    return results
 
 
 def partition_items(items: Sequence[Any], ids: Sequence[int], count: int) -> List[List[Any]]:

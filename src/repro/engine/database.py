@@ -40,11 +40,70 @@ class Database:
         #: Backing temporal relations of tables created via
         #: :meth:`register_relation` — the authoritative, mutable store.
         self.relations: Dict[str, TemporalRelation] = {}
+        #: The durability engine (``None`` for a purely in-memory database).
+        #: Set by :meth:`open`; when present, every registration, mutation and
+        #: view DDL is written ahead to its log.
+        self.storage = None
         #: Materialized views (incremental and recompute kinds).
         self.views = ViewCatalog(self)
         self.statistics = StatisticsCatalog()
         self._stale_tables: set = set()
         self._relation_listeners: Dict[str, tuple] = {}
+
+    # -- durability ------------------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        settings: Optional[Settings] = None,
+        sync: bool = True,
+        auto_checkpoint: int = 0,
+    ) -> "Database":
+        """Open (or create) a durable database rooted at directory ``path``.
+
+        Recovery loads the latest snapshot, replays the write-ahead-log
+        suffix, and leaves every registered relation, change-log version and
+        materialized view exactly as of the last committed mutation —
+        maintained views resume *incremental* maintenance, they are not
+        rebuilt.  ``sync=False`` trades the per-commit ``fsync`` for speed
+        (data loss window: OS crash); ``auto_checkpoint=N`` snapshots
+        automatically every ``N`` logged records.
+        """
+        from repro.storage.engine import StorageEngine
+
+        database = cls(settings)
+        database.storage = StorageEngine(
+            database, path, sync=sync, auto_checkpoint=auto_checkpoint
+        )
+        try:
+            database.storage.recover()
+        except BaseException:
+            # Recovery failed (e.g. corrupt snapshot): release the directory
+            # lock and file handles deterministically — a later open of the
+            # same path must not depend on garbage collection.
+            database.storage.abandon()
+            raise
+        return database
+
+    def checkpoint(self) -> str:
+        """Snapshot the full state and reset the WAL; ``"noop"`` in memory."""
+        if self.storage is None:
+            return "noop"
+        self.storage.checkpoint()
+        return "checkpoint"
+
+    def close(self) -> None:
+        """Checkpoint (when durable) and release the storage files.
+
+        The storage engine is detached only after its close succeeds: if the
+        final checkpoint fails (e.g. disk full), the engine — and its
+        directory lock — stay attached so the caller can free space and
+        retry ``close()`` instead of silently leaking the lock.
+        """
+        if self.storage is not None:
+            self.storage.close()
+            self.storage = None
 
     # -- catalog ---------------------------------------------------------------------
 
@@ -76,6 +135,10 @@ class Database:
         listener = self._listener_for(name)
         self._relation_listeners[name] = (relation, listener)
         relation.add_mutation_listener(listener)
+        if self.storage is not None:
+            # Logs the registration (schema + current contents) and installs
+            # the WAL listener so subsequent mutations are written ahead.
+            self.storage.on_register_relation(name, relation)
         table = Table.from_relation(name, relation)
         table.name = name
         return self.register_table(table)
@@ -119,6 +182,8 @@ class Database:
         relation, nor silently match a different relation registered later
         under the same name.
         """
+        if self.storage is not None and name in self.relations:
+            self.storage.on_drop_table(name)
         self.tables.pop(name, None)
         self.relations.pop(name, None)
         registered = self._relation_listeners.pop(name, None)
@@ -169,6 +234,19 @@ class Database:
     ) -> List[Delta]:
         """Sequenced UPDATE (see :meth:`TemporalRelation.update`)."""
         return self.get_relation(name).update(assignments, predicate, period)
+
+    def trim_changelog(self, name: str, below: int) -> int:
+        """Trim a relation's change log, durably when storage is attached.
+
+        Prefer this over ``relation.trim_changelog`` on a durable database:
+        the trim is logged so the post-recovery log reports the same
+        truncation horizon.  (A direct relation-level trim still becomes
+        durable at the next checkpoint, which snapshots the horizon.)
+        """
+        dropped = self.get_relation(name).trim_changelog(below)
+        if self.storage is not None:
+            self.storage.on_trim(name, below)
+        return dropped
 
     # -- planning and execution ---------------------------------------------------------
 

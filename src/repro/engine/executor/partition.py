@@ -35,7 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
-from repro.core.parallel import parallel_map, partition_hash, stable_hash
+from repro.core.parallel import parallel_map_with_mode, partition_hash, stable_hash
 from repro.engine.executor.adjustment import AdjustmentNode
 from repro.engine.executor.base import PhysicalNode, Row, ValuesNode
 from repro.engine.executor.interval_join import IntervalJoinNode
@@ -207,6 +207,11 @@ class ExchangeNode(PhysicalNode):
         self.task = task
         self.workers = workers
         self.inprocess_threshold = inprocess_threshold
+        #: Where the last execution actually ran (``"pool[n]"``,
+        #: ``"in-process"``, ``"in-process (fallback: …)"``); ``None`` before
+        #: the first execution.  EXPLAIN after a run shows it, so a plan that
+        #: silently degraded to serial execution is visible, not just slow.
+        self.effective_mode: "str | None" = None
 
     def rows(self) -> Iterator[Row]:
         left_buckets = self.left.partitions()
@@ -220,8 +225,9 @@ class ExchangeNode(PhysicalNode):
         ]
         total_rows = sum(len(lp) + len(rp) for _, lp, rp in jobs)
         # parallel_map owns the placement policy (pool vs in-process, fork
-        # preference, fallback when a payload cannot be shipped).
-        results = parallel_map(
+        # preference, fallback when a payload cannot be shipped) and reports
+        # the placement it chose.
+        results, self.effective_mode = parallel_map_with_mode(
             _run_payload,
             jobs,
             workers=self.workers,
@@ -233,7 +239,9 @@ class ExchangeNode(PhysicalNode):
 
     def describe(self) -> str:
         kind = "align" if self.task.isalign else "normalize"
+        executed = f", executed={self.effective_mode}" if self.effective_mode else ""
         return (
             f"Exchange({kind}, workers={self.workers}, "
-            f"partitions={self.left.partition_count}, join={self.task.join_strategy})"
+            f"partitions={self.left.partition_count}, join={self.task.join_strategy}"
+            f"{executed})"
         )

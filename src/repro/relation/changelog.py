@@ -4,8 +4,11 @@ Every mutation of a tracked :class:`~repro.relation.relation.TemporalRelation`
 is recorded as a sequence of :class:`Delta` records — ``+`` for an inserted
 tuple, ``-`` for a removed one.  A sequenced ``UPDATE``/``DELETE`` that splits
 a tuple's interval at the period boundaries therefore appears in the log
-exactly as its set-semantics effect: one removal of the original tuple plus
-one insertion per surviving (or rewritten) fragment.
+exactly as its set-semantics effect: one removal of the original tuple
+followed immediately by one insertion per surviving (or rewritten) fragment.
+The interleaving (each removal directly trailed by its replacements) encodes
+fragment lineage, which the write-ahead log of :mod:`repro.storage` relies on
+to rebuild the exact physical tuple layout during crash recovery.
 
 Consumers (the materialized views of :mod:`repro.views`, the engine's table
 snapshots) remember the last :attr:`ChangeLog.version` they observed and pull
@@ -70,6 +73,40 @@ class ChangeLog:
         """Record one change, assigning it the next version."""
         self.version += 1
         delta = Delta(sign, rowid, tuple_, self.version)
+        self._records.append(delta)
+        return delta
+
+    # -- durability support --------------------------------------------------
+
+    def restore(self, version: int, trimmed_below: int) -> None:
+        """Reset the log counters to a recovered snapshot state.
+
+        Only valid on an empty log (recovery builds the relation first, then
+        restores the counters, then replays the WAL suffix on top).
+        """
+        if self._records:
+            raise ValueError("cannot restore counters on a non-empty change log")
+        if trimmed_below > version:
+            raise ValueError(
+                f"trimmed_below {trimmed_below} exceeds restored version {version}"
+            )
+        self.version = version
+        self.trimmed_below = trimmed_below
+
+    def append_replay(self, sign: str, rowid: int, tuple_: "TemporalTuple", version: int) -> Delta:
+        """Re-append a logged record during WAL replay, preserving its version.
+
+        Versions are dense and monotonically increasing, so replay must hand
+        records back in their original order; any gap means the WAL and the
+        snapshot disagree and recovery must stop rather than rebuild a
+        subtly different history.
+        """
+        if version != self.version + 1:
+            raise ValueError(
+                f"replay version {version} does not follow log version {self.version}"
+            )
+        self.version = version
+        delta = Delta(sign, rowid, tuple_, version)
         self._records.append(delta)
         return delta
 

@@ -178,6 +178,16 @@ class TemporalRelation:
             return 0
         return self._changelog.trim(below)
 
+    @property
+    def next_rowid(self) -> int:
+        """The rowid the next inserted tuple will receive (storage metadata)."""
+        return self._next_rowid
+
+    @property
+    def changelog_trimmed_below(self) -> int:
+        """Trim watermark of the change log (0 when untracked/untrimmed)."""
+        return self._changelog.trimmed_below if self._changelog is not None else 0
+
     def add_mutation_listener(self, listener: MutationListener) -> None:
         """Register ``listener(relation, deltas)`` to run after each mutation."""
         self._listeners.append(listener)
@@ -188,6 +198,102 @@ class TemporalRelation:
     def rows_with_ids(self) -> List[Tuple[int, TemporalTuple]]:
         """``(rowid, tuple)`` pairs in insertion order (a copy)."""
         return list(zip(self._rowids, self._tuples))
+
+    # -- durability support ---------------------------------------------------
+
+    @classmethod
+    def restore(
+        cls,
+        schema: Schema,
+        rows_with_ids: Iterable[Tuple[int, Tuple[Sequence[Any], Interval]]],
+        next_rowid: int,
+        changelog_version: int = 0,
+        trimmed_below: int = 0,
+        enforce_duplicate_free: bool = False,
+    ) -> "TemporalRelation":
+        """Rebuild a tracked relation from persisted state (snapshot load).
+
+        ``rows_with_ids`` carries the *physical* identity of every tuple —
+        rowids must round-trip exactly or the fragment lineage of dependent
+        materialized views would no longer address the right base tuples.
+        The change-log counters are restored so that WAL replay continues the
+        original version sequence.
+        """
+        relation = cls(schema, enforce_duplicate_free=enforce_duplicate_free)
+        for rowid, (values, interval) in rows_with_ids:
+            relation._tuples.append(TemporalTuple(schema, tuple(values), interval))
+            relation._rowids.append(rowid)
+        relation._next_rowid = next_rowid
+        relation.enable_change_tracking()
+        assert relation._changelog is not None
+        relation._changelog.restore(changelog_version, trimmed_below)
+        return relation
+
+    def replay_deltas(self, records: Sequence[Tuple[str, int, TemporalTuple, int]]) -> bool:
+        """Re-apply one logged mutation batch during recovery.
+
+        ``records`` are ``(sign, rowid, tuple, version)`` in their original
+        (interleaved) order: a removal is followed by the fragments that
+        replaced it, which lets replay rebuild the *exact* physical layout —
+        fragments take the position of the tuple they replaced, plain inserts
+        append — so a recovered relation is byte-identical to the lost one,
+        including iteration order.
+
+        A batch whose last version is not newer than the current change-log
+        version is skipped entirely (it is already contained in the snapshot
+        the relation was restored from — the idempotence check that makes
+        recovery safe when a crash hits between the snapshot rename and the
+        WAL reset).  Returns whether the batch was applied.
+
+        Rowids and versions are preserved exactly; listeners fire as for a
+        live mutation so the engine re-derives its table snapshots.
+        """
+        if not records:
+            return False
+        if not self.tracks_changes:
+            raise SchemaError("replay requires change tracking on the relation")
+        if records[-1][3] <= self.version:
+            return False
+
+        position_of = {rowid: i for i, rowid in enumerate(self._rowids)}
+        replacements: Dict[int, List[Tuple[int, TemporalTuple]]] = {}
+        appended: List[Tuple[int, TemporalTuple]] = []
+        current: Optional[List[Tuple[int, TemporalTuple]]] = None
+        deltas: List[Delta] = []
+        assert self._changelog is not None
+        for sign, rowid, tuple_, version in records:
+            if sign == "-":
+                try:
+                    position = position_of[rowid]
+                except KeyError:
+                    raise SchemaError(
+                        f"replayed batch removes unknown rowid {rowid}; the log "
+                        "does not continue this relation's history"
+                    ) from None
+                current = replacements.setdefault(position, [])
+            else:
+                (appended if current is None else current).append((rowid, tuple_))
+                if rowid >= self._next_rowid:
+                    self._next_rowid = rowid + 1
+            deltas.append(self._changelog.append_replay(sign, rowid, tuple_, version))
+
+        new_tuples: List[TemporalTuple] = []
+        new_rowids: List[int] = []
+        for i, (rowid, t) in enumerate(zip(self._rowids, self._tuples)):
+            if i in replacements:
+                for fragment_rowid, fragment in replacements[i]:
+                    new_tuples.append(fragment)
+                    new_rowids.append(fragment_rowid)
+            else:
+                new_tuples.append(t)
+                new_rowids.append(rowid)
+        for rowid, t in appended:
+            new_tuples.append(t)
+            new_rowids.append(rowid)
+        self._tuples = new_tuples
+        self._rowids = new_rowids
+        self._after_mutation(deltas)
+        return True
 
     def _after_mutation(self, deltas: List[Delta]) -> None:
         """Shared epilogue of every mutation path.
@@ -269,8 +375,8 @@ class TemporalRelation:
 
         new_tuples: List[TemporalTuple] = []
         new_rowids: List[int] = []
-        removed: List[Tuple[int, TemporalTuple]] = []
-        added_positions: List[int] = []
+        #: Per affected tuple: ``(rowid, tuple, positions of its fragments)``.
+        affected_rows: List[Tuple[int, TemporalTuple, List[int]]] = []
 
         for rowid, t in zip(self._rowids, self._tuples):
             affected = (predicate is None or predicate(t)) and (
@@ -280,13 +386,14 @@ class TemporalRelation:
                 new_tuples.append(t)
                 new_rowids.append(rowid)
                 continue
-            removed.append((rowid, t))
+            positions: List[int] = []
             for fragment in self._fragments_of(t, period, assignments):
-                added_positions.append(len(new_tuples))
+                positions.append(len(new_tuples))
                 new_tuples.append(fragment)
                 new_rowids.append(-1)  # real rowid assigned after validation
+            affected_rows.append((rowid, t, positions))
 
-        if not removed:
+        if not affected_rows:
             return []
 
         if self.enforce_duplicate_free and not _tuples_duplicate_free(new_tuples):
@@ -294,25 +401,29 @@ class TemporalRelation:
                 "mutation would violate the duplicate-free condition; no change applied"
             )
 
-        for position in added_positions:
-            new_rowids[position] = self._next_rowid
-            self._next_rowid += 1
+        for _rowid, _t, positions in affected_rows:
+            for position in positions:
+                new_rowids[position] = self._next_rowid
+                self._next_rowid += 1
         self._tuples = new_tuples
         self._rowids = new_rowids
 
+        # Deltas are interleaved per affected tuple — the removal followed by
+        # its surviving fragments — so a logged batch carries the lineage
+        # (which fragment replaced which tuple) and WAL replay can rebuild
+        # the exact physical layout, not just the set contents.
         deltas: List[Delta] = []
-        if self._changelog is not None:
-            for rowid, t in removed:
-                deltas.append(self._changelog.append("-", rowid, t))
-            for position in added_positions:
-                deltas.append(
-                    self._changelog.append("+", new_rowids[position], new_tuples[position])
-                )
-        else:  # untracked: still describe the change (version 0, not logged)
-            deltas.extend(Delta("-", rowid, t, 0) for rowid, t in removed)
-            deltas.extend(
-                Delta("+", new_rowids[p], new_tuples[p], 0) for p in added_positions
+        log = self._changelog
+        for rowid, t, positions in affected_rows:
+            deltas.append(
+                log.append("-", rowid, t) if log is not None else Delta("-", rowid, t, 0)
             )
+            for p in positions:
+                deltas.append(
+                    log.append("+", new_rowids[p], new_tuples[p])
+                    if log is not None
+                    else Delta("+", new_rowids[p], new_tuples[p], 0)
+                )
         self._after_mutation(deltas)
         return deltas
 

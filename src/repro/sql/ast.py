@@ -223,6 +223,15 @@ class RefreshViewStatement:
     name: str
 
 
+@dataclass
+class CheckpointStatement:
+    """``CHECKPOINT`` — snapshot the database state and reset the WAL.
+
+    A no-op (reported as such) on a purely in-memory database; see
+    :meth:`repro.engine.database.Database.checkpoint`.
+    """
+
+
 #: Any parsed statement.
 Statement = Union[
     SelectStatement,
@@ -232,4 +241,5 @@ Statement = Union[
     CreateViewStatement,
     DropViewStatement,
     RefreshViewStatement,
+    CheckpointStatement,
 ]

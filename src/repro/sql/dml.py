@@ -99,6 +99,10 @@ def execute_statement(database: Database, statement: ast.Statement) -> Table:
         # staleness signal.
         outcome = view.refresh(force=True)
         return _status(f"REFRESH MATERIALIZED VIEW ({outcome})", statement.name, 0)
+    if isinstance(statement, ast.CheckpointStatement):
+        outcome = database.checkpoint()
+        target = database.storage.path if database.storage is not None else ""
+        return _status(f"CHECKPOINT ({outcome})", target, 0)
     raise QueryError(f"unsupported statement {type(statement).__name__}")
 
 
@@ -227,21 +231,23 @@ def _try_incremental_view(
         return None
     base = database.relations[left_name]
 
-    downstream: List[Tuple[str, Any, str]] = []
+    # Downstream operators are handed over as *serializable specs* (the
+    # expression plus the column layout it binds against) — the view compiles
+    # them to per-fragment closures and keeps the spec for persistence.
+    downstream: List[Tuple[Any, ...]] = []
     if query.where is not None:
         alias = item.alias
         columns = [f"{alias}.{a}" for a in base.schema.attribute_names] + [
             f"{alias}.ts",
             f"{alias}.te",
         ]
-        predicate = _tuple_predicate(query.where, columns)
-        downstream.append(("filter", predicate, repr(query.where)))
+        downstream.append(("filter", query.where, tuple(columns)))
 
     projection = _projection_attributes(query.items, base)
     if projection is False:
         return None  # select list too complex for fragment-level maintenance
     if projection is not None:
-        downstream.append(("project", projection, ",".join(projection)))
+        downstream.append(("project", projection))
 
     if isinstance(item, ast.AlignRef):
         return database.views.create_align_view(

@@ -20,8 +20,8 @@ class Connection:
 
     Queries (``SELECT``/``WITH``) run through the planner and executor;
     the temporal DML (``INSERT … VALID PERIOD``, ``UPDATE``/``DELETE``
-    ``… FOR PERIOD``) and materialized-view statements mutate the database
-    directly and return a one-row status table.
+    ``… FOR PERIOD``), the materialized-view statements and ``CHECKPOINT``
+    mutate the database directly and return a one-row status table.
 
     >>> from repro.engine import Database
     >>> db = Database()

@@ -21,9 +21,9 @@ KEYWORDS = {
     "UNION", "ALL", "EXCEPT", "INTERSECT", "WITH", "ALIGN", "NORMALIZE",
     "USING", "ASC", "DESC", "TRUE", "FALSE", "CASE", "WHEN", "THEN", "ELSE",
     "END",
-    # Temporal DML and materialized views.
+    # Temporal DML, materialized views and durability.
     "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE", "FOR", "PERIOD",
-    "VALID", "CREATE", "MATERIALIZED", "VIEW", "DROP", "REFRESH",
+    "VALID", "CREATE", "MATERIALIZED", "VIEW", "DROP", "REFRESH", "CHECKPOINT",
 }
 
 _TOKEN_RE = re.compile(

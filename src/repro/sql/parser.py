@@ -109,6 +109,9 @@ class _Parser:
             return self.parse_drop_view()
         if self.check_keyword("REFRESH"):
             return self.parse_refresh_view()
+        if self.check_keyword("CHECKPOINT"):
+            self.advance()
+            return ast.CheckpointStatement()
         return self.parse_statement()
 
     # -- temporal DML -------------------------------------------------------------------

@@ -1,0 +1,186 @@
+"""The write-ahead log: framed, checksummed, fsync'd records.
+
+File layout::
+
+    +--------------------------------------------------+
+    | header: magic b"RWAL" | u32 format | u64 epoch   |  16 bytes
+    +--------------------------------------------------+
+    | frame: u32 length | u32 crc32(payload) | payload |  repeated
+    +--------------------------------------------------+
+
+Every frame's payload is one pickled record (a plain ``dict``).  The CRC
+covers the payload only; the length prefix covers framing.  A reader accepts
+the longest prefix of intact frames and ignores everything after the first
+short or corrupt frame — exactly the torn-write semantics a crash can
+produce — so recovery is always "the last committed prefix", never a guess.
+
+The *epoch* ties a WAL to the snapshot generation it extends.  A checkpoint
+writes a snapshot labelled ``epoch + 1`` and then resets the WAL to that new
+epoch; if a crash hits between those two steps, recovery sees a WAL whose
+epoch is older than the snapshot's and discards it (its effects are already
+contained in the snapshot).  Mutation replay is additionally idempotent via
+the change-log versions carried in each record, so the epoch check is a
+fast path, not the only line of defense.
+
+Pickle is used for payloads because attribute values are arbitrary Python
+objects (and expression trees appear in view definitions); the framing and
+checksumming above — not the codec — are what recovery correctness rests on.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import zlib
+from typing import Any, Dict, List, Optional, Tuple
+
+MAGIC = b"RWAL"
+FORMAT_VERSION = 1
+_HEADER = struct.Struct(">4sIQ")  # magic, format version, epoch
+_FRAME = struct.Struct(">II")  # payload length, payload crc32
+HEADER_SIZE = _HEADER.size
+
+Record = Dict[str, Any]
+
+
+class WalCorruptionError(ValueError):
+    """A WAL/snapshot header is malformed (not raised for torn tails)."""
+
+
+def pack_header(epoch: int, magic: bytes = MAGIC) -> bytes:
+    return _HEADER.pack(magic, FORMAT_VERSION, epoch)
+
+
+def unpack_header(blob: bytes, magic: bytes = MAGIC) -> Optional[int]:
+    """The epoch of a valid header, or ``None`` when it is short/foreign."""
+    if len(blob) < _HEADER.size:
+        return None
+    found_magic, version, epoch = _HEADER.unpack_from(blob)
+    if found_magic != magic or version != FORMAT_VERSION:
+        return None
+    return epoch
+
+
+def pack_frame(record: Record) -> bytes:
+    payload = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+    return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def read_frames(blob: bytes, offset: int) -> Tuple[List[Record], int]:
+    """Decode intact frames from ``blob[offset:]``.
+
+    Returns ``(records, valid_end)`` where ``valid_end`` is the byte offset
+    just past the last intact frame — the position a recovering writer
+    truncates to before appending (a torn tail must not be left in the
+    middle of the live log).
+    """
+    records: List[Record] = []
+    position = offset
+    total = len(blob)
+    while True:
+        if position + _FRAME.size > total:
+            break
+        length, checksum = _FRAME.unpack_from(blob, position)
+        start = position + _FRAME.size
+        end = start + length
+        if end > total:
+            break  # torn frame: the crash hit mid-write
+        payload = blob[start:end]
+        if zlib.crc32(payload) != checksum:
+            break  # corrupt frame: everything after it is untrusted
+        try:
+            records.append(pickle.loads(payload))
+        except Exception:
+            break
+        position = end
+    return records, position
+
+
+def read_wal(path: str) -> Tuple[Optional[int], List[Record], int]:
+    """Read a WAL file: ``(epoch, records, valid_length)``.
+
+    ``epoch`` is ``None`` when the file is missing or its header is torn (a
+    crash during creation) — the caller then treats the log as empty.
+    """
+    try:
+        with open(path, "rb") as handle:
+            blob = handle.read()
+    except FileNotFoundError:
+        return None, [], 0
+    epoch = unpack_header(blob)
+    if epoch is None:
+        return None, [], 0
+    records, valid_end = read_frames(blob, _HEADER.size)
+    return epoch, records, valid_end
+
+
+def _fsync_directory(path: str) -> None:
+    """Durably record a directory entry change (rename/create) — POSIX only."""
+    try:
+        fd = os.open(os.path.dirname(path) or ".", os.O_RDONLY)
+    except OSError:  # pragma: no cover - non-POSIX platforms
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+class WalWriter:
+    """Append-only WAL writer with per-commit ``fsync``.
+
+    ``reset(epoch)`` truncates the log and stamps a fresh header — the
+    checkpoint epilogue.  ``truncate_to`` chops a torn tail discovered during
+    recovery so new records never follow garbage.
+    """
+
+    def __init__(self, path: str, sync: bool = True):
+        self.path = path
+        self.sync = sync
+        self._handle = open(path, "ab")
+
+    def create(self, epoch: int) -> None:
+        """Initialize an empty log (header only) for ``epoch``."""
+        self._handle.close()
+        self._handle = open(self.path, "wb")
+        self._handle.write(pack_header(epoch))
+        self._flush(force=True)
+        self._handle.close()
+        # The file's *directory entry* must be durable too: without this an
+        # OS crash can forget a freshly created wal.log wholesale — and with
+        # it every record fsync'd into the file before the first checkpoint.
+        _fsync_directory(self.path)
+        self._handle = open(self.path, "ab")
+
+    reset = create  # a checkpoint's WAL rotation is the same operation
+
+    def truncate_to(self, valid_length: int) -> None:
+        self._handle.close()
+        with open(self.path, "r+b") as handle:
+            handle.truncate(valid_length)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._handle = open(self.path, "ab")
+
+    def append(self, record: Record) -> int:
+        """Append one framed record; returns its size in bytes.
+
+        With ``sync`` enabled the record is ``fsync``'d before returning —
+        commit durability, the contract DML relies on.
+        """
+        frame = pack_frame(record)
+        self._handle.write(frame)
+        self._flush(force=False)
+        return len(frame)
+
+    def _flush(self, force: bool) -> None:
+        self._handle.flush()
+        if self.sync or force:
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._handle.close()

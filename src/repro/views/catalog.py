@@ -144,6 +144,11 @@ class ViewCatalog:
     def names(self) -> List[str]:
         return sorted(self._views)
 
+    def in_creation_order(self) -> List[Any]:
+        """The views in creation order — the order persistence must restore
+        them in, so views over views find their dependencies."""
+        return list(self._views.values())
+
     def get(self, name: str):
         try:
             return self._views[name]
@@ -162,6 +167,8 @@ class ViewCatalog:
         view = self._views.pop(name, None)
         if view is not None and getattr(view, "fingerprint", None) is not None:
             self._by_fingerprint.pop(view.fingerprint, None)
+        if view is not None and self.database.storage is not None:
+            self.database.storage.on_drop_view(name)
 
     def drop_dependents(self, table_name: str) -> List[str]:
         """Cascade-drop every view that (transitively) depends on a table.
@@ -211,6 +218,8 @@ class ViewCatalog:
         self._views[view.name] = view
         if fingerprint is not None:
             self._by_fingerprint[fingerprint] = view
+        if self.database.storage is not None:
+            self.database.storage.on_create_view(view)
         return view
 
     def _relation(self, name: str) -> TemporalRelation:
@@ -243,6 +252,7 @@ class ViewCatalog:
         base_alias: Optional[str] = None,
         reference_alias: Optional[str] = None,
         fingerprint: Optional[str] = None,
+        build: bool = True,
     ) -> AlignView:
         """Materialize ``base Φθ reference``.
 
@@ -250,10 +260,14 @@ class ViewCatalog:
         — compiled to a tuple predicate, mined for equality keys, and
         fingerprinted so the planner can substitute the view into matching
         plans) or as a raw callable (``theta`` — opaque: pass an explicit
-        ``fingerprint`` to opt into plan matching).
+        ``fingerprint`` to opt into plan matching; such a view cannot be
+        persisted by the storage engine).  ``build=False`` skips the initial
+        materialization — the recovery path, which installs snapshot state
+        instead.
         """
         base = self._relation(base_name)
         reference = self._relation(reference_name)
+        opaque_theta = theta is not None
         equi = tuple(equi_attributes)
         ref_equi = (
             tuple(reference_equi_attributes)
@@ -288,7 +302,22 @@ class ViewCatalog:
             fingerprint=fingerprint,
             base_name=base_name,
             reference_name=reference_name,
+            build=build,
         )
+        if not opaque_theta:  # an opaque θ callable cannot be serialized
+            view.definition = {
+                "kind": "align",
+                "name": name,
+                "base": base_name,
+                "reference": reference_name,
+                "condition": condition,
+                "equi": list(view.equi_attributes),
+                "ref_equi": list(view.reference_equi_attributes),
+                "base_alias": base_alias,
+                "reference_alias": reference_alias,
+                "fingerprint": view.fingerprint,
+                "downstream": list(view.downstream_spec),
+            }
         return self._register(view)
 
     def create_normalize_view(
@@ -299,6 +328,7 @@ class ViewCatalog:
         attributes: Sequence[str] = (),
         downstream: Sequence[DownstreamOp] = (),
         fingerprint: Optional[str] = None,
+        build: bool = True,
     ) -> NormalizeView:
         """Materialize ``N_B(base; reference)`` for ``B = attributes``."""
         base = self._relation(base_name)
@@ -321,9 +351,69 @@ class ViewCatalog:
             fingerprint=fingerprint,
             base_name=base_name,
             reference_name=reference_name,
+            build=build,
         )
+        view.definition = {
+            "kind": "normalize",
+            "name": name,
+            "base": base_name,
+            "reference": reference_name,
+            "attributes": list(attrs),
+            "fingerprint": view.fingerprint,
+            "downstream": list(view.downstream_spec),
+        }
         return self._register(view)
 
-    def create_recompute_view(self, name: str, plan, sql_text: Optional[str] = None):
+    def create_recompute_view(
+        self, name: str, plan, sql_text: Optional[str] = None, build: bool = True
+    ):
         """Materialize an arbitrary plan, maintained by re-execution."""
-        return self._register(RecomputeView(name, self.database, plan, sql_text))
+        view = RecomputeView(name, self.database, plan, sql_text, build=build)
+        view.definition = {
+            "kind": "recompute",
+            "name": name,
+            "plan": plan,
+            "sql_text": sql_text,
+        }
+        return self._register(view)
+
+    # -- persistence ------------------------------------------------------------
+
+    def create_from_definition(self, definition: Dict[str, Any], build: bool = True):
+        """Re-create a view from a persisted definition record.
+
+        ``build=True`` materializes eagerly (the WAL-replay path, where the
+        relations hold exactly the state they held when the view was
+        originally created); ``build=False`` constructs the view empty so the
+        snapshot loader can install the persisted state instead.
+        """
+        kind = definition["kind"]
+        if kind == "align":
+            return self.create_align_view(
+                definition["name"],
+                definition["base"],
+                definition["reference"],
+                condition=definition["condition"],
+                equi_attributes=definition["equi"],
+                reference_equi_attributes=definition["ref_equi"],
+                downstream=definition["downstream"],
+                base_alias=definition["base_alias"],
+                reference_alias=definition["reference_alias"],
+                fingerprint=definition["fingerprint"],
+                build=build,
+            )
+        if kind == "normalize":
+            return self.create_normalize_view(
+                definition["name"],
+                definition["base"],
+                definition["reference"],
+                attributes=definition["attributes"],
+                downstream=definition["downstream"],
+                fingerprint=definition["fingerprint"],
+                build=build,
+            )
+        if kind == "recompute":
+            return self.create_recompute_view(
+                definition["name"], definition["plan"], definition["sql_text"], build=build
+            )
+        raise ViewError(f"unknown persisted view kind {kind!r}")

@@ -42,9 +42,40 @@ from repro.relation.relation import TemporalRelation
 from repro.relation.schema import Schema
 from repro.relation.tuple import TemporalTuple
 
-#: A downstream operator folded into fragment maintenance:
-#: ``("filter", predicate, label)`` or ``("project", attribute_names, label)``.
-DownstreamOp = Tuple[str, Any, str]
+#: A downstream operator folded into fragment maintenance, in *serializable*
+#: form: ``("filter", where_expression, bound_columns)`` — an engine
+#: :class:`~repro.engine.expressions.Expression` plus the column layout it
+#: binds against — or ``("project", attribute_names)``.  Specs (not compiled
+#: closures) are what views carry so their definitions survive in snapshots
+#: and the write-ahead log.
+DownstreamOp = Tuple[Any, ...]
+
+
+def compile_downstream(spec: Sequence[DownstreamOp]) -> List[Tuple[str, Any, str]]:
+    """Compile downstream specs into the executable per-fragment form.
+
+    ``("filter", expression, columns)`` becomes a tuple predicate bound to
+    ``columns`` (the alias-qualified engine layout ``attrs…, ts, te``);
+    ``("project", attrs)`` stays a projection.  The compiled triples carry a
+    label for EXPLAIN/debugging.
+    """
+    compiled: List[Tuple[str, Any, str]] = []
+    for entry in spec:
+        kind = entry[0]
+        if kind == "filter":
+            _, expression, columns = entry
+            bound = expression.bind(list(columns))
+
+            def predicate(t: TemporalTuple, _bound=bound) -> bool:
+                return bool(_bound(t.values + (t.start, t.end)))
+
+            compiled.append(("filter", predicate, repr(expression)))
+        elif kind == "project":
+            attrs = tuple(entry[1])
+            compiled.append(("project", attrs, ",".join(attrs)))
+        else:
+            raise ValueError(f"unknown downstream view operator {kind!r}")
+    return compiled
 
 
 class _AdjustedView:
@@ -74,8 +105,14 @@ class _AdjustedView:
         self.base_name = base_name
         self.reference_name = reference_name
         self.settings = settings if settings is not None else Settings()
-        self.downstream: Tuple[DownstreamOp, ...] = tuple(downstream)
+        #: Serializable downstream spec (what snapshots persist) …
+        self.downstream_spec: Tuple[DownstreamOp, ...] = tuple(downstream)
+        #: … and its compiled per-fragment form (what maintenance runs).
+        self.downstream: List[Tuple[str, Any, str]] = compile_downstream(downstream)
         self.fingerprint = fingerprint
+        #: Serializable definition record set by the catalog; ``None`` marks a
+        #: view that cannot be persisted (opaque θ callable).
+        self.definition: Optional[Dict[str, Any]] = None
         #: Maintenance statistics (inspected by tests and the bench runner).
         self.stats: Dict[str, int] = {"incremental": 0, "recomputed": 0, "deltas": 0}
 
@@ -341,6 +378,42 @@ class _AdjustedView:
         self._table_cache = None
         self._cache_key = None
 
+    # -- durability support ---------------------------------------------------
+
+    def export_state(self) -> Dict[str, Any]:
+        """The maintained state a snapshot persists: fragment store, lineage
+        (base tuples by rowid), change-log cursors and statistics.
+
+        Restoring this state (instead of recomputing) is what lets a view
+        resume *incremental* maintenance after a restart: the cursors say
+        exactly which change-log suffix is still unapplied.
+        """
+        return {
+            "left_items": list(self._left_items.items()),
+            "fragments": [(rowid, list(f)) for rowid, f in self._fragments.items()],
+            "base_cursor": self._base_cursor,
+            "ref_cursor": self._ref_cursor,
+            "stats": dict(self.stats),
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Install persisted state on a view built with ``build=False``.
+
+        Must run while the base/reference relations hold exactly the state
+        the cursors refer to (i.e. after the snapshot restored the relations
+        and *before* the WAL suffix is replayed): the reference-side support
+        structure is rebuilt from the live relation and has to agree with
+        the cursor position, or delta folding would double-apply changes.
+        """
+        self._left_items = dict(state["left_items"])
+        self._fragments = {rowid: list(f) for rowid, f in state["fragments"]}
+        self._base_cursor = state["base_cursor"]
+        self._ref_cursor = state["ref_cursor"]
+        self.stats = dict(state["stats"])
+        self._rebuild_key_map()
+        self._rebuild_reference_state()
+        self._invalidate_result()
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}({self.name!r}, {self.status()})"
 
@@ -358,6 +431,7 @@ class AlignView(_AdjustedView):
         theta: Optional[ThetaPredicate] = None,
         equi_attributes: Sequence[str] = (),
         reference_equi_attributes: Optional[Sequence[str]] = None,
+        build: bool = True,
         **kwargs: Any,
     ) -> None:
         self.theta = theta
@@ -368,7 +442,8 @@ class AlignView(_AdjustedView):
             else self.equi_attributes
         )
         super().__init__(name, base, reference, **kwargs)
-        self.recompute()
+        if build:  # recovery constructs unbuilt views and installs snapshot state
+            self.recompute()
 
     def _left_key_attrs(self) -> Tuple[str, ...]:
         return self.equi_attributes
@@ -426,11 +501,13 @@ class NormalizeView(_AdjustedView):
         base: TemporalRelation,
         reference: TemporalRelation,
         attributes: Sequence[str] = (),
+        build: bool = True,
         **kwargs: Any,
     ) -> None:
         self.attributes = tuple(attributes)
         super().__init__(name, base, reference, **kwargs)
-        self.recompute()
+        if build:
+            self.recompute()
 
     def _left_key_attrs(self) -> Tuple[str, ...]:
         return self.attributes
@@ -506,11 +583,14 @@ class RecomputeView:
     kind = "recompute"
     fingerprint: Optional[str] = None
 
-    def __init__(self, name: str, database, plan, sql_text: Optional[str] = None) -> None:
+    def __init__(
+        self, name: str, database, plan, sql_text: Optional[str] = None, build: bool = True
+    ) -> None:
         self.name = name
         self.database = database
         self.plan = plan
         self.sql_text = sql_text
+        self.definition: Optional[Dict[str, Any]] = None
         self.stats: Dict[str, int] = {"incremental": 0, "recomputed": 0, "deltas": 0}
         #: Names of every base table the stored plan scans.  Registered
         #: relations and other materialized views are observable (their
@@ -519,7 +599,26 @@ class RecomputeView:
         self.dependencies: List[str] = sorted(_scan_names(plan))
         self._tokens: Dict[str, Any] = {}
         self._table: Optional[Table] = None
-        self.refresh()
+        if build:
+            self.refresh()
+
+    # -- durability support ---------------------------------------------------
+
+    def export_state(self) -> Dict[str, Any]:
+        """Persistable state: the materialized rows plus dependency tokens."""
+        table = self._table
+        return {
+            "columns": list(table.columns) if table is not None else None,
+            "rows": list(table.rows) if table is not None else [],
+            "tokens": dict(self._tokens),
+            "stats": dict(self.stats),
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        if state["columns"] is not None:
+            self._table = Table(self.name, state["columns"], state["rows"])
+        self._tokens = dict(state["tokens"])
+        self.stats = dict(state["stats"])
 
     def _current_tokens(self) -> Dict[str, Any]:
         tokens: Dict[str, Any] = {}

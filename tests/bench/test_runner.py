@@ -65,3 +65,33 @@ def test_main_writes_reports(tmp_path):
     )
     assert code == 0
     assert (tmp_path / "BENCH_parallel_normalization.json").exists()
+
+
+def test_scaled_sizes_dedupe_collapsing_sweeps_at_ci_scale():
+    # Regression: at REPRO_BENCH_SCALE=0.2 a closely spaced sweep collapses
+    # onto the MIN_SIZE floor; the report must not double-count a size —
+    # every point stays unique and strictly increasing.
+    sizes = runner.scaled_sizes([40, 45, 50, 55], scale=0.2)
+    assert sizes == [10, 11, 12, 13]
+    assert len(set(sizes)) == len(sizes)
+    assert sizes == sorted(sizes)
+    # Duplicate *input* sizes must not survive as duplicate points either.
+    assert runner.scaled_sizes([1000, 1000, 1000], scale=0.2) == [200, 201, 202]
+    # And the helper agrees with benchmarks/_util.scaled's contract.
+    assert runner.scaled_sizes([10, 20, 4000], scale=0.001) == [10, 11, 12]
+
+
+def test_durability_scenario_gates_and_report(tmp_path):
+    scenarios = runner.run_durability(sizes=[40], workers=2, repeats=1)
+    assert len(scenarios) == len(runner.FAMILIES)
+    for scenario in scenarios:
+        assert scenario["identical"] is True
+        assert scenario["post_recovery_refresh"] == "incremental"
+        assert scenario["wal_bytes"] > 0
+        assert scenario["snapshot_bytes"] > 0
+        assert scenario["recovery_seconds"] > 0
+
+    path = runner.write_report("test_durability", scenarios, str(tmp_path), workers=2)
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    assert payload["scenarios"][0]["scenario"] == "durability"

@@ -139,3 +139,111 @@ def test_partition_indexes_stable_and_in_range():
     ids = parallel_support.partition_indexes(keys, 8)
     assert ids == parallel_support.partition_indexes(keys, 8)
     assert all(0 <= i < 8 for i in ids)
+
+
+class TestFallbackIsLoudAndObservable:
+    """A requested pool that cannot run must warn (once) and self-identify.
+
+    ``Settings.parallel_workers=8`` silently executing serially would make
+    every reported "parallel" speedup a measurement of nothing — the
+    fallback stays transparent for correctness but is now observable.
+    """
+
+    def setup_method(self):
+        parallel_support._warned_fallbacks.clear()
+
+    def test_unpicklable_worker_warns_once_and_reports_fallback_mode(self):
+        payloads = list(range(6))
+        unpicklable = lambda x: x * 2  # noqa: E731 - the point is the closure
+        with pytest.warns(RuntimeWarning, match="fell back to the in-process path"):
+            results, mode = parallel_support.parallel_map_with_mode(
+                unpicklable, payloads, workers=2, total_items=10_000, min_items=0
+            )
+        assert results == [x * 2 for x in payloads]
+        assert mode.startswith("in-process (fallback:")
+        # The same cause warns only once per process.
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            again, mode_again = parallel_support.parallel_map_with_mode(
+                unpicklable, payloads, workers=2, total_items=10_000, min_items=0
+            )
+        assert again == results and mode_again == mode
+
+    def test_pool_creation_failure_warns_and_names_the_cause(self, monkeypatch):
+        def refuse(*_args, **_kwargs):
+            raise OSError("no process spawning in this sandbox")
+
+        monkeypatch.setattr(parallel_support.multiprocessing, "get_context", refuse)
+        with pytest.warns(RuntimeWarning, match="worker pool unavailable"):
+            results, mode = parallel_support.parallel_map_with_mode(
+                _double, [1, 2, 3], workers=4, total_items=10_000, min_items=0
+            )
+        assert results == [2, 4, 6]
+        assert "fallback" in mode and "OSError" in mode
+
+    def test_small_inputs_stay_in_process_without_warning(self):
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            results, mode = parallel_support.parallel_map_with_mode(
+                _double, [1, 2], workers=2, total_items=3, min_items=100
+            )
+        assert results == [2, 4]
+        assert mode == "in-process"
+
+    def test_pool_mode_reports_pool_size(self):
+        results, mode = parallel_support.parallel_map_with_mode(
+            _double, [1, 2, 3, 4], workers=2, total_items=10_000, min_items=0
+        )
+        assert results == [2, 4, 6, 8]
+        assert mode == "pool[2]"
+
+
+def _double(x):
+    """Module-level worker: picklable, addressable by reference."""
+    return x * 2
+
+
+def _raise_value_error(_payload):
+    """Module-level worker whose *execution* fails (ships fine)."""
+    raise ValueError("bad partition contents")
+
+
+def test_worker_exceptions_propagate_instead_of_masquerading_as_fallback():
+    # A genuine error inside the worker must surface as-is: retrying the
+    # whole map serially would double the work and blame pickling.
+    with pytest.raises(ValueError, match="bad partition contents"):
+        parallel_support.parallel_map_with_mode(
+            _raise_value_error, [1, 2, 3], workers=2, total_items=10_000, min_items=0
+        )
+
+
+def _return_unpicklable(_payload):
+    """Module-level worker whose *result* cannot ship back (ships fine in)."""
+    return lambda: None
+
+
+def test_unpicklable_result_falls_back_instead_of_crashing():
+    parallel_support._warned_fallbacks.clear()
+    with pytest.warns(RuntimeWarning, match="fell back"):
+        results, mode = parallel_support.parallel_map_with_mode(
+            _return_unpicklable, [1, 2, 3], workers=2, total_items=10_000, min_items=0
+        )
+    assert len(results) == 3 and all(callable(r) for r in results)
+    assert "fallback" in mode
+
+
+def _raise_file_not_found(_payload):
+    """Module-level worker whose own code raises an OSError subclass."""
+    raise FileNotFoundError("/no/such/partition/file")
+
+
+def test_worker_oserror_propagates_rather_than_blaming_the_pool():
+    parallel_support._warned_fallbacks.clear()
+    with pytest.raises(FileNotFoundError):
+        parallel_support.parallel_map_with_mode(
+            _raise_file_not_found, [1, 2], workers=2, total_items=10_000, min_items=0
+        )

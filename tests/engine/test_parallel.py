@@ -201,3 +201,37 @@ class TestExchangeNode:
         other = PartitionNode(exchange.right.child, exchange.right.key_indexes, 3)
         with pytest.raises(PlanError):
             ExchangeNode(exchange.left, other, exchange.task, workers=2)
+
+
+class TestEffectiveModeInExplain:
+    """EXPLAIN after execution names where the Exchange actually ran."""
+
+    def test_pooled_execution_records_mode(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_MIN_TUPLES", "1")
+        database = _database("random")
+        physical = database.plan(_align(database), PARALLEL)
+        assert isinstance(physical, ExchangeNode)
+        assert physical.effective_mode is None
+        assert "executed=" not in physical.explain()
+        physical.execute()
+        assert physical.effective_mode.startswith("pool[")
+        assert "executed=pool[" in physical.explain()
+
+    def test_fallback_is_visible_on_the_node(self, monkeypatch):
+        from repro.core import parallel as parallel_support
+
+        parallel_support._warned_fallbacks.clear()
+
+        def refuse(*_args, **_kwargs):
+            raise OSError("pools disabled")
+
+        monkeypatch.setenv("REPRO_PARALLEL_MIN_TUPLES", "1")
+        monkeypatch.setattr(parallel_support.multiprocessing, "get_context", refuse)
+        database = _database("random")
+        physical = database.plan(_align(database), PARALLEL)
+        serial_rows = sorted(database.execute(_align(database), SERIAL).rows)
+        with pytest.warns(RuntimeWarning, match="worker pool unavailable"):
+            rows = sorted(physical.execute())
+        assert rows == serial_rows  # the fallback never changes the relation
+        assert "fallback" in physical.effective_mode
+        assert "executed=in-process (fallback:" in physical.explain()

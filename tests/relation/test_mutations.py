@@ -187,3 +187,35 @@ class TestCacheInvalidation:
         rebuilt = r.interval_index()
         assert rebuilt is not index
         assert rebuilt.probe(0, 10) == []
+
+
+class TestTrimBoundary:
+    """Off-by-one regression at the trim horizon.
+
+    Trimming to *exactly* the version a consumer last observed must leave
+    that cursor usable: ``since(cursor)`` needs no trimmed record, so
+    reporting truncation there would force a spurious full recompute.
+    """
+
+    def test_trim_to_consumed_version_is_not_truncation(self):
+        r = make([])
+        r.enable_change_tracking()
+        for i in range(5):
+            r.insert(("a", i), Interval(i, i + 1))
+        cursor = r.version  # a consumer fully caught up
+        assert r.trim_changelog(cursor) == 5
+        assert r.changes_since(cursor) == []  # boundary: allowed, empty
+        r.insert(("b", 9), Interval(0, 1))
+        assert [d.sign for d in r.changes_since(cursor)] == ["+"]
+        # One below the horizon is truncated; the horizon itself is not.
+        with pytest.raises(ChangeLogTruncatedError):
+            r.changes_since(cursor - 1)
+
+    def test_trim_beyond_version_clamps(self):
+        r = make([("a", 1, 0, 5)])
+        r.enable_change_tracking()
+        r.insert(("b", 2), Interval(1, 2))
+        r.trim_changelog(10_000)
+        assert r.changes_since(r.version) == []
+        with pytest.raises(ChangeLogTruncatedError):
+            r.changes_since(r.version - 1)

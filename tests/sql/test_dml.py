@@ -164,3 +164,65 @@ class TestMaterializedViewsThroughSQL:
             connection.execute(
                 "CREATE MATERIALIZED VIEW r AS SELECT * FROM (r a NORMALIZE r b USING(n)) x"
             )
+
+
+class TestPeriodLiteralBounds:
+    """Empty and inverted period literals fail fast with a clear error.
+
+    Regression: a malformed period must be rejected at analysis time — an
+    inverted pair reaching ``Interval`` (or an empty one reaching the sweep)
+    fails far from the statement that caused it.
+    """
+
+    @pytest.mark.parametrize(
+        "statement",
+        [
+            "INSERT INTO r (n) VALUES ('Kim') VALID PERIOD [5, 5)",
+            "INSERT INTO r (n) VALUES ('Kim') VALID PERIOD [9, 3)",
+            "UPDATE r SET n = 'x' FOR PERIOD [5, 5)",
+            "UPDATE r SET n = 'x' FOR PERIOD [9, 3)",
+            "DELETE FROM r FOR PERIOD [5, 5)",
+            "DELETE FROM r FOR PERIOD [9, 3)",
+            "INSERT INTO r (n) VALUES ('Kim') VALID PERIOD [2+3, 10-5)",  # constant-folded empty
+        ],
+    )
+    def test_empty_or_inverted_periods_rejected(self, connection, statement):
+        before = len(connection.execute("SELECT n FROM r").rows)
+        with pytest.raises(QueryError, match="empty or inverted period"):
+            connection.execute(statement)
+        # The failed statement must not have touched the relation.
+        assert len(connection.execute("SELECT n FROM r").rows) == before
+
+    def test_error_names_the_evaluated_bounds(self, connection):
+        with pytest.raises(QueryError, match=r"\[9, 3\)"):
+            connection.execute("DELETE FROM r FOR PERIOD [9, 3)")
+
+    def test_non_integer_bounds_rejected(self, connection):
+        with pytest.raises(QueryError, match="must be integers"):
+            connection.execute("DELETE FROM r FOR PERIOD [1.5, 3)")
+
+    def test_valid_boundary_period_still_accepted(self, connection):
+        # The smallest non-empty period [t, t+1) stays legal.
+        result = connection.execute(
+            "INSERT INTO r (n) VALUES ('Kim') VALID PERIOD [5, 6)"
+        )
+        assert result.rows[0][0] == "INSERT"
+
+
+class TestCheckpointStatement:
+    def test_checkpoint_parses(self):
+        assert isinstance(parse("CHECKPOINT"), ast.CheckpointStatement)
+
+    def test_checkpoint_is_a_noop_in_memory(self, connection):
+        operation, target, rows = connection.execute("CHECKPOINT").rows[0]
+        assert operation == "CHECKPOINT (noop)"
+        assert rows == 0
+
+    def test_checkpoint_writes_snapshot_when_durable(self, tmp_path):
+        database = Database.open(str(tmp_path / "db"))
+        conn = Connection(database)
+        conn.register_relation("r", hotel_reservations())
+        operation, target, _rows = conn.execute("CHECKPOINT").rows[0]
+        assert operation == "CHECKPOINT (checkpoint)"
+        assert (tmp_path / "db" / "snapshot.bin").exists()
+        database.close()

@@ -1,0 +1,111 @@
+"""Framing, checksums, torn tails and epochs of the write-ahead log."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.storage import snapshot as snapshot_module
+from repro.storage.wal import (
+    HEADER_SIZE,
+    WalCorruptionError,
+    WalWriter,
+    pack_frame,
+    read_frames,
+    read_wal,
+)
+
+
+@pytest.fixture
+def wal_path(tmp_path):
+    return str(tmp_path / "wal.log")
+
+
+def _writer(path, epoch=0, sync=True):
+    writer = WalWriter(path, sync=sync)
+    writer.create(epoch)
+    return writer
+
+
+class TestFraming:
+    def test_round_trip(self, wal_path):
+        writer = _writer(wal_path, epoch=3)
+        writer.append({"type": "mutate", "name": "r", "deltas": [("+", 0, ("a",), 0, 5, 1)]})
+        writer.append({"type": "drop_table", "name": "r"})
+        writer.close()
+        epoch, records, valid = read_wal(wal_path)
+        assert epoch == 3
+        assert [r["type"] for r in records] == ["mutate", "drop_table"]
+        assert valid == os.path.getsize(wal_path)
+
+    def test_missing_file_reads_empty(self, wal_path):
+        assert read_wal(wal_path) == (None, [], 0)
+
+    def test_torn_header_reads_empty(self, wal_path):
+        with open(wal_path, "wb") as handle:
+            handle.write(b"RWAL\x00")  # crash during creation
+        assert read_wal(wal_path) == (None, [], 0)
+
+    @pytest.mark.parametrize("chop", [1, 3, 7])
+    def test_torn_tail_recovers_committed_prefix(self, wal_path, chop):
+        writer = _writer(wal_path)
+        writer.append({"i": 0})
+        writer.append({"i": 1})
+        writer.close()
+        full = os.path.getsize(wal_path)
+        with open(wal_path, "r+b") as handle:
+            handle.truncate(full - chop)
+        epoch, records, valid = read_wal(wal_path)
+        assert epoch == 0
+        assert [r["i"] for r in records] == [0]  # the torn frame is dropped
+        assert valid < full - chop or valid == HEADER_SIZE + len(pack_frame({"i": 0}))
+
+    def test_corrupt_payload_stops_replay_there(self, wal_path):
+        writer = _writer(wal_path)
+        writer.append({"i": 0})
+        offset_second = os.path.getsize(wal_path)
+        writer.append({"i": 1})
+        writer.append({"i": 2})
+        writer.close()
+        with open(wal_path, "r+b") as handle:
+            handle.seek(offset_second + 12)  # inside the second frame's payload
+            handle.write(b"\xff")
+        _epoch, records, valid = read_wal(wal_path)
+        assert [r["i"] for r in records] == [0]  # nothing after the bad frame
+        assert valid == offset_second
+
+    def test_reset_truncates_and_restamps_epoch(self, wal_path):
+        writer = _writer(wal_path, epoch=1)
+        writer.append({"i": 0})
+        writer.reset(2)
+        writer.append({"i": 1})
+        writer.close()
+        epoch, records, _valid = read_wal(wal_path)
+        assert epoch == 2
+        assert [r["i"] for r in records] == [1]
+
+    def test_read_frames_empty_region(self):
+        records, end = read_frames(b"", 0)
+        assert records == [] and end == 0
+
+
+class TestSnapshotFile:
+    def test_round_trip_and_atomic_replace(self, tmp_path):
+        path = str(tmp_path / "snapshot.bin")
+        snapshot_module.write_snapshot(path, 1, {"relations": [], "views": []})
+        snapshot_module.write_snapshot(path, 2, {"relations": [("r", {})], "views": []})
+        epoch, state = snapshot_module.read_snapshot(path)
+        assert epoch == 2
+        assert state["relations"] == [("r", {})]
+        assert not os.path.exists(path + ".tmp")
+
+    def test_missing_snapshot_is_none(self, tmp_path):
+        assert snapshot_module.read_snapshot(str(tmp_path / "snapshot.bin")) is None
+
+    def test_malformed_snapshot_raises(self, tmp_path):
+        path = str(tmp_path / "snapshot.bin")
+        with open(path, "wb") as handle:
+            handle.write(b"garbage that is long enough to look at")
+        with pytest.raises(WalCorruptionError):
+            snapshot_module.read_snapshot(path)

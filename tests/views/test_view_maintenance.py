@@ -300,3 +300,32 @@ class TestCatalog:
         database.views.drop("v")
         database.views.create_align_view("v2", "l", "r", condition=equi_cat())
         assert database.views.names() == ["v2"]
+
+
+class TestTrimBoundaryKeepsViewsIncremental:
+    def test_trim_to_exactly_the_consumed_version_stays_incremental(self, database):
+        # Regression: the view consumed everything up to `cursor`; trimming
+        # the log to exactly that version must not read as truncation — the
+        # next single-tuple delta must still take the incremental path.
+        view = database.views.create_align_view("v", "l", "r", condition=equi_cat())
+        database.insert_rows("l", [(("C0001", 1, 2), Interval(0, 10))])
+        assert view.refresh() == "incremental"
+        recomputes = view.stats["recomputed"]
+        for name in ("l", "r"):
+            database.relations[name].trim_changelog(database.relations[name].version)
+        assert view.refresh() == "fresh"
+        database.insert_rows("l", [(("C0002", 1, 2), Interval(5, 9))])
+        assert view.refresh() == "incremental"
+        assert view.stats["recomputed"] == recomputes
+        assert view.result() == scratch_align(database)
+
+    def test_trim_one_past_the_cursor_forces_recompute(self, database):
+        # The complementary boundary: trimming *past* the cursor genuinely
+        # loses deltas the view still needs, so recompute is the only sound
+        # answer.
+        view = database.views.create_align_view("v", "l", "r", condition=equi_cat())
+        database.insert_rows("l", [(("C0001", 1, 2), Interval(0, 10))])
+        relation = database.relations["l"]
+        relation.trim_changelog(relation.version)  # cursor < trimmed horizon
+        assert view.refresh() == "recomputed"
+        assert view.result() == scratch_align(database)
