@@ -22,10 +22,16 @@ from repro.engine.temporal_plans import KernelTemporalAlgebra
 
 SIZES = scaled([250, 500, 1000])
 
+# The experiment reads the *join strategy* off the plan, so the row pipeline
+# is pinned: with the columnar dispatch left on, large inputs would take the
+# ColumnarAdjustment batch and there would be no group-construction join to
+# observe (that comparison lives in the columnar_adjustment bench scenario).
 SETTINGS = {
-    "merge_hash_nestloop": Settings(),
-    "hash_nestloop": Settings(enable_mergejoin=False),
-    "nestloop_only": Settings(enable_mergejoin=False, enable_hashjoin=False),
+    "merge_hash_nestloop": Settings(enable_columnar=False),
+    "hash_nestloop": Settings(enable_mergejoin=False, enable_columnar=False),
+    "nestloop_only": Settings(
+        enable_mergejoin=False, enable_hashjoin=False, enable_columnar=False
+    ),
 }
 
 

@@ -1,8 +1,10 @@
 """Benchmark runner: timed scenarios with hard correctness gates.
 
-Each *scenario* runs one adjustment plan twice — once with the serial
-settings, once with the partition-parallel settings — over one synthetic
-family at one size, and records:
+The strategy scenarios run one adjustment plan under several execution
+settings — the pinned serial row pipeline against the partition-parallel
+plan (``parallel_*``) or against the columnar batch and partition+columnar
+plans (``columnar_adjustment``) — over one synthetic family at one size,
+and record:
 
 * wall-clock seconds for both executions (best of ``repeats`` runs);
 * rows pulled through the plan root, observed with
@@ -33,9 +35,12 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import cProfile
+import io
 import json
 import os
 import platform
+import pstats
 import shutil
 import subprocess
 import sys
@@ -63,6 +68,10 @@ SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1"))
 
 #: Per-family input sizes before scaling; every size yields one scenario.
 DEFAULT_SIZES = (1000, 2000)
+
+#: Sizes of the columnar scenario: the vectorized kernels only show their
+#: headline win on inputs past the row/column crossover.
+COLUMNAR_SIZES = (2000, 4000)
 
 FAMILIES: Dict[str, Callable] = {
     "disjoint": generate_disjoint,
@@ -114,14 +123,48 @@ def _timed_execution(database: Database, plan: LogicalPlan, settings: Settings, 
     return seconds, sorted(rows), counter.pulled, root_line
 
 
+def _row_settings() -> Settings:
+    """Settings pinning the serial row pipeline (no parallel, no columnar).
+
+    The serial baseline of every strategy comparison: with the columnar
+    dispatch enabled by default, an unpinned "serial" execution of a large
+    input would silently become a columnar batch and the scenario would
+    compare columnar against itself.
+    """
+    return Settings(parallel_workers=0, enable_columnar=False)
+
+
 def _parallel_settings(workers: int) -> Settings:
     """Settings that adopt the parallel plan whenever a partition key exists.
 
     The comparison is strategy-vs-strategy (the Fig. 13 methodology): the
     cost gate is lifted so both executions run even at benchmark-scale
     inputs, and the report records which plan each side actually used.
+    Columnar kernels are disabled so the scenario isolates the partitioning
+    win (the combined plan is measured by ``columnar_adjustment``).
     """
-    return Settings(parallel_workers=workers, parallel_setup_cost=0.0, parallel_min_rows=0.0)
+    return Settings(
+        parallel_workers=workers,
+        parallel_setup_cost=0.0,
+        parallel_min_rows=0.0,
+        enable_columnar=False,
+    )
+
+
+def _columnar_settings() -> Settings:
+    """Settings that adopt the columnar batch plan whenever it is eligible."""
+    return Settings(parallel_workers=0, columnar_min_rows=0.0, columnar_setup_cost=0.0)
+
+
+def _partition_columnar_settings(workers: int) -> Settings:
+    """Partition-parallel plan with columnar kernels inside the workers."""
+    return Settings(
+        parallel_workers=workers,
+        parallel_setup_cost=0.0,
+        parallel_min_rows=0.0,
+        columnar_min_rows=0.0,
+        columnar_setup_cost=0.0,
+    )
 
 
 def _adjustment_scenarios(
@@ -141,7 +184,7 @@ def _adjustment_scenarios(
             plan = build_plan(database)
 
             serial_s, serial_rows, serial_pulled, serial_plan = _timed_execution(
-                database, plan, Settings(parallel_workers=0), repeats
+                database, plan, _row_settings(), repeats
             )
             parallel_s, parallel_rows, parallel_pulled, parallel_plan = _timed_execution(
                 database, plan, _parallel_settings(workers), repeats
@@ -208,6 +251,142 @@ def run_parallel_normalization(
     return _adjustment_scenarios(
         "parallel_normalization", build, sizes or scaled_sizes(DEFAULT_SIZES), workers, repeats
     )
+
+
+#: Measured during the row-mode micro-optimisation of PR 5 (hoisted
+#: attribute lookups in ``sweep.overlap_groups`` / ``primitives.align_tuple``);
+#: best-of-3 wall clock, random family n=4000, CPython 3.11, dev container.
+ROW_MODE_MICRO_OPT_NOTE = {
+    "scenario": "row_mode_micro_opt_note",
+    "workload": "generate_random(size=4000, categories=100, seed=42), strategy='sweep'",
+    "align_keyed_seconds": {"before": 0.0476, "after": 0.0404},
+    "align_unkeyed_seconds": {"before": 0.4705, "after": 0.4093},
+    "normalize_keyed_seconds": {"before": 0.0267, "after": 0.0245},
+}
+
+
+def run_columnar_adjustment(
+    sizes: Optional[Sequence[int]] = None, workers: int = 2, repeats: int = 2
+) -> List[dict]:
+    """Serial row pipeline vs columnar batch vs partition+columnar ALIGN.
+
+    For every synthetic family and size the same equi-θ ALIGN plan runs
+    three ways — the pinned row pipeline, the ``ColumnarAdjustment`` batch
+    and the partition-parallel plan with columnar kernels inside the
+    workers — plus a row-vs-columnar ``N_cat`` normalization.  Hard gates
+    (CI enforces these; timings are only reported unless strict):
+
+    * all executions of a plan produce the identical relation;
+    * the columnar run's root is a ``ColumnarAdjustment`` node and the
+      partitioned run's root an ``Exchange(..., kernel=columnar)`` — the
+      dispatch must be visible in EXPLAIN, not inferred from timings;
+    * under ``REPRO_BENCH_STRICT`` (default on; CI relaxes it) the columnar
+      alignment must beat the row pipeline by ≥4x at full-scale sizes.
+
+    Without NumPy the scenario records a skip marker instead of failing:
+    the pure-Python kernels exist for correctness, not for speed, and the
+    no-NumPy CI job proves them through the test suite.
+    """
+    from repro.columnar.runtime import numpy_available
+
+    sizes = sizes or scaled_sizes(COLUMNAR_SIZES)
+    strict = os.environ.get("REPRO_BENCH_STRICT", "1") != "0"
+    scenarios: List[dict] = [dict(ROW_MODE_MICRO_OPT_NOTE)]
+    if not numpy_available():
+        print("[columnar_adjustment] NumPy unavailable: recording skip marker")
+        scenarios.append({"scenario": "columnar_adjustment", "skipped": "numpy unavailable"})
+        return scenarios
+
+    for family, generator in sorted(FAMILIES.items()):
+        for size in sizes:
+            left, right = generator(config=SyntheticConfig(size=size, categories=100, seed=42))
+            database = Database()
+            database.register_relation("l", left)
+            database.register_relation("r", right)
+            align = align_plan(
+                scan(database, "l", "l"),
+                scan(database, "r", "r"),
+                Comparison("=", Column("l.cat"), Column("r.cat")),
+            )
+            normalize = normalize_plan(
+                scan(database, "l", "l"), scan(database, "r", "r"), using=["cat"]
+            )
+
+            row_s, row_rows, _, row_plan = _timed_execution(
+                database, align, _row_settings(), repeats
+            )
+            col_s, col_rows, _, col_plan = _timed_execution(
+                database, align, _columnar_settings(), repeats
+            )
+            part_s, part_rows, _, part_plan = _timed_execution(
+                database, align, _partition_columnar_settings(workers), repeats
+            )
+            norm_row_s, norm_row_rows, _, _ = _timed_execution(
+                database, normalize, _row_settings(), repeats
+            )
+            norm_col_s, norm_col_rows, _, norm_col_plan = _timed_execution(
+                database, normalize, _columnar_settings(), repeats
+            )
+
+            identical = row_rows == col_rows == part_rows
+            norm_identical = norm_row_rows == norm_col_rows
+            speedup = row_s / max(col_s, 1e-9)
+            scenario = {
+                "scenario": "columnar_adjustment",
+                "family": family,
+                "size": size,
+                "row_seconds": round(row_s, 6),
+                "columnar_seconds": round(col_s, 6),
+                "partition_columnar_seconds": round(part_s, 6),
+                "columnar_speedup": round(speedup, 3),
+                "partition_columnar_speedup": round(row_s / max(part_s, 1e-9), 3),
+                "output_tuples": len(row_rows),
+                "identical": identical and norm_identical,
+                "row_plan": row_plan,
+                "columnar_plan": col_plan,
+                "partition_columnar_plan": part_plan,
+                "normalize_row_seconds": round(norm_row_s, 6),
+                "normalize_columnar_seconds": round(norm_col_s, 6),
+                "normalize_speedup": round(norm_row_s / max(norm_col_s, 1e-9), 3),
+                "normalize_plan": norm_col_plan,
+            }
+            scenarios.append(scenario)
+            print(
+                f"[columnar_adjustment] {family} n={size}: row={row_s * 1e3:.1f}ms "
+                f"columnar={col_s * 1e3:.1f}ms ({speedup:.1f}x) "
+                f"partition+columnar={part_s * 1e3:.1f}ms out={len(row_rows)} "
+                f"identical={identical}"
+            )
+            if not identical:
+                raise BenchmarkError(
+                    f"columnar_adjustment/{family}/n={size}: columnar relation "
+                    f"differs from the row pipeline ({len(col_rows)}/{len(part_rows)} "
+                    f"vs {len(row_rows)} rows)"
+                )
+            if not norm_identical:
+                raise BenchmarkError(
+                    f"columnar_adjustment/{family}/n={size}: columnar normalization "
+                    f"differs from the row pipeline ({len(norm_col_rows)} vs "
+                    f"{len(norm_row_rows)} rows)"
+                )
+            if "ColumnarAdjustment" not in col_plan:
+                raise BenchmarkError(
+                    f"columnar_adjustment/{family}/n={size}: columnar settings did "
+                    f"not produce a ColumnarAdjustment plan (got {col_plan!r})"
+                )
+            if "Exchange" not in part_plan or "kernel=columnar" not in part_plan:
+                raise BenchmarkError(
+                    f"columnar_adjustment/{family}/n={size}: partition settings did "
+                    f"not produce an Exchange plan with columnar kernels "
+                    f"(got {part_plan!r})"
+                )
+            if strict and size >= 1000 and speedup < 4.0:
+                raise BenchmarkError(
+                    f"columnar_adjustment/{family}/n={size}: columnar speedup "
+                    f"{speedup:.2f}x below the 4x bar (set REPRO_BENCH_STRICT=0 to "
+                    "report instead of assert)"
+                )
+    return scenarios
 
 
 def _mutation_stream(size: int, count: int):
@@ -558,11 +737,44 @@ def write_report(name: str, scenarios: List[dict], output_dir: str, workers: int
 
 
 NATIVE_SCENARIOS = {
+    "columnar_adjustment": run_columnar_adjustment,
     "durability": run_durability,
     "parallel_alignment": run_parallel_alignment,
     "parallel_normalization": run_parallel_normalization,
     "view_maintenance": run_view_maintenance,
 }
+
+
+def _run_scenario(
+    name: str,
+    sizes: Optional[Sequence[int]],
+    workers: int,
+    repeats: int,
+    profile_top: Optional[int],
+) -> List[dict]:
+    """Run one native scenario, optionally under cProfile.
+
+    With profiling requested the scenario executes inside a profiler and its
+    top-``profile_top`` functions by cumulative time are printed per
+    scenario — the supported way for perf work to locate hot paths (timings
+    in the written report are then profiler-skewed; use them for shape, not
+    for speedup claims).
+    """
+    runner = NATIVE_SCENARIOS[name]
+    if profile_top is None:
+        return runner(sizes=sizes, workers=workers, repeats=repeats)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        scenarios = runner(sizes=sizes, workers=workers, repeats=repeats)
+    finally:
+        profiler.disable()
+        stream = io.StringIO()
+        stats = pstats.Stats(profiler, stream=stream)
+        stats.sort_stats("cumulative").print_stats(profile_top)
+        print(f"[profile] {name}: top {profile_top} by cumulative time")
+        print(stream.getvalue().rstrip())
+    return scenarios
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -583,6 +795,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--workers", type=int, default=2, help="parallel worker pool size")
     parser.add_argument("--repeats", type=int, default=2, help="timing runs per measurement")
     parser.add_argument(
+        "--profile",
+        nargs="?",
+        const=20,
+        type=int,
+        default=None,
+        metavar="N",
+        help="cProfile each scenario and dump its top-N functions by "
+        "cumulative time (default N=20) — for locating hot paths without "
+        "ad-hoc scripts",
+    )
+    parser.add_argument(
         "--sizes", type=int, nargs="+", default=None, help="input sizes (before scaling)"
     )
     parser.add_argument("--output-dir", default=".", help="where BENCH_*.json files go")
@@ -593,8 +816,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     failed = False
     for name in names:
         try:
-            scenarios = NATIVE_SCENARIOS[name](
-                sizes=sizes, workers=arguments.workers, repeats=arguments.repeats
+            scenarios = _run_scenario(
+                name,
+                sizes=sizes,
+                workers=arguments.workers,
+                repeats=arguments.repeats,
+                profile_top=arguments.profile,
             )
         except BenchmarkError as error:
             print(f"CORRECTNESS FAILURE in {name}: {error}", file=sys.stderr)

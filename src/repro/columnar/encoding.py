@@ -1,0 +1,147 @@
+"""Columnar encoding of temporal relations.
+
+A :class:`ColumnarFrame` is the batch representation the vectorized kernels
+consume: the interval endpoints of every tuple as two parallel ``int64``
+arrays, plus a dictionary-encoded equality-key column (one dense code per
+distinct key value, ``-1`` reserved for "matches nothing").  Row positions
+double as backrefs — entry ``i`` describes ``relation.tuples()[i]``, which is
+how kernel output is materialised back into tuples only at the boundary.
+
+Encodings are cached on the relation through
+:meth:`TemporalRelation.derived`, split into two entries so independent key
+sets share the endpoint arrays:
+
+* ``("columnar", "endpoints", backend)`` — the ``starts``/``ends`` arrays;
+* ``("columnar", "keys", backend, attrs)`` — codes + dictionary per key set.
+
+Both entries are dropped by the relation's ``_after_mutation`` funnel like
+every other derived structure, so a cached frame can never describe stale
+tuples.  ``backend`` distinguishes NumPy arrays from the pure-Python list
+fallback (the two must not be mixed when tests force the fallback on).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.columnar.runtime import numpy_or_none
+
+#: Dictionary code meaning "this row's key matches no row of the other side".
+NO_MATCH = -1
+
+
+class ColumnarFrame:
+    """Endpoint arrays + dictionary-encoded key column of one relation.
+
+    ``starts``/``ends``/``codes`` are parallel to the relation's tuple list
+    (insertion order); ``key_index`` maps key value tuples to dense codes.
+    Arrays are ``numpy.int64`` when NumPy is active, plain lists otherwise.
+    """
+
+    __slots__ = ("starts", "ends", "codes", "key_index")
+
+    def __init__(self, starts, ends, codes, key_index: Dict[Hashable, int]):
+        self.starts = starts
+        self.ends = ends
+        self.codes = codes
+        self.key_index = key_index
+
+    def __len__(self) -> int:
+        return len(self.starts)
+
+
+def _backend() -> str:
+    return "np" if numpy_or_none() is not None else "py"
+
+
+def _int_array(values: List[int]):
+    np = numpy_or_none()
+    if np is None:
+        return values
+    return np.asarray(values, dtype=np.int64)
+
+
+def encode_keys(
+    keys: Sequence[Hashable], key_index: Optional[Dict[Hashable, int]] = None
+):
+    """Dictionary-encode a key sequence into dense integer codes.
+
+    With ``key_index`` given, codes come from that dictionary and unseen keys
+    get :data:`NO_MATCH`; otherwise a fresh dictionary is built (first
+    occurrence order).  Returns ``(codes, key_index)``.
+    """
+    if key_index is None:
+        key_index = {}
+        codes: List[int] = []
+        for key in keys:
+            code = key_index.setdefault(key, len(key_index))
+            codes.append(code)
+    else:
+        codes = [key_index.get(key, NO_MATCH) for key in keys]
+    return _int_array(codes), key_index
+
+
+def encode_relation(relation, attributes: Sequence[str] = ()) -> ColumnarFrame:
+    """The (lazily built, cached) columnar frame of ``relation``.
+
+    ``attributes`` name the equality key (normalization's ``B`` attributes or
+    the equi part of an alignment θ); the empty sequence encodes every tuple
+    under one shared code.  Repeated adjustments against the same reference
+    therefore pay the encoding pass once — the columnar analogue of the
+    cached :class:`~repro.temporal.interval_index.IntervalIndex`.
+    """
+    attrs = tuple(attributes)
+    backend = _backend()
+
+    def build_endpoints():
+        starts: List[int] = []
+        ends: List[int] = []
+        for t in relation:
+            starts.append(t.start)
+            ends.append(t.end)
+        return _int_array(starts), _int_array(ends)
+
+    def build_keys():
+        if attrs:
+            return encode_keys([t.values_of(attrs) for t in relation])
+        codes, index = encode_keys([()] * len(relation))
+        return codes, index
+
+    starts, ends = relation.derived(("columnar", "endpoints", backend), build_endpoints)
+    codes, key_index = relation.derived(("columnar", "keys", backend, attrs), build_keys)
+    return ColumnarFrame(starts, ends, codes, key_index)
+
+
+def remap_codes(frame: ColumnarFrame, target: ColumnarFrame):
+    """Re-express ``frame``'s codes in ``target``'s dictionary.
+
+    The overlap kernels compare codes for equality, so both sides must speak
+    the same dictionary; the reference side's dictionary wins and argument
+    keys it never saw become :data:`NO_MATCH`.  A shared dictionary object
+    (self-adjustment, or two frames of the same cached relation) passes
+    through untouched.
+    """
+    if frame.key_index is target.key_index:
+        return frame.codes
+    table = [NO_MATCH] * (len(frame.key_index) + 1)
+    for key, code in frame.key_index.items():
+        table[code] = target.key_index.get(key, NO_MATCH)
+    np = numpy_or_none()
+    if np is not None and not isinstance(frame.codes, list):
+        lookup = np.asarray(table + [NO_MATCH], dtype=np.int64)
+        return lookup[frame.codes]
+    return [table[code] if code >= 0 else NO_MATCH for code in frame.codes]
+
+
+def peek_endpoint_arrays(relation) -> Optional[Tuple[Any, Any]]:
+    """Already-cached endpoint arrays of ``relation``, or ``None``.
+
+    Never builds anything: statistics collection uses this to reuse the
+    columnar encoding when present without invalidating or populating the
+    relation's derived caches (pinned by a regression test).
+    """
+    for backend in ("np", "py"):
+        cached = relation.peek_derived(("columnar", "endpoints", backend))
+        if cached is not None:
+            return cached
+    return None

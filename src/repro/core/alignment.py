@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+from repro.columnar import dispatch as columnar_dispatch
 from repro.core import parallel as parallel_support
 from repro.core.primitives import align_tuple
 from repro.core.sweep import KeyFunction, ThetaPredicate, overlap_groups, value_key
@@ -31,7 +32,7 @@ from repro.relation.tuple import TemporalTuple
 from repro.temporal.interval import Interval
 
 
-ALIGN_STRATEGIES = ("auto", "sweep", "index", "parallel")
+ALIGN_STRATEGIES = ("auto", "sweep", "index", "parallel", "columnar")
 
 
 def align_relation(
@@ -69,7 +70,16 @@ def align_relation(
         tuples, or when the θ predicate cannot be shipped to workers);
         ``"auto"`` (default) probes the index when the reference already has
         one cached and sweeps otherwise, so repeated callers get the
-        amortised path without a flag.
+        amortised path without a flag; ``"columnar"`` encodes both relations
+        into int64 endpoint arrays with dictionary-encoded keys and runs the
+        vectorized batch kernels of :mod:`repro.columnar` (NumPy when
+        available, a pure-Python twin otherwise — results are identical).
+        ``"auto"`` additionally picks the columnar path cost-based
+        (:func:`repro.columnar.dispatch.auto_columnar`): NumPy importable, θ
+        absent or an equality key, and the combined input above the
+        crossover.  An opaque θ never auto-dispatches — with an explicit
+        ``"columnar"`` request the overlap join still runs vectorized and
+        the θ filter plus per-group aligner fall back to row mode.
     workers:
         Pool size for the ``"parallel"`` strategy (default: the
         ``REPRO_PARALLEL_WORKERS`` environment variable, else the CPU
@@ -109,6 +119,16 @@ def align_relation(
         return _align_parallel(
             relation, reference, theta, equi_attributes, index_attrs, workers
         )
+    if strategy == "columnar":
+        return _align_columnar(relation, reference, theta, equi_attributes, index_attrs)
+    if (
+        strategy == "auto"
+        and not reference.has_interval_index(index_attrs)
+        and columnar_dispatch.auto_columnar(
+            len(relation), len(reference), opaque_theta=theta is not None
+        )
+    ):
+        return _align_columnar(relation, reference, theta, equi_attributes, index_attrs)
 
     index = None
     if strategy == "index" or (strategy == "auto" and reference.has_interval_index(index_attrs)):
@@ -126,6 +146,68 @@ def align_relation(
     result = TemporalRelation(relation.schema)
     for r, group in zip(relation, groups):
         for piece in align_tuple(r.interval, [g.interval for g in group]):
+            result.add(r.with_interval(piece))
+    return result
+
+
+# -- the columnar strategy ----------------------------------------------------
+
+
+def _align_columnar(
+    relation: TemporalRelation,
+    reference: TemporalRelation,
+    theta: Optional[ThetaPredicate],
+    equi_attributes: Optional[Sequence[str]],
+    reference_equi_attributes: Sequence[str],
+) -> TemporalRelation:
+    """``align_relation`` over the columnar encoding (see :mod:`repro.columnar`).
+
+    Both relations are encoded once (cached on ``derived``, invalidated by
+    the ``_after_mutation`` funnel) and the whole alignment — overlap join,
+    intersection/gap generation, deduplication — runs as array kernels;
+    tuples materialise only here, at the boundary.  An opaque θ cannot be
+    vectorized: the kernel then only enumerates the candidate pairs and each
+    group is filtered and aligned in row mode, which preserves the exact
+    semantics of the sweep strategies.
+    """
+    from repro.columnar import encoding, kernels
+
+    left_frame = encoding.encode_relation(relation, equi_attributes or ())
+    right_frame = encoding.encode_relation(reference, reference_equi_attributes)
+    left_codes = encoding.remap_codes(left_frame, right_frame)
+    left_tuples = relation.tuples()
+
+    result = TemporalRelation(relation.schema)
+    if theta is None:
+        rows, starts, ends = kernels.align_pieces(
+            left_frame.starts,
+            left_frame.ends,
+            left_codes,
+            right_frame.starts,
+            right_frame.ends,
+            right_frame.codes,
+        )
+        add = result.add
+        for i, start, end in zip(rows, starts, ends):
+            add(left_tuples[i].with_interval(Interval(start, end)))
+        return result
+
+    # Opaque θ: vectorized candidate enumeration, row mode per group.
+    li, ri = kernels.overlap_pairs(
+        left_frame.starts,
+        left_frame.ends,
+        left_codes,
+        right_frame.starts,
+        right_frame.ends,
+        right_frame.codes,
+    )
+    right_tuples = reference.tuples()
+    groups: List[List[Interval]] = [[] for _ in left_tuples]
+    for i, j in zip(li, ri):
+        if theta(left_tuples[i], right_tuples[j]):
+            groups[i].append(right_tuples[j].interval)
+    for r, group in zip(left_tuples, groups):
+        for piece in align_tuple(r.interval, group):
             result.add(r.with_interval(piece))
     return result
 

@@ -21,13 +21,14 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
+from repro.columnar import dispatch as columnar_dispatch
 from repro.core import parallel as parallel_support
 from repro.relation.errors import SchemaError
 from repro.relation.relation import TemporalRelation
 from repro.temporal.interval import Interval
 
 
-NORMALIZE_STRATEGIES = ("auto", "sweep", "parallel")
+NORMALIZE_STRATEGIES = ("auto", "sweep", "parallel", "columnar")
 
 
 def normalize(
@@ -43,13 +44,18 @@ def normalize(
     the empty sequence (``N_{}``) splits against *all* reference tuples,
     which is the most expensive case evaluated in Fig. 14.
 
-    ``strategy`` selects how the per-group sweeps run: ``"sweep"`` (and the
-    ``"auto"`` default) partitions by ``B`` with a hash table and sweeps the
-    groups serially; ``"parallel"`` hash-partitions both relations on the
-    ``B`` key and runs the partition sweeps through a worker pool of
-    ``workers`` processes (in-process for small inputs — see
-    :func:`repro.core.parallel.min_pool_tuples`).  All strategies produce
-    the same relation.
+    ``strategy`` selects how the per-group sweeps run: ``"sweep"`` partitions
+    by ``B`` with a hash table and sweeps the groups serially;
+    ``"parallel"`` hash-partitions both relations on the ``B`` key and runs
+    the partition sweeps through a worker pool of ``workers`` processes
+    (in-process for small inputs — see
+    :func:`repro.core.parallel.min_pool_tuples`); ``"columnar"`` encodes the
+    reference endpoints and the ``B`` keys into arrays and generates the
+    split pieces with the vectorized batch kernels of :mod:`repro.columnar`
+    (pure-Python twin when NumPy is absent).  ``"auto"`` picks the columnar
+    path cost-based (NumPy importable and the combined input above the
+    crossover of :func:`repro.columnar.dispatch.auto_columnar`) and sweeps
+    otherwise.  All strategies produce the same relation.
 
     The result keeps the schema of ``relation``.  Every result tuple is
     derived from exactly one input tuple (its lineage); change preservation
@@ -68,6 +74,11 @@ def normalize(
 
     if strategy == "parallel":
         return _normalize_parallel(relation, reference, attrs, workers)
+    if strategy == "columnar" or (
+        strategy == "auto"
+        and columnar_dispatch.auto_columnar(len(relation), len(reference))
+    ):
+        return _normalize_columnar(relation, reference, attrs)
 
     split_points = _split_points_by_key(reference, attrs)
 
@@ -77,6 +88,41 @@ def normalize(
         points = split_points.get(key, ())
         for piece in _split_interval(r.interval, points):
             result.add(r.with_interval(piece))
+    return result
+
+
+def _normalize_columnar(
+    relation: TemporalRelation,
+    reference: TemporalRelation,
+    attrs: Tuple[str, ...],
+) -> TemporalRelation:
+    """``normalize`` over the columnar encoding (see :mod:`repro.columnar`).
+
+    The reference's endpoint/key arrays are encoded once (cached on
+    ``derived`` exactly like the row-mode split points) and every argument
+    interval is split against them in one batched
+    ``searchsorted``/``repeat`` pass; tuples materialise only here at the
+    boundary.
+    """
+    from repro.columnar import encoding, kernels
+
+    left_frame = encoding.encode_relation(relation, attrs)
+    right_frame = encoding.encode_relation(reference, attrs)
+    left_codes = encoding.remap_codes(left_frame, right_frame)
+    left_tuples = relation.tuples()
+
+    rows, starts, ends = kernels.normalize_pieces_from_intervals(
+        left_frame.starts,
+        left_frame.ends,
+        left_codes,
+        right_frame.starts,
+        right_frame.ends,
+        right_frame.codes,
+    )
+    result = TemporalRelation(relation.schema)
+    add = result.add
+    for i, start, end in zip(rows, starts, ends):
+        add(left_tuples[i].with_interval(Interval(start, end)))
     return result
 
 

@@ -70,24 +70,38 @@ def align_tuple(tuple_interval: Interval, group: Iterable[Interval]) -> List[Int
     """
     if tuple_interval.is_empty():
         return []
-    group_list = [g for g in group if not g.is_empty()]
+    start = tuple_interval.start
+    end = tuple_interval.end
 
+    # Hot loop: endpoints and set/list methods bound to locals, and the
+    # intersection computed on plain ints so no Interval is allocated for
+    # the (frequent) empty case.
     pieces: List[Interval] = []
     seen: Set[Tuple[int, int]] = set()
-    for g in group_list:
-        common = tuple_interval.intersect(g)
-        if common.is_empty():
+    mark = seen.add
+    keep = pieces.append
+    group_list: List[Interval] = []
+    keep_group = group_list.append
+    for g in group:
+        g_start = g.start
+        g_end = g.end
+        if g_end <= g_start:
             continue
-        key = common.as_pair()
+        keep_group(g)
+        common_start = g_start if g_start > start else start
+        common_end = g_end if g_end < end else end
+        if common_end <= common_start:
+            continue
+        key = (common_start, common_end)
         if key not in seen:
-            seen.add(key)
-            pieces.append(common)
+            mark(key)
+            keep(Interval(common_start, common_end))
 
     for gap in uncovered_intervals(tuple_interval, group_list):
         key = gap.as_pair()
         if key not in seen:
-            seen.add(key)
-            pieces.append(gap)
+            mark(key)
+            keep(gap)
 
     pieces.sort()
     return pieces

@@ -17,6 +17,7 @@ sort-merge strategy PostgreSQL picks for this join when it is allowed to.
 from __future__ import annotations
 
 from collections import defaultdict
+from operator import attrgetter
 from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.relation.tuple import TemporalTuple
@@ -161,36 +162,52 @@ def _sweep_overlap_groups(
     if not left or not right:
         return groups
 
+    # Interval endpoints hoisted into plain lists: the inner loops below run
+    # once per event and once per live pair, and repeated ``tuple.end``
+    # property chains dominate their cost.
+    interval_of = attrgetter("interval")
+    left_intervals = [interval_of(t) for t in left]
+    right_intervals = [interval_of(t) for t in right]
+    left_ends = [iv.end for iv in left_intervals]
+    right_ends = [iv.end for iv in right_intervals]
+
     # (start, kind, index); kind 0 = right before left at equal start so that
     # a right tuple starting exactly where a left tuple starts is active.
     events: List[Tuple[int, int, int]] = []
-    for index, r in enumerate(left):
-        if not r.interval.is_empty():
-            events.append((r.start, 1, index))
-    for index, s in enumerate(right):
-        if not s.interval.is_empty():
-            events.append((s.start, 0, index))
-    events.sort(key=lambda e: (e[0], e[1]))
+    append_event = events.append
+    for index, iv in enumerate(left_intervals):
+        if iv.end > iv.start:
+            append_event((iv.start, 1, index))
+    for index, iv in enumerate(right_intervals):
+        if iv.end > iv.start:
+            append_event((iv.start, 0, index))
+    events.sort()
 
     active_left: List[int] = []
     active_right: List[int] = []
 
     for position, kind, index in events:
         if kind == 1:
-            r = left[index]
-            active_right = [j for j in active_right if right[j].end > position]
-            for j in active_right:
-                s = right[j]
-                if theta is None or theta(r, s):
-                    groups[index].append(s)
+            active_right = [j for j in active_right if right_ends[j] > position]
+            if active_right:
+                group = groups[index]
+                if theta is None:
+                    group.extend(right[j] for j in active_right)
+                else:
+                    r = left[index]
+                    group.extend(s for s in (right[j] for j in active_right) if theta(r, s))
             active_left.append(index)
         else:
-            s = right[index]
-            active_left = [i for i in active_left if left[i].end > position]
-            for i in active_left:
-                r = left[i]
-                if theta is None or theta(r, s):
-                    groups[i].append(s)
+            active_left = [i for i in active_left if left_ends[i] > position]
+            if active_left:
+                s = right[index]
+                if theta is None:
+                    for i in active_left:
+                        groups[i].append(s)
+                else:
+                    for i in active_left:
+                        if theta(left[i], s):
+                            groups[i].append(s)
             active_right.append(index)
     return groups
 

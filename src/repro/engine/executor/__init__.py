@@ -28,6 +28,7 @@ from repro.engine.executor.partition import (
     PartitionNode,
     run_adjustment_task,
 )
+from repro.engine.executor.columnar_adjustment import ColumnarAdjustmentNode
 from repro.engine.executor.absorb import AbsorbNode
 from repro.engine.executor.limit import LimitNode
 from repro.engine.executor.view_scan import ViewScanNode
@@ -50,6 +51,7 @@ __all__ = [
     "SetOpNode",
     "AdjustmentNode",
     "AdjustmentTask",
+    "ColumnarAdjustmentNode",
     "PartitionNode",
     "ExchangeNode",
     "run_adjustment_task",

@@ -121,6 +121,12 @@ class AdjustmentTask:
     ts_index: int
     te_index: int
     isalign: bool
+    #: Execute the partition through the columnar batch kernels instead of
+    #: the row pipeline (set by the planner when the condition is a pure
+    #: equality and the columnar layer is enabled).  The row pipeline stays
+    #: the fallback for rows the encoding cannot batch — either way the
+    #: partition's output is identical.
+    use_columnar: bool = False
 
 
 def run_adjustment_task(
@@ -130,7 +136,20 @@ def run_adjustment_task(
 
     This is the worker function of the partition-parallel executor; it is a
     module-level callable so ``multiprocessing`` can address it by reference.
+
+    With ``task.use_columnar`` the partition runs through the columnar batch
+    kernels (:mod:`repro.columnar.rows`) — the composition of PR 2's
+    partition parallelism with columnar execution: hash partitioning splits
+    the work, each worker batches its slice.  Rows the encoding cannot
+    batch fall back to the row pipeline below, with identical output.
     """
+    if task.use_columnar:
+        from repro.columnar.rows import ColumnarUnsupported, adjust_rows_columnar
+
+        try:
+            return adjust_rows_columnar(task, left_rows, right_rows)
+        except ColumnarUnsupported:
+            pass
     left = ValuesNode(task.left_columns, left_rows)
     right = ValuesNode(task.right_columns, right_rows)
 
@@ -240,8 +259,9 @@ class ExchangeNode(PhysicalNode):
     def describe(self) -> str:
         kind = "align" if self.task.isalign else "normalize"
         executed = f", executed={self.effective_mode}" if self.effective_mode else ""
+        kernel = ", kernel=columnar" if self.task.use_columnar else ""
         return (
             f"Exchange({kind}, workers={self.workers}, "
             f"partitions={self.left.partition_count}, join={self.task.join_strategy}"
-            f"{executed})"
+            f"{kernel}{executed})"
         )

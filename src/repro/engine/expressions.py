@@ -444,6 +444,33 @@ def conjunction(expressions: Sequence[Expression]) -> Optional[Expression]:
     return And(*live)
 
 
+def equijoin_only(condition: Optional[Expression],
+                  left_columns: Sequence[str],
+                  right_columns: Sequence[str]) -> bool:
+    """Whether ``condition`` is *nothing but* cross-side equality conjuncts.
+
+    ``True`` for ``None`` and for any top-level conjunction in which every
+    conjunct is a ``left column = right column`` comparison (in either
+    order).  This is the eligibility test of the columnar adjustment plans:
+    such a condition is fully captured by dictionary-encoded key codes,
+    whereas any residual predicate would need per-row evaluation.
+    """
+    if condition is None:
+        return True
+    conjuncts: List[Expression] = []
+
+    def collect(expr: Expression) -> None:
+        if isinstance(expr, And):
+            for operand in expr.operands:
+                collect(operand)
+        else:
+            conjuncts.append(expr)
+
+    collect(condition)
+    keys = equijoin_keys(condition, left_columns, right_columns)
+    return len(keys) == len(conjuncts)
+
+
 def equijoin_keys(condition: Optional[Expression],
                   left_columns: Sequence[str],
                   right_columns: Sequence[str]) -> List[Tuple[str, str]]:

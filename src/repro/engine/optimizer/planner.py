@@ -25,6 +25,7 @@ from repro.engine.executor import (
     AbsorbNode,
     AdjustmentNode,
     AdjustmentTask,
+    ColumnarAdjustmentNode,
     DistinctNode,
     ExchangeNode,
     FilterNode,
@@ -52,6 +53,7 @@ from repro.engine.expressions import (
     IndexColumn,
     conjunction,
     equijoin_keys,
+    equijoin_only,
     resolve_column,
 )
 from repro.engine.optimizer import cost
@@ -233,7 +235,7 @@ class Planner:
         )
         self._estimated(adjustment, estimate)
 
-        parallel = self._parallel_adjustment_plan(
+        return self._dispatch_adjustment(
             left,
             right,
             keys=keys,
@@ -246,9 +248,12 @@ class Planner:
             ts_index=left_ts,
             te_index=left_te,
             isalign=True,
+            serial=adjustment,
             serial_estimate=estimate,
+            # Columnar encoding captures equality keys and the overlap itself;
+            # any further residual θ forces per-row evaluation (row mode).
+            pure_equality=equijoin_only(node.condition, left_columns, right_columns),
         )
-        return parallel if parallel is not None else adjustment
 
     def _plan_normalize(self, node: logical.Normalize) -> PhysicalNode:
         substituted = self._view_substitute(node, kind="normalize")
@@ -329,7 +334,7 @@ class Planner:
         )
         self._estimated(adjustment, estimate)
 
-        parallel = self._parallel_adjustment_plan(
+        return self._dispatch_adjustment(
             left,
             split_points,
             keys=keys,
@@ -342,9 +347,12 @@ class Planner:
             ts_index=left_ts,
             te_index=left_te,
             isalign=False,
+            serial=adjustment,
             serial_estimate=estimate,
+            # The normalize condition is equality on B plus the split-point
+            # window — fully captured by the columnar encoding.
+            pure_equality=True,
         )
-        return parallel if parallel is not None else adjustment
 
     # -- materialized view substitution ------------------------------------------------------
 
@@ -534,6 +542,104 @@ class Planner:
             physical = NestedLoopJoinNode(left, right, kind, condition)
         return self._estimated(physical, estimate)
 
+    def _columnar_enabled(self) -> bool:
+        """Whether columnar plans may be considered at all (switch + NumPy)."""
+        if not self.settings.enable_columnar:
+            return False
+        from repro.columnar.runtime import numpy_available
+
+        return numpy_available()
+
+    def _dispatch_adjustment(
+        self,
+        left: PhysicalNode,
+        right: PhysicalNode,
+        keys: Sequence[Tuple[int, int]],
+        condition: Optional[Expression],
+        bounds: Optional[Tuple[int, int, int, int]],
+        overlap: bool,
+        selectivity: Optional[float],
+        projections: Sequence[Tuple[Expression, str]],
+        group_width: int,
+        ts_index: int,
+        te_index: int,
+        isalign: bool,
+        serial: PhysicalNode,
+        serial_estimate: Estimate,
+        pure_equality: bool,
+    ) -> PhysicalNode:
+        """Row/column dispatch over an adjustment: pick among the serial row
+        pipeline, a single columnar batch, and the partition-parallel plan
+        (with columnar kernels inside the workers when eligible).
+
+        The parallel plan keeps its cost gate against the serial estimate;
+        when it is not adopted, a ``ColumnarAdjustment`` batch replaces the
+        serial pipeline if the condition is a pure equality, the combined
+        input clears ``columnar_min_rows`` and
+        :func:`~repro.engine.optimizer.cost.columnar_adjustment_cost`
+        undercuts the serial estimate.
+        """
+        columnar_ok = pure_equality and self._columnar_enabled()
+        parallel = self._parallel_adjustment_plan(
+            left,
+            right,
+            keys=keys,
+            condition=condition,
+            bounds=bounds,
+            overlap=overlap,
+            selectivity=selectivity,
+            projections=projections,
+            group_width=group_width,
+            ts_index=ts_index,
+            te_index=te_index,
+            isalign=isalign,
+            serial_estimate=serial_estimate,
+            use_columnar=columnar_ok,
+        )
+        if parallel is not None:
+            return parallel
+        if columnar_ok:
+            settings = self.settings
+            left_estimate = self._estimate(left)
+            right_estimate = self._estimate(right)
+            if left_estimate.rows + right_estimate.rows >= settings.columnar_min_rows:
+                columnar_estimate = cost.columnar_adjustment_cost(
+                    settings, left_estimate, right_estimate, serial_estimate
+                )
+                if columnar_estimate.cost < serial_estimate.cost:
+                    if overlap:
+                        rows = cost.overlap_join_rows(
+                            settings, left_estimate, right_estimate, "left", selectivity
+                        )
+                    else:
+                        rows = cost.join_output_rows(
+                            settings, left_estimate, right_estimate, bool(keys), "left"
+                        )
+                    candidates = self._join_candidates(
+                        left_estimate, right_estimate, rows, keys, overlap=overlap
+                    )
+                    _, strategy = min(candidates, key=lambda item: item[0].cost)
+                    task = AdjustmentTask(
+                        left_columns=tuple(left.columns),
+                        right_columns=tuple(right.columns),
+                        join_strategy=strategy,
+                        join_kind="left",
+                        condition=condition,
+                        key_pairs=tuple(keys),
+                        bounds=bounds,
+                        projections=tuple(projections),
+                        sort_width=len(projections),
+                        group_width=group_width,
+                        ts_index=ts_index,
+                        te_index=te_index,
+                        isalign=isalign,
+                        use_columnar=True,
+                    )
+                    return self._estimated(
+                        ColumnarAdjustmentNode(left, right, task), columnar_estimate
+                    )
+        return serial
+
     def _parallel_adjustment_plan(
         self,
         left: PhysicalNode,
@@ -549,6 +655,7 @@ class Planner:
         te_index: int,
         isalign: bool,
         serial_estimate: Estimate,
+        use_columnar: bool = False,
     ) -> Optional[PhysicalNode]:
         """Partition-parallel alternative to a serial adjustment plan.
 
@@ -608,6 +715,7 @@ class Planner:
             ts_index=ts_index,
             te_index=te_index,
             isalign=isalign,
+            use_columnar=use_columnar,
         )
         exchange = ExchangeNode(
             left_partition,

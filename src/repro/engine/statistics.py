@@ -40,6 +40,47 @@ class IntervalStatistics:
         return max(0, self.max_end - self.min_start)
 
 
+def interval_statistics_from_endpoints(starts, ends) -> Optional[IntervalStatistics]:
+    """Endpoint summary computed from parallel start/end arrays.
+
+    The shared kernel of statistics collection: the table-scan path, the
+    relation path and the columnar cost model all reduce their inputs to two
+    integer arrays and summarise them here.  Accepts any sequence pair
+    (lists or NumPy arrays); returns ``None`` for empty input.
+    """
+    count = len(starts)
+    if count == 0:
+        return None
+    min_start = min(starts)
+    max_end = max(ends)
+    total_duration = sum(ends) - sum(starts)
+    return IntervalStatistics(
+        row_count=int(count),
+        min_start=int(min_start),
+        max_end=int(max_end),
+        mean_duration=max(0.0, float(total_duration) / count),
+    )
+
+
+def relation_interval_statistics(relation) -> Optional[IntervalStatistics]:
+    """Endpoint summary of a temporal relation, reusing cached arrays.
+
+    Prefers the relation's cached columnar endpoint arrays (see
+    :func:`repro.columnar.encoding.peek_endpoint_arrays`) and falls back to
+    one pass over the tuples.  Strictly read-only: it neither builds nor
+    invalidates any ``derived`` cache entry — statistics collection must be
+    observationally free (pinned by a regression test).
+    """
+    from repro.columnar.encoding import peek_endpoint_arrays
+
+    cached = peek_endpoint_arrays(relation)
+    if cached is not None:
+        return interval_statistics_from_endpoints(*cached)
+    starts = [t.start for t in relation]
+    ends = [t.end for t in relation]
+    return interval_statistics_from_endpoints(starts, ends)
+
+
 def overlap_selectivity(
     left: Optional["IntervalStatistics"], right: Optional["IntervalStatistics"]
 ) -> Optional[float]:
@@ -96,33 +137,46 @@ class TableStatistics:
     def _compute_interval_statistics(
         self, start_column: str, end_column: str
     ) -> Optional[IntervalStatistics]:
+        # A table snapshotting a temporal relation summarises the relation's
+        # (possibly already columnar-encoded) endpoint arrays instead of
+        # re-scanning its own rows; relation bounds are integers by
+        # construction, so the type screening below is unnecessary there.
+        relation = getattr(self._table, "source_relation", None)
+        if (
+            relation is not None
+            and len(relation) == len(self._table)
+            and self._is_timestamp_pair(start_column, end_column)
+        ):
+            return relation_interval_statistics(relation)
         try:
             start_index = self._table.column_index(start_column)
             end_index = self._table.column_index(end_column)
         except Exception:
             return None
-        count = 0
-        min_start: Optional[int] = None
-        max_end: Optional[int] = None
-        total_duration = 0
+        starts = []
+        ends = []
         for row in self._table.rows:
             start, end = row[start_index], row[end_index]
             if is_null(start) or is_null(end):
                 continue
             if not isinstance(start, int) or not isinstance(end, int):
                 return None
-            count += 1
-            min_start = start if min_start is None else min(min_start, start)
-            max_end = end if max_end is None else max(max_end, end)
-            total_duration += max(0, end - start)
-        if count == 0:
-            return None
-        return IntervalStatistics(
-            row_count=count,
-            min_start=min_start if min_start is not None else 0,
-            max_end=max_end if max_end is not None else 0,
-            mean_duration=total_duration / count,
-        )
+            starts.append(start)
+            ends.append(max(start, end))
+        return interval_statistics_from_endpoints(starts, ends)
+
+    def _is_timestamp_pair(self, start_column: str, end_column: str) -> bool:
+        """Whether the columns are the snapshot's trailing ``ts``/``te`` pair."""
+        columns = self._table.columns
+        if len(columns) < 2:
+            return False
+        try:
+            return (
+                self._table.column_index(start_column) == len(columns) - 2
+                and self._table.column_index(end_column) == len(columns) - 1
+            )
+        except Exception:
+            return False
 
 
 class StatisticsCatalog:

@@ -34,6 +34,10 @@ class Table:
         self.columns: Tuple[str, ...] = tuple(columns)
         self.rows: List[Row] = [tuple(row) for row in rows] if rows is not None else []
         self._index = {column: i for i, column in enumerate(self.columns)}
+        #: The backing :class:`TemporalRelation` when the table is a snapshot
+        #: of one (set by :meth:`from_relation`); statistics collection uses
+        #: it to read already-cached endpoint arrays instead of re-scanning.
+        self.source_relation: Optional[TemporalRelation] = None
 
     # -- protocol ---------------------------------------------------------------
 
@@ -86,7 +90,9 @@ class Table:
         """
         columns = list(relation.schema.attribute_names) + [start_column, end_column]
         rows = [t.values + (t.start, t.end) for t in relation]
-        return cls(name, columns, rows)
+        table = cls(name, columns, rows)
+        table.source_relation = relation
+        return table
 
     def to_relation(
         self,

@@ -544,6 +544,16 @@ class TemporalRelation:
             self._derived_cache[key] = value
             return value
 
+    def peek_derived(self, key: Any) -> Any:
+        """The cached derived structure for ``key``, or ``None`` — never builds.
+
+        Read-only companion of :meth:`derived` for consumers that want to
+        *reuse* a cache when present without paying to populate it (e.g.
+        statistics collection, which must not mutate the cache state it
+        observes).
+        """
+        return self._derived_cache.get(key)
+
     def interval_index(self, attributes: Sequence[str] = ()):
         """The (lazily built, cached) overlap index over this relation.
 

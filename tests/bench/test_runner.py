@@ -50,6 +50,64 @@ def test_view_maintenance_scenarios_enforce_equality(tmp_path, monkeypatch):
     assert payload["scenarios"][0]["scenario"] == "view_maintenance"
 
 
+def test_columnar_adjustment_scenarios_and_gates(tmp_path, monkeypatch):
+    import pytest
+
+    from repro.columnar.runtime import numpy_available
+
+    if not numpy_available():
+        pytest.skip("NumPy not installed; the scenario records a skip marker")
+    monkeypatch.setenv("REPRO_BENCH_STRICT", "0")  # timings are noise at n=60
+    scenarios = runner.run_columnar_adjustment(sizes=[60], workers=2, repeats=1)
+    note, *measured = scenarios
+    assert note["scenario"] == "row_mode_micro_opt_note"
+    assert len(measured) == len(runner.FAMILIES)
+    for scenario in measured:
+        assert scenario["identical"] is True
+        assert "ColumnarAdjustment" in scenario["columnar_plan"]
+        assert "kernel=columnar" in scenario["partition_columnar_plan"]
+        assert "ColumnarAdjustment" not in scenario["row_plan"]
+        assert "Exchange" not in scenario["row_plan"]
+
+    path = runner.write_report("test_columnar", scenarios, str(tmp_path), workers=2)
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    assert payload["scenarios"][1]["scenario"] == "columnar_adjustment"
+
+
+def test_columnar_adjustment_skips_without_numpy(monkeypatch):
+    from repro.columnar.runtime import forced_python
+
+    with forced_python():
+        scenarios = runner.run_columnar_adjustment(sizes=[40], workers=2, repeats=1)
+    assert scenarios[-1] == {
+        "scenario": "columnar_adjustment",
+        "skipped": "numpy unavailable",
+    }
+
+
+def test_profile_flag_dumps_cumulative_hot_paths(tmp_path, capsys):
+    code = runner.main(
+        [
+            "--scenario",
+            "parallel_normalization",
+            "--sizes",
+            "40",
+            "--repeats",
+            "1",
+            "--profile",
+            "5",
+            "--output-dir",
+            str(tmp_path),
+        ]
+    )
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "[profile] parallel_normalization: top 5 by cumulative time" in output
+    assert "cumulative" in output
+    assert (tmp_path / "BENCH_parallel_normalization.json").exists()
+
+
 def test_main_writes_reports(tmp_path):
     code = runner.main(
         [

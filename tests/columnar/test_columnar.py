@@ -1,0 +1,201 @@
+"""Unit tests of the columnar layer: encoding, kernels, caching, fallback."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Interval, Schema, TemporalRelation
+from repro.columnar import (
+    align_pieces,
+    encode_relation,
+    normalize_pieces,
+    normalize_pieces_from_intervals,
+    overlap_pairs,
+    peek_endpoint_arrays,
+    remap_codes,
+)
+from repro.columnar.runtime import forced_python, numpy_available, resolve_use_numpy
+
+
+def relation(rows, attributes=("cat",)):
+    result = TemporalRelation(Schema(list(attributes)))
+    for values, start, end in rows:
+        result.insert(values, Interval(start, end))
+    return result
+
+
+BACKENDS = [False] + ([True] if numpy_available() else [])
+
+
+class TestRuntime:
+    def test_forced_python_hides_numpy(self):
+        with forced_python():
+            assert not numpy_available()
+            with pytest.raises(RuntimeError):
+                resolve_use_numpy(True)
+
+    def test_resolve_defaults_to_availability(self):
+        assert resolve_use_numpy(None) == numpy_available()
+        assert resolve_use_numpy(False) is False
+
+
+class TestEncoding:
+    def test_frame_shape_and_dictionary(self):
+        rel = relation([(("a",), 0, 5), (("b",), 3, 9), (("a",), 7, 8)])
+        frame = encode_relation(rel, ("cat",))
+        assert list(frame.starts) == [0, 3, 7]
+        assert list(frame.ends) == [5, 9, 8]
+        assert list(frame.codes) == [0, 1, 0]
+        assert frame.key_index == {("a",): 0, ("b",): 1}
+
+    def test_no_key_encodes_one_shared_code(self):
+        rel = relation([(("a",), 0, 5), (("b",), 3, 9)])
+        frame = encode_relation(rel, ())
+        assert list(frame.codes) == [0, 0]
+
+    def test_encoding_is_cached_until_mutation(self):
+        rel = relation([(("a",), 0, 5)])
+        first = encode_relation(rel, ("cat",))
+        second = encode_relation(rel, ("cat",))
+        assert first.starts is second.starts and first.codes is second.codes
+        assert peek_endpoint_arrays(rel) is not None
+        rel.insert(("b",), Interval(9, 12))  # _after_mutation drops the caches
+        assert peek_endpoint_arrays(rel) is None
+        rebuilt = encode_relation(rel, ("cat",))
+        assert len(rebuilt) == 2
+
+    def test_remap_translates_into_reference_dictionary(self):
+        left = relation([(("a",), 0, 1), (("x",), 2, 3)])
+        right = relation([(("b",), 0, 1), (("a",), 2, 3)])
+        left_frame = encode_relation(left, ("cat",))
+        right_frame = encode_relation(right, ("cat",))
+        remapped = remap_codes(left_frame, right_frame)
+        # "a" is code 1 on the reference side; "x" matches nothing.
+        assert list(remapped) == [1, -1]
+
+    def test_remap_shared_dictionary_is_identity(self):
+        rel = relation([(("a",), 0, 1)])
+        frame = encode_relation(rel, ("cat",))
+        assert remap_codes(frame, frame) is frame.codes
+
+
+@pytest.mark.parametrize("use_numpy", BACKENDS)
+class TestKernels:
+    """Both backends against hand-checked examples (the paper's Fig. 9/11)."""
+
+    def test_align_paper_example(self, use_numpy):
+        # r1 = [1,7) meets s1 = [2,5) and s2 = [3,4): intersections [2,5),
+        # [3,4) plus gaps [1,2) and [5,7) — Fig. 11's group g1.
+        rows, starts, ends = align_pieces(
+            [1], [7], [0], [2, 3], [5, 4], [0, 0], use_numpy=use_numpy
+        )
+        assert list(zip(rows, starts, ends)) == [
+            (0, 1, 2), (0, 2, 5), (0, 3, 4), (0, 5, 7)
+        ]
+
+    def test_align_dangling_row_keeps_interval(self, use_numpy):
+        rows, starts, ends = align_pieces([8], [10], [0], [0], [5], [1], use_numpy=use_numpy)
+        assert list(zip(rows, starts, ends)) == [(0, 8, 10)]
+
+    def test_align_duplicate_intersections_deduplicate(self, use_numpy):
+        rows, starts, ends = align_pieces(
+            [1], [7], [0], [2, 2], [5, 5], [0, 0], use_numpy=use_numpy
+        )
+        assert list(zip(rows, starts, ends)) == [(0, 1, 2), (0, 2, 5), (0, 5, 7)]
+
+    def test_align_skips_empty_left_rows(self, use_numpy):
+        rows, starts, ends = align_pieces(
+            [4, 1], [4, 3], [0, 0], [0], [9], [0], use_numpy=use_numpy
+        )
+        assert list(zip(rows, starts, ends)) == [(1, 1, 3)]
+
+    def test_align_include_empty_reproduces_engine_degenerates(self, use_numpy):
+        # The engine's join admits an empty reference row whose point falls
+        # strictly inside the argument interval; the sweep then emits the
+        # degenerate intersection and splits the gap around it.
+        rows, starts, ends = align_pieces(
+            [1], [7], [0], [3], [3], [0], use_numpy=use_numpy, include_empty=True
+        )
+        assert list(zip(rows, starts, ends)) == [(0, 1, 3), (0, 3, 3), (0, 3, 7)]
+
+    def test_align_include_empty_passes_unmatched_degenerate_rows_through(self, use_numpy):
+        # Engine mode: a dangling outer-join row reaches the sweep with its
+        # bounds as GREATEST/LEAST-filled p1/p2, so an unmatched empty row
+        # is emitted unchanged; relation-level mode drops it (Def. 10 yields
+        # no pieces for an empty argument interval).
+        rows, starts, ends = align_pieces(
+            [5], [5], [0], [], [], [], use_numpy=use_numpy, include_empty=True
+        )
+        assert list(zip(rows, starts, ends)) == [(0, 5, 5)]
+        assert align_pieces(
+            [5], [5], [0], [], [], [], use_numpy=use_numpy, include_empty=False
+        ) == ([], [], [])
+
+    def test_overlap_pairs_respects_keys_and_touching_intervals(self, use_numpy):
+        li, ri = overlap_pairs(
+            [0, 0], [5, 5], [0, 1], [5, 3], [9, 4], [0, 0], use_numpy=use_numpy
+        )
+        # [0,5) touches [5,9) only at the boundary (no overlap) and key 1
+        # matches nothing; only ([0,5), [3,4)) overlaps.
+        assert sorted(zip(li, ri)) == [(0, 1)]
+
+    def test_normalize_splits_at_interior_points_only(self, use_numpy):
+        rows, starts, ends = normalize_pieces(
+            [1, 0], [7, 4], [0, 0], [3, 5, 1, 7, 0], [0, 0, 0, 0, 0],
+            use_numpy=use_numpy,
+        )
+        assert list(zip(rows, starts, ends)) == [
+            (0, 1, 3), (0, 3, 5), (0, 5, 7), (1, 0, 1), (1, 1, 3), (1, 3, 4)
+        ]
+
+    def test_normalize_from_intervals_skips_empty_references(self, use_numpy):
+        rows, starts, ends = normalize_pieces_from_intervals(
+            [0], [10], [0], [4, 6], [4, 9], [0, 0], use_numpy=use_numpy
+        )
+        # The empty reference [4,4) contributes no split point (Def. 9);
+        # [6,9) splits at 6 and 9.
+        assert list(zip(rows, starts, ends)) == [(0, 0, 6), (0, 6, 9), (0, 9, 10)]
+
+    def test_negative_codes_never_match(self, use_numpy):
+        rows, starts, ends = align_pieces(
+            [0], [9], [-1], [1], [5], [0], use_numpy=use_numpy
+        )
+        assert list(zip(rows, starts, ends)) == [(0, 0, 9)]
+        rows, starts, ends = normalize_pieces(
+            [0], [9], [0], [4], [-1], use_numpy=use_numpy
+        )
+        assert list(zip(rows, starts, ends)) == [(0, 0, 9)]
+
+    def test_empty_inputs(self, use_numpy):
+        assert align_pieces([], [], [], [], [], [], use_numpy=use_numpy) == ([], [], [])
+        assert normalize_pieces([], [], [], [], [], use_numpy=use_numpy) == ([], [], [])
+
+
+@pytest.mark.skipif(not numpy_available(), reason="NumPy not installed")
+class TestBackendParity:
+    """NumPy and pure-Python kernels emit identical pieces in the same order."""
+
+    def test_randomised_parity(self):
+        import random
+
+        rng = random.Random(99)
+        for _ in range(25):
+            n, m = rng.randrange(0, 30), rng.randrange(0, 30)
+            def column(count):
+                starts = [rng.randrange(0, 40) for _ in range(count)]
+                ends = [s + rng.randrange(0, 6) for s in starts]
+                codes = [rng.randrange(-1, 3) for _ in range(count)]
+                return starts, ends, codes
+            ls, le, lc = column(n)
+            rs, re, rc = column(m)
+            for include_empty in (False, True):
+                assert align_pieces(
+                    ls, le, lc, rs, re, rc, use_numpy=True, include_empty=include_empty
+                ) == align_pieces(
+                    ls, le, lc, rs, re, rc, use_numpy=False, include_empty=include_empty
+                )
+            points = rs + re
+            pcodes = rc + rc
+            assert normalize_pieces(
+                ls, le, lc, points, pcodes, use_numpy=True
+            ) == normalize_pieces(ls, le, lc, points, pcodes, use_numpy=False)

@@ -1,0 +1,154 @@
+"""Property test: every adjustment strategy is the same function.
+
+The load-bearing contract of the columnar layer (and of PR 2's parallelism
+before it) is strategy transparency: row sweep ≡ interval index ≡ partition
+parallel ≡ columnar (NumPy) ≡ columnar (pure-Python fallback), on every
+input.  Hypothesis drives the comparison over all three synthetic families
+plus an adversarial edge family with empty relations, empty intervals,
+point-adjacent intervals and duplicate endpoints — exactly the inputs where
+off-by-one bugs in ``searchsorted`` boundaries would hide.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Interval, Schema, TemporalRelation, predicates
+from repro.columnar.runtime import forced_python
+from repro.core.alignment import align_relation
+from repro.core.normalization import normalize
+from repro.workloads.synthetic import (
+    SyntheticConfig,
+    generate_disjoint,
+    generate_equal,
+    generate_random,
+)
+
+SETTINGS = settings(
+    max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+FAMILIES = {
+    "disjoint": generate_disjoint,
+    "equal": generate_equal,
+    "random": generate_random,
+}
+
+
+@st.composite
+def edge_relations(draw) -> Tuple[TemporalRelation, TemporalRelation]:
+    """Relations stressing kernel boundaries.
+
+    Intervals are drawn over a tiny point domain with lengths down to zero,
+    so the samples are dense with empty intervals, intervals meeting at a
+    point (``[a, b)`` next to ``[b, c)``) and exactly duplicated endpoints;
+    either relation may be empty.
+    """
+    schema = Schema(["cat", "min_dur", "max_dur"])
+
+    def relation() -> TemporalRelation:
+        rows: List[Tuple[str, int, int]] = draw(
+            st.lists(
+                st.tuples(
+                    st.sampled_from(["C0", "C1"]),
+                    st.integers(min_value=0, max_value=12),
+                    st.integers(min_value=0, max_value=3),
+                ),
+                max_size=12,
+            )
+        )
+        result = TemporalRelation(schema)
+        for category, start, length in rows:
+            result.insert((category, 1, 5), Interval(start, start + length))
+        return result
+
+    return relation(), relation()
+
+
+@st.composite
+def family_relations(draw) -> Tuple[TemporalRelation, TemporalRelation]:
+    family = draw(st.sampled_from(sorted(FAMILIES)))
+    size = draw(st.integers(min_value=0, max_value=40))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    config = SyntheticConfig(size=size, categories=5, seed=seed, time_span=200)
+    return FAMILIES[family](config=config)
+
+
+def relation_pairs():
+    return st.one_of(family_relations(), edge_relations())
+
+
+def _align_all_strategies(left, right, theta, equi):
+    results = {
+        "sweep": align_relation(left, right, theta, equi_attributes=equi, strategy="sweep"),
+        "index": align_relation(left, right, theta, equi_attributes=equi, strategy="index"),
+        "parallel": align_relation(
+            left, right, theta, equi_attributes=equi, strategy="parallel", workers=2
+        ),
+        "columnar": align_relation(
+            left, right, theta, equi_attributes=equi, strategy="columnar"
+        ),
+    }
+    with forced_python():
+        results["columnar-python"] = align_relation(
+            left, right, theta, equi_attributes=equi, strategy="columnar"
+        )
+    return results
+
+
+class TestAlignmentStrategyEquivalence:
+    @SETTINGS
+    @given(relation_pairs())
+    def test_equi_theta(self, pair):
+        left, right = pair
+        results = _align_all_strategies(left, right, None, ["cat"])
+        expected = results.pop("sweep")
+        for name, result in results.items():
+            assert result == expected, f"{name} diverges from the row sweep"
+
+    @SETTINGS
+    @given(relation_pairs())
+    def test_no_theta(self, pair):
+        left, right = pair
+        results = _align_all_strategies(left, right, None, None)
+        expected = results.pop("sweep")
+        for name, result in results.items():
+            assert result == expected, f"{name} diverges from the row sweep"
+
+    @SETTINGS
+    @given(relation_pairs())
+    def test_opaque_theta_falls_back_to_row_mode_per_group(self, pair):
+        left, right = pair
+        theta = predicates.attr_eq("cat")
+        expected = align_relation(left, right, theta, strategy="sweep")
+        columnar = align_relation(left, right, theta, strategy="columnar")
+        with forced_python():
+            fallback = align_relation(left, right, theta, strategy="columnar")
+        assert columnar == expected
+        assert fallback == expected
+
+
+class TestNormalizationStrategyEquivalence:
+    @SETTINGS
+    @given(relation_pairs(), st.sampled_from([(), ("cat",)]))
+    def test_all_strategies_agree(self, pair, attributes):
+        left, right = pair
+        expected = normalize(left, right, attributes, strategy="sweep")
+        parallel = normalize(left, right, attributes, strategy="parallel", workers=2)
+        columnar = normalize(left, right, attributes, strategy="columnar")
+        with forced_python():
+            fallback = normalize(left, right, attributes, strategy="columnar")
+        assert parallel == expected
+        assert columnar == expected
+        assert fallback == expected
+
+    @SETTINGS
+    @given(relation_pairs())
+    def test_self_normalization(self, pair):
+        left, _ = pair
+        expected = normalize(left, left, ("cat",), strategy="sweep")
+        columnar = normalize(left, left, ("cat",), strategy="columnar")
+        assert columnar == expected
