@@ -110,9 +110,14 @@ def _best_of(repeats: int, action: Callable[[], object]):
 
 
 def _timed_execution(database: Database, plan: LogicalPlan, settings: Settings, repeats: int):
-    """Plan, instrument, and run; returns (seconds, sorted rows, pulled, plan root)."""
+    """Plan, instrument, and run; returns (seconds, sorted rows, pulled, plan root).
+
+    The plan root is captured *after* the timed runs: executor nodes that
+    decide placement at runtime (``Exchange``) annotate themselves with what
+    actually happened (``executed=pool[n]``, ``ship=shm``), and the report
+    must show the executed transport, not the planned intent.
+    """
     physical = database.plan(plan, settings)
-    root_line = physical.explain().splitlines()[0]
     counter = CountingNode(physical)
 
     def run():
@@ -120,6 +125,7 @@ def _timed_execution(database: Database, plan: LogicalPlan, settings: Settings, 
         return list(counter)
 
     seconds, rows = _best_of(repeats, run)
+    root_line = physical.explain().splitlines()[0]
     return seconds, sorted(rows), counter.pulled, root_line
 
 
@@ -140,14 +146,19 @@ def _parallel_settings(workers: int) -> Settings:
     The comparison is strategy-vs-strategy (the Fig. 13 methodology): the
     cost gate is lifted so both executions run even at benchmark-scale
     inputs, and the report records which plan each side actually used.
-    Columnar kernels are disabled so the scenario isolates the partitioning
-    win (the combined plan is measured by ``columnar_adjustment``).
+    Columnar kernels and the shared-memory transport stay enabled — the
+    parallel side runs the plan the planner would really pick at scale
+    (``Exchange(..., kernel=columnar, ship=shm)``); pickled-row shipping is
+    a fallback, not the thing the speedup gate measures.
     """
     return Settings(
         parallel_workers=workers,
         parallel_setup_cost=0.0,
         parallel_min_rows=0.0,
-        enable_columnar=False,
+        parallel_pickle_cost=0.0,  # lift the transport gate too: adoption is
+        parallel_shm_cost=0.0,  # forced; the executor still picks the real ship
+        columnar_min_rows=0.0,
+        columnar_setup_cost=0.0,
     )
 
 
@@ -165,6 +176,46 @@ def _partition_columnar_settings(workers: int) -> Settings:
         columnar_min_rows=0.0,
         columnar_setup_cost=0.0,
     )
+
+
+#: The headline speedup bar of the parallel scenarios: serial row pipeline
+#: over partition-parallel execution, enforced on multi-core runners.
+PARALLEL_SPEEDUP_BAR = 2.0
+
+#: Inputs smaller than this never face the bar — at tiny sizes the pool
+#: start-up dominates and the measurement says nothing about the transport.
+PARALLEL_GATE_MIN_SIZE = 1000
+
+
+def parallel_speedup_gate(
+    speedup: float,
+    size: int,
+    cpu_count: "int | None" = None,
+    strict: "bool | None" = None,
+) -> str:
+    """Verdict of the parallel speedup gate for one scenario.
+
+    Returns ``"passed"``, ``"failed"``, or a ``"skipped(reason)"`` marker.
+    A parallel plan cannot beat serial execution on hardware with one core —
+    the pool's processes time-slice the same CPU — so single-core runners
+    record ``skipped(single-core)`` instead of a meaningless failure (the
+    committed report from such a machine documents exactly that).  The gate
+    also skips when ``REPRO_BENCH_STRICT=0`` (CI's low-scale smoke bench)
+    and below :data:`PARALLEL_GATE_MIN_SIZE`.  Callers treat ``"failed"``
+    as a hard :class:`BenchmarkError`; equality gates are *never* subject
+    to any of these skips.
+    """
+    if cpu_count is None:
+        cpu_count = os.cpu_count() or 1
+    if strict is None:
+        strict = os.environ.get("REPRO_BENCH_STRICT", "1") != "0"
+    if cpu_count < 2:
+        return "skipped(single-core)"
+    if not strict:
+        return "skipped(strict-off)"
+    if size < PARALLEL_GATE_MIN_SIZE:
+        return "skipped(small-input)"
+    return "passed" if speedup >= PARALLEL_SPEEDUP_BAR else "failed"
 
 
 def _adjustment_scenarios(
@@ -191,13 +242,16 @@ def _adjustment_scenarios(
             )
 
             identical = serial_rows == parallel_rows
+            speedup = serial_s / max(parallel_s, 1e-9)
+            gate = parallel_speedup_gate(speedup, size)
             scenario = {
                 "scenario": name,
                 "family": family,
                 "size": size,
                 "serial_seconds": round(serial_s, 6),
                 "parallel_seconds": round(parallel_s, 6),
-                "speedup": round(serial_s / max(parallel_s, 1e-9), 3),
+                "speedup": round(speedup, 3),
+                "gate": gate,
                 "rows_pulled": {"serial": serial_pulled, "parallel": parallel_pulled},
                 "output_tuples": len(serial_rows),
                 "identical": identical,
@@ -207,8 +261,8 @@ def _adjustment_scenarios(
             scenarios.append(scenario)
             print(
                 f"[{name}] {family} n={size}: serial={serial_s * 1e3:.1f}ms "
-                f"parallel={parallel_s * 1e3:.1f}ms out={len(serial_rows)} "
-                f"identical={identical}"
+                f"parallel={parallel_s * 1e3:.1f}ms ({speedup:.1f}x, gate={gate}) "
+                f"out={len(serial_rows)} identical={identical}"
             )
             if not identical:
                 raise BenchmarkError(
@@ -219,6 +273,12 @@ def _adjustment_scenarios(
                 raise BenchmarkError(
                     f"{name}/{family}/n={size}: parallel settings did not produce an "
                     f"Exchange plan (got {parallel_plan!r})"
+                )
+            if gate == "failed":
+                raise BenchmarkError(
+                    f"{name}/{family}/n={size}: parallel speedup {speedup:.2f}x below "
+                    f"the {PARALLEL_SPEEDUP_BAR}x bar on a multi-core runner "
+                    "(set REPRO_BENCH_STRICT=0 to report instead of assert)"
                 )
     return scenarios
 

@@ -89,6 +89,36 @@ def partition_indexes(keys: Sequence[Hashable], partition_count: int) -> List[in
     ]
 
 
+def code_partition_order(codes, partition_count: int):
+    """Partition rows by dictionary key code with one vectorized take.
+
+    The columnar layer already dictionary-encodes equality keys into dense
+    integer codes, so partitioning needs no per-row hashing at all:
+    ``code % partition_count`` is an exact equality-preserving split (equal
+    keys share a code, hence a partition), and the no-match code ``-1``
+    (null or unseen keys, which join nothing and can only contribute
+    dangling output) is routed to partition 0.
+
+    Returns ``(order, offsets, counts)``: ``order`` is a *stable* argsort of
+    the partition ids — taking an array through it groups rows by ascending
+    partition while preserving the incoming order within each partition —
+    and ``offsets[p] : offsets[p] + counts[p]`` slices partition ``p`` out
+    of the taken array.  Requires NumPy (the callers are the shared-memory
+    columnar paths, which are NumPy-gated anyway).
+    """
+    from repro.columnar.runtime import numpy_or_none
+
+    np = numpy_or_none()
+    if np is None:
+        raise RuntimeError("code_partition_order requires NumPy")
+    code_array = np.asarray(codes, dtype=np.int64)
+    ids = np.where(code_array >= 0, code_array % partition_count, 0)
+    order = np.argsort(ids, kind="stable")
+    counts = np.bincount(ids, minlength=partition_count)
+    offsets = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    return order, offsets, counts
+
+
 #: Fallback causes already reported this process — each distinct cause warns
 #: exactly once, so a tight loop of small maps cannot flood stderr.  Keyed on
 #: ``kind:ExceptionType``, not the message: pickling errors embed per-object

@@ -24,6 +24,17 @@ Two physical operators realise this:
   ``inprocess_threshold`` rows or when no pool can be created — and merges
   the partition outputs in partition order.
 
+For columnar tasks the planner can additionally select the **shared-memory
+transport** (``use_shm``): instead of hash-bucketing row objects and
+pickling them both ways, the exchange encodes both inputs once into
+``int64`` columnar frames, partitions them by dictionary key code with a
+vectorized take, and ships only segment names + offsets to the workers (see
+:mod:`repro.columnar.shm`).  Result rows are decoded at the merge boundary
+in the parent.  The pickled-row path below stays the runtime fallback —
+non-integer bounds, a disabled/absent shared-memory facility, or a missing
+NumPy silently revert to it — and post-run ``EXPLAIN`` names the transport
+that actually ran (``ship=shm|pickle``).
+
 Order insensitivity is a correctness obligation, not an optimisation detail:
 the parallel plan must yield a relation *identical* to the serial plan on
 every input.  Tests and the benchmark runner of :mod:`repro.bench` assert
@@ -213,6 +224,7 @@ class ExchangeNode(PhysicalNode):
         task: AdjustmentTask,
         workers: int,
         inprocess_threshold: int = 2048,
+        use_shm: bool = False,
     ):
         if left.partition_count != right.partition_count:
             raise PlanError(
@@ -226,13 +238,46 @@ class ExchangeNode(PhysicalNode):
         self.task = task
         self.workers = workers
         self.inprocess_threshold = inprocess_threshold
+        #: Ship partitions as shared-memory columnar frames instead of
+        #: pickled rows (set by the planner; requires ``task.use_columnar``).
+        #: The pickled-row path remains the runtime fallback for rows the
+        #: encoding cannot batch or hosts without shared memory.
+        self.use_shm = use_shm
         #: Where the last execution actually ran (``"pool[n]"``,
         #: ``"in-process"``, ``"in-process (fallback: …)"``); ``None`` before
         #: the first execution.  EXPLAIN after a run shows it, so a plan that
         #: silently degraded to serial execution is visible, not just slow.
         self.effective_mode: "str | None" = None
+        #: Transport of the last execution: ``"shm"`` when partitions were
+        #: shipped as shared-memory columnar frames, ``"pickle"`` when rows
+        #: were pickled to the workers.  ``None`` before the first execution.
+        self.effective_ship: "str | None" = None
+        #: Segment registry of the last shared-memory execution (``None``
+        #: otherwise).  Cleanup already ran by the time execution returns;
+        #: tests use ``shm_registry.handed_out`` to prove no segment leaked.
+        self.shm_registry = None
 
     def rows(self) -> Iterator[Row]:
+        if self.use_shm and self.task.use_columnar:
+            from repro.columnar.rows import ColumnarUnsupported
+            from repro.columnar.shm import ShmUnavailable, shm_adjustment
+
+            try:
+                output, self.effective_mode, self.shm_registry = shm_adjustment(
+                    self.task,
+                    list(self.left.child),
+                    list(self.right.child),
+                    workers=self.workers,
+                    partitions=self.left.partition_count,
+                    min_items=self.inprocess_threshold,
+                )
+            except (ShmUnavailable, ColumnarUnsupported):
+                pass  # fall through to the pickled-row transport
+            else:
+                self.effective_ship = "shm"
+                yield from output
+                return
+        self.effective_ship = "pickle"
         left_buckets = self.left.partitions()
         right_buckets = self.right.partitions()
         # Partitions without argument rows cannot produce output: the group
@@ -259,9 +304,10 @@ class ExchangeNode(PhysicalNode):
     def describe(self) -> str:
         kind = "align" if self.task.isalign else "normalize"
         executed = f", executed={self.effective_mode}" if self.effective_mode else ""
+        ship = f", ship={self.effective_ship}" if self.effective_ship else ""
         kernel = ", kernel=columnar" if self.task.use_columnar else ""
         return (
             f"Exchange({kind}, workers={self.workers}, "
             f"partitions={self.left.partition_count}, join={self.task.join_strategy}"
-            f"{kernel}{executed})"
+            f"{kernel}{ship}{executed})"
         )

@@ -674,8 +674,17 @@ class Planner:
         right_estimate = self._estimate(right)
         if left_estimate.rows + right_estimate.rows < settings.parallel_min_rows:
             return None
+        # Transport choice: columnar tasks ship partitions as shared-memory
+        # frames (near-zero per-row cost) when the facility is available;
+        # everything else pickles rows.  The estimate must reflect the
+        # transport that will actually run, or the gate would keep refusing
+        # parallel plans the hardware now wins (or adopting ones it loses).
+        from repro.columnar.shm import shm_available
+
+        use_shm = use_columnar and settings.enable_shm and shm_available()
+        ship = "shm" if use_shm else "pickle"
         parallel_estimate = cost.parallel_adjustment_cost(
-            settings, left_estimate, right_estimate, serial_estimate, workers
+            settings, left_estimate, right_estimate, serial_estimate, workers, ship=ship
         )
         if parallel_estimate.cost >= serial_estimate.cost:
             return None
@@ -697,9 +706,9 @@ class Planner:
         _, strategy = min(candidates, key=lambda item: item[0].cost)
 
         left_partition = PartitionNode(left, [i for i, _ in keys], partitions)
-        self._estimated(left_partition, cost.partition_cost(settings, left_estimate))
+        self._estimated(left_partition, cost.partition_cost(settings, left_estimate, ship=ship))
         right_partition = PartitionNode(right, [j for _, j in keys], partitions)
-        self._estimated(right_partition, cost.partition_cost(settings, right_estimate))
+        self._estimated(right_partition, cost.partition_cost(settings, right_estimate, ship=ship))
 
         task = AdjustmentTask(
             left_columns=tuple(left.columns),
@@ -723,6 +732,7 @@ class Planner:
             task,
             workers=workers,
             inprocess_threshold=int(settings.parallel_min_rows),
+            use_shm=use_shm,
         )
         return self._estimated(exchange, parallel_estimate)
 

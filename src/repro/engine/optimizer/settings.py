@@ -57,6 +57,22 @@ class Settings:
     #: Minimum combined input cardinality before a parallel plan is even
     #: considered; below it the executor also stays in-process at runtime.
     parallel_min_rows: float = 1000.0
+    #: Allow the shared-memory columnar transport for parallel plans: when a
+    #: parallel adjustment runs with columnar kernels, partitions ship as
+    #: zero-copy ``multiprocessing.shared_memory`` frames instead of pickled
+    #: rows (see :mod:`repro.columnar.shm`).  The executor still falls back
+    #: to pickled rows at runtime when shared memory or NumPy is missing;
+    #: ``REPRO_SHM=0`` forces the fallback without touching settings.
+    enable_shm: bool = True
+    #: Per-row transport cost of the pickled-row exchange: every row shipped
+    #: to a worker (and every result row shipped back) pays Python
+    #: serialisation.  This is what made the PR 2 parallel plans lose to
+    #: serial execution while the old cost model said they would win.
+    parallel_pickle_cost: float = 0.01
+    #: Per-row transport cost of the shared-memory columnar exchange —
+    #: near zero: rows travel as entries of already-encoded ``int64`` arrays
+    #: published once per side, workers attach without copying.
+    parallel_shm_cost: float = 0.0005
 
     #: Allow columnar batch execution of ALIGN/NORMALIZE: a
     #: ``ColumnarAdjustment`` node replacing the serial row pipeline, and

@@ -153,3 +153,65 @@ def test_durability_scenario_gates_and_report(tmp_path):
     with open(path, encoding="utf-8") as handle:
         payload = json.load(handle)
     assert payload["scenarios"][0]["scenario"] == "durability"
+
+
+class TestParallelSpeedupGate:
+    """Verdict table of :func:`runner.parallel_speedup_gate`.
+
+    The gate is the CI contract: hard ≥2x on multi-core strict runs, an
+    explicit skip marker everywhere the measurement would be meaningless —
+    never a silent pass and never a single-core failure.
+    """
+
+    def test_passes_at_or_above_the_bar(self):
+        assert runner.parallel_speedup_gate(2.0, 1000, cpu_count=4, strict=True) == "passed"
+        assert runner.parallel_speedup_gate(3.7, 2000, cpu_count=2, strict=True) == "passed"
+
+    def test_fails_below_the_bar_on_multicore_strict(self):
+        assert runner.parallel_speedup_gate(1.99, 1000, cpu_count=4, strict=True) == "failed"
+        assert runner.parallel_speedup_gate(0.5, 2000, cpu_count=8, strict=True) == "failed"
+
+    def test_single_core_skips_regardless_of_speedup(self):
+        verdict = runner.parallel_speedup_gate(0.1, 5000, cpu_count=1, strict=True)
+        assert verdict == "skipped(single-core)"
+        # Single-core wins first: even strict-off reports the hardware truth.
+        assert (
+            runner.parallel_speedup_gate(9.0, 5000, cpu_count=1, strict=False)
+            == "skipped(single-core)"
+        )
+
+    def test_strict_off_skips_on_multicore(self):
+        assert (
+            runner.parallel_speedup_gate(0.1, 5000, cpu_count=4, strict=False)
+            == "skipped(strict-off)"
+        )
+
+    def test_small_inputs_never_face_the_bar(self):
+        verdict = runner.parallel_speedup_gate(
+            0.1, runner.PARALLEL_GATE_MIN_SIZE - 1, cpu_count=4, strict=True
+        )
+        assert verdict == "skipped(small-input)"
+
+    def test_defaults_come_from_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_STRICT", "0")
+        monkeypatch.setattr(runner.os, "cpu_count", lambda: 4)
+        assert runner.parallel_speedup_gate(0.1, 5000) == "skipped(strict-off)"
+        monkeypatch.setenv("REPRO_BENCH_STRICT", "1")
+        assert runner.parallel_speedup_gate(5.0, 5000) == "passed"
+
+    def test_failed_gate_raises_in_the_scenario_loop(self, monkeypatch):
+        # End to end through _adjustment_scenarios: force every verdict to
+        # "failed" and the runner must raise instead of writing a report.
+        import pytest
+
+        monkeypatch.setattr(
+            runner, "parallel_speedup_gate", lambda *a, **k: "failed"
+        )
+        with pytest.raises(runner.BenchmarkError, match="below"):
+            runner.run_parallel_alignment(sizes=[40], workers=2, repeats=1)
+
+    def test_scenarios_record_the_gate_verdict(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_STRICT", "0")
+        scenarios = runner.run_parallel_alignment(sizes=[40], workers=2, repeats=1)
+        expected = runner.parallel_speedup_gate(1.0, 40)
+        assert all(scenario["gate"] == expected for scenario in scenarios)

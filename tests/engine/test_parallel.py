@@ -14,6 +14,7 @@ import pickle
 
 import pytest
 
+from repro.columnar.runtime import numpy_available
 from repro.core.parallel import partition_hash, stable_hash
 from repro.engine.database import Database
 from repro.engine.executor import (
@@ -41,9 +42,15 @@ FAMILIES = {
 }
 
 #: Settings that force the parallel plan to be considered and adopted for
-#: the small relations used in tests (no setup cost, no minimum size).
+#: the small relations used in tests (no setup cost, no minimum size, no
+#: transport cost — the executor still picks the real transport at runtime).
 PARALLEL = Settings(
-    parallel_workers=2, parallel_setup_cost=0.0, parallel_tuple_cost=0.0, parallel_min_rows=0.0
+    parallel_workers=2,
+    parallel_setup_cost=0.0,
+    parallel_tuple_cost=0.0,
+    parallel_min_rows=0.0,
+    parallel_pickle_cost=0.0,
+    parallel_shm_cost=0.0,
 )
 SERIAL = Settings(parallel_workers=0)
 
@@ -235,3 +242,80 @@ class TestEffectiveModeInExplain:
         assert rows == serial_rows  # the fallback never changes the relation
         assert "fallback" in physical.effective_mode
         assert "executed=in-process (fallback:" in physical.explain()
+
+
+class TestShipCostCrossover:
+    """The transport-aware cost model moves the Exchange adoption point.
+
+    PR 6 regression pins: with the shared-memory ship the per-row transport
+    cost all but vanishes, so under *default* gates (real setup cost, real
+    minimum size) the planner adopts Exchange at mid sizes where the
+    pickled-row model — every shipped row paying Python serialisation —
+    correctly keeps refusing.  Tiny inputs stay serial under both models.
+    """
+
+    CROSSOVER_SIZE = 1500  # shm adopts, pickle refuses (probed, then pinned)
+    TINY_SIZE = 100
+
+    @staticmethod
+    def _explain(size: int, **overrides) -> str:
+        database = _database("random", size=size)
+        return database.explain(_align(database), Settings(parallel_workers=2, **overrides))
+
+    def test_shm_model_adopts_exchange_at_mid_size(self):
+        if not numpy_available():
+            pytest.skip("shm transport requires NumPy")
+        explain = self._explain(self.CROSSOVER_SIZE)
+        assert "Exchange(align" in explain
+        assert "kernel=columnar" in explain
+
+    def test_pickle_model_still_refuses_at_mid_size(self):
+        explain = self._explain(self.CROSSOVER_SIZE, enable_shm=False)
+        assert "Exchange" not in explain
+
+    def test_shm_knob_off_plans_like_the_pickle_model(self, monkeypatch):
+        if not numpy_available():
+            pytest.skip("shm transport requires NumPy")
+        monkeypatch.setenv("REPRO_SHM", "0")
+        explain = self._explain(self.CROSSOVER_SIZE)
+        assert "Exchange" not in explain
+
+    def test_both_models_refuse_tiny_inputs(self):
+        assert "Exchange" not in self._explain(self.TINY_SIZE)
+        assert "Exchange" not in self._explain(self.TINY_SIZE, enable_shm=False)
+
+    def test_both_models_adopt_at_large_size(self):
+        # Past the point where halving the sweep work dominates even the
+        # pickle tax, the models agree again.
+        explain = self._explain(4000, enable_shm=False)
+        assert "Exchange(align" in explain
+
+
+class TestShmShipInExplain:
+    """Post-run EXPLAIN reports the transport that actually ran."""
+
+    def test_shm_ship_recorded_after_execution(self):
+        if not numpy_available():
+            pytest.skip("shm transport requires NumPy")
+        database = _database("random")
+        physical = database.plan(_align(database), PARALLEL)
+        assert isinstance(physical, ExchangeNode)
+        assert physical.use_shm
+        assert "ship=" not in physical.explain()  # undecided until run time
+        serial_rows = sorted(database.execute(_align(database), SERIAL).rows)
+        rows = sorted(physical.execute())
+        assert rows == serial_rows
+        assert physical.effective_ship == "shm"
+        assert "ship=shm" in physical.explain()
+
+    def test_pickle_ship_recorded_when_shm_unavailable(self, monkeypatch):
+        if not numpy_available():
+            pytest.skip("shm transport requires NumPy")
+        database = _database("random")
+        physical = database.plan(_align(database), PARALLEL)
+        assert isinstance(physical, ExchangeNode)
+        monkeypatch.setenv("REPRO_SHM", "0")  # flips under the planned node
+        serial_rows = sorted(database.execute(_align(database), SERIAL).rows)
+        assert sorted(physical.execute()) == serial_rows
+        assert physical.effective_ship == "pickle"
+        assert "ship=pickle" in physical.explain()

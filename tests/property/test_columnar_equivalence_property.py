@@ -11,6 +11,7 @@ off-by-one bugs in ``searchsorted`` boundaries would hide.
 
 from __future__ import annotations
 
+import os
 from typing import List, Tuple
 
 from hypothesis import HealthCheck, given, settings
@@ -20,6 +21,11 @@ from repro import Interval, Schema, TemporalRelation, predicates
 from repro.columnar.runtime import forced_python
 from repro.core.alignment import align_relation
 from repro.core.normalization import normalize
+from repro.engine.database import Database
+from repro.engine.executor import ExchangeNode
+from repro.engine.expressions import Column, Comparison
+from repro.engine.optimizer.settings import Settings as EngineSettings
+from repro.engine.temporal_plans import align_plan, normalize_plan, scan
 from repro.workloads.synthetic import (
     SyntheticConfig,
     generate_disjoint,
@@ -128,6 +134,90 @@ class TestAlignmentStrategyEquivalence:
         with forced_python():
             fallback = align_relation(left, right, theta, strategy="columnar")
         assert columnar == expected
+        assert fallback == expected
+
+
+class TestShmExchangeEquivalence:
+    """Engine-level: the shared-memory Exchange is the same function too.
+
+    PR 6's transport battery — for every generated input (all three
+    synthetic families plus the adversarial edge family) the partition-
+    parallel plan shipping shared-memory columnar frames must produce the
+    relation of the pinned serial row pipeline and of the serial columnar
+    batch, at every pool size, and under both forced fallbacks (NumPy
+    hidden → row transport; ``REPRO_SHM=0`` → pickled-row transport).
+    """
+
+    SERIAL_ROW = EngineSettings(parallel_workers=0, enable_columnar=False)
+    SERIAL_COLUMNAR = EngineSettings(
+        parallel_workers=0, columnar_min_rows=0.0, columnar_setup_cost=0.0
+    )
+
+    @staticmethod
+    def _parallel(workers: int) -> EngineSettings:
+        return EngineSettings(
+            parallel_workers=workers,
+            parallel_setup_cost=0.0,
+            parallel_tuple_cost=0.0,
+            parallel_min_rows=0.0,
+            columnar_min_rows=0.0,
+            columnar_setup_cost=0.0,
+        )
+
+    @staticmethod
+    def _engine_rows(pair, kind: str, engine_settings: EngineSettings):
+        left, right = pair
+        database = Database()
+        database.register_relation("l", left)
+        database.register_relation("r", right)
+        if kind == "align":
+            plan = align_plan(
+                scan(database, "l", "l"),
+                scan(database, "r", "r"),
+                Comparison("=", Column("l.cat"), Column("r.cat")),
+            )
+        else:
+            plan = normalize_plan(
+                scan(database, "l", "l"), scan(database, "r", "r"), using=["cat"]
+            )
+        physical = database.plan(plan, engine_settings)
+        if isinstance(physical, ExchangeNode):
+            # Keep hypothesis runs fork-free: the shm transport (segments,
+            # code partitioning, decode) is exercised in full either way,
+            # and pool placement has its own dedicated tests.
+            physical.inprocess_threshold = 10**9
+        return sorted(physical.execute())
+
+    @SETTINGS
+    @given(
+        relation_pairs(),
+        st.sampled_from([1, 2, 4]),
+        st.sampled_from(["align", "normalize"]),
+    )
+    def test_shm_parallel_matches_both_serial_pipelines(self, pair, workers, kind):
+        serial_row = self._engine_rows(pair, kind, self.SERIAL_ROW)
+        serial_columnar = self._engine_rows(pair, kind, self.SERIAL_COLUMNAR)
+        parallel = self._engine_rows(pair, kind, self._parallel(workers))
+        assert serial_columnar == serial_row
+        assert parallel == serial_row
+
+    @SETTINGS
+    @given(relation_pairs(), st.sampled_from(["align", "normalize"]))
+    def test_shm_disabled_fallback_matches(self, pair, kind):
+        expected = self._engine_rows(pair, kind, self.SERIAL_ROW)
+        os.environ["REPRO_SHM"] = "0"
+        try:
+            fallback = self._engine_rows(pair, kind, self._parallel(2))
+        finally:
+            os.environ.pop("REPRO_SHM", None)
+        assert fallback == expected
+
+    @SETTINGS
+    @given(relation_pairs(), st.sampled_from(["align", "normalize"]))
+    def test_no_numpy_fallback_matches(self, pair, kind):
+        expected = self._engine_rows(pair, kind, self.SERIAL_ROW)
+        with forced_python():
+            fallback = self._engine_rows(pair, kind, self._parallel(2))
         assert fallback == expected
 
 
