@@ -746,6 +746,205 @@ def _register_twin(database: Database, left, right) -> Database:
     return database
 
 
+#: Client counts of the concurrency scenario (the CI sweep: light and heavy).
+CONCURRENCY_CLIENTS = (2, 8)
+
+#: Key space of the concurrency workload — deliberately small, so concurrent
+#: transactions actually collide and the retry/conflict machinery is exercised.
+CONCURRENCY_KEYS = 8
+
+
+def _transaction_statements(rng) -> List[str]:
+    """One transaction's write statements (deterministic given the RNG state).
+
+    Mixed sequenced DML over a small key space; every statement is
+    self-contained (no reads feeding writes), so replaying the statement
+    list serially reproduces the transaction exactly — the property the
+    serializable-equivalence gate relies on.
+    """
+    statements = []
+    for _ in range(1 + rng.randrange(3)):
+        key = f"k{rng.randrange(CONCURRENCY_KEYS)}"
+        start = rng.randrange(100)
+        end = start + 1 + rng.randrange(20)
+        kind = rng.randrange(3)
+        if kind == 0:
+            statements.append(
+                f"INSERT INTO t (k, v) VALUES ('{key}', {rng.randrange(1000)}) "
+                f"VALID PERIOD [{start}, {end})"
+            )
+        elif kind == 1:
+            statements.append(
+                f"UPDATE t SET v = {rng.randrange(1000)} WHERE t.k = '{key}' "
+                f"FOR PERIOD [{start}, {end})"
+            )
+        else:
+            statements.append(
+                f"DELETE FROM t WHERE t.k = '{key}' FOR PERIOD [{start}, {end})"
+            )
+    return statements
+
+
+def run_concurrency(
+    sizes: Optional[Sequence[int]] = None, workers: int = 2, repeats: int = 2
+) -> List[dict]:
+    """Throughput/latency of N socket clients vs a serializable-equivalence gate.
+
+    For each client count in :data:`CONCURRENCY_CLIENTS` an asyncio server is
+    booted in-process over a fresh database, and N real socket clients (one
+    thread each) run seeded transactions of mixed sequenced DML — ``BEGIN``,
+    a read, 1–3 writes over a deliberately small key space, ``COMMIT`` — with
+    the standard snapshot-isolation retry loop around first-committer-wins
+    conflicts.
+
+    The **hard** gate (never relaxed, not even by ``REPRO_BENCH_STRICT=0``):
+    after all clients finish, the final relation state must equal replaying
+    every committed transaction's statements serially in commit-epoch order
+    on a fresh twin database.  Concurrent execution under MVCC must be
+    indistinguishable from *that* serial order — the Hellerstein framing:
+    equivalence to a serial order, not to one fixed answer.  Timings
+    (throughput, latency percentiles, conflict counts) are always reported,
+    never asserted.
+
+    ``workers`` and ``repeats`` are unused (the load is the client threads)
+    but kept so all native scenarios share the runner's calling convention.
+    """
+    import random as random_module
+    import threading
+
+    from repro.client import Client, ConflictError
+    from repro.relation.relation import TemporalRelation
+    from repro.relation.schema import Schema
+    from repro.server import serve_in_thread
+    from repro.sql.interface import Connection
+
+    del workers, repeats
+    client_counts = [n for n in (sizes or CONCURRENCY_CLIENTS) if n > 0]
+    transactions_per_client = max(4, int(30 * SCALE))
+    scenarios: List[dict] = []
+
+    for clients in client_counts:
+        seed_rows = [
+            ((f"k{i % CONCURRENCY_KEYS}", i), Interval(10 * i, 10 * i + 50))
+            for i in range(CONCURRENCY_KEYS * 2)
+        ]
+        database = Database()
+        relation = TemporalRelation(Schema(["k", "v"]))
+        for values, interval in seed_rows:
+            relation.insert(values, interval)
+        database.register_relation("t", relation)
+
+        committed: List[tuple] = []  # (epoch, statements) of every commit
+        conflicts = [0]
+        latencies: List[float] = []
+        errors: List[BaseException] = []
+        lock = threading.Lock()
+
+        def run_client(client_index: int, port: int) -> None:
+            rng = random_module.Random(1000 + client_index)
+            try:
+                with Client(port=port) as client:
+                    for _ in range(transactions_per_client):
+                        statements = _transaction_statements(rng)
+                        while True:
+                            started = time.perf_counter()
+                            try:
+                                client.execute("BEGIN")
+                                client.execute("SELECT k FROM t")  # a read in every txn
+                                for statement in statements:
+                                    client.execute(statement)
+                                epoch = client.execute("COMMIT").rows[0][1]
+                            except ConflictError:
+                                with lock:
+                                    conflicts[0] += 1
+                                continue
+                            elapsed = time.perf_counter() - started
+                            with lock:
+                                latencies.append(elapsed)
+                                committed.append((epoch, statements))
+                            break
+            except BaseException as error:  # noqa: BLE001 - reported as gate failure
+                with lock:
+                    errors.append(error)
+
+        with serve_in_thread(database) as handle:
+            threads = [
+                threading.Thread(target=run_client, args=(i, handle.port))
+                for i in range(clients)
+            ]
+            wall_started = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            wall_seconds = time.perf_counter() - wall_started
+
+        if errors:
+            raise BenchmarkError(
+                f"concurrency/clients={clients}: {len(errors)} client(s) failed: "
+                f"{errors[0]!r}"
+            )
+        expected_commits = clients * transactions_per_client
+        if len(committed) != expected_commits:
+            raise BenchmarkError(
+                f"concurrency/clients={clients}: {len(committed)} commits recorded, "
+                f"expected {expected_commits}"
+            )
+        epochs = [epoch for epoch, _ in committed]
+        if len(set(epochs)) != len(epochs):
+            raise BenchmarkError(
+                f"concurrency/clients={clients}: duplicate commit epochs — commit "
+                "order is not total"
+            )
+
+        # The serializable-equivalence gate: replay every committed
+        # transaction's statements serially in commit-epoch order on a twin.
+        twin = Database()
+        twin_relation = TemporalRelation(Schema(["k", "v"]))
+        for values, interval in seed_rows:
+            twin_relation.insert(values, interval)
+        twin.register_relation("t", twin_relation)
+        replay = Connection(twin)
+        for _epoch, statements in sorted(committed, key=lambda entry: entry[0]):
+            for statement in statements:
+                replay.execute(statement)
+        final_state = database.get_relation("t").as_set()
+        replayed_state = twin.get_relation("t").as_set()
+        identical = final_state == replayed_state
+        if not identical:
+            raise BenchmarkError(
+                f"concurrency/clients={clients}: final state ({len(final_state)} "
+                f"tuples) differs from commit-order serial replay "
+                f"({len(replayed_state)} tuples) — snapshot isolation broke "
+                "serializable equivalence"
+            )
+
+        latencies.sort()
+        p95 = latencies[min(len(latencies) - 1, int(len(latencies) * 0.95))]
+        scenario = {
+            "scenario": "concurrency",
+            "clients": clients,
+            "transactions_per_client": transactions_per_client,
+            "committed": len(committed),
+            "conflicts": conflicts[0],
+            "wall_seconds": round(wall_seconds, 6),
+            "throughput_txn_per_s": round(len(committed) / max(wall_seconds, 1e-9), 1),
+            "latency_mean_ms": round(sum(latencies) / len(latencies) * 1e3, 3),
+            "latency_p95_ms": round(p95 * 1e3, 3),
+            "final_tuples": len(final_state),
+            "identical": identical,
+        }
+        scenarios.append(scenario)
+        print(
+            f"[concurrency] clients={clients}: {len(committed)} txns in "
+            f"{wall_seconds * 1e3:.1f}ms "
+            f"({scenario['throughput_txn_per_s']:.0f} txn/s, "
+            f"p95={scenario['latency_p95_ms']:.1f}ms, {conflicts[0]} conflicts) "
+            f"identical={identical}"
+        )
+    return scenarios
+
+
 def run_legacy_suite(path: str) -> dict:
     """Wrap one pytest figure harness, recording wall-clock and outcome.
 
@@ -798,6 +997,7 @@ def write_report(name: str, scenarios: List[dict], output_dir: str, workers: int
 
 NATIVE_SCENARIOS = {
     "columnar_adjustment": run_columnar_adjustment,
+    "concurrency": run_concurrency,
     "durability": run_durability,
     "parallel_alignment": run_parallel_alignment,
     "parallel_normalization": run_parallel_normalization,

@@ -1,0 +1,146 @@
+"""Synchronous line-protocol client for the network front end.
+
+>>> from repro.client import Client          # doctest: +SKIP
+>>> with Client("127.0.0.1", 7654) as c:     # doctest: +SKIP
+...     c.execute("BEGIN")
+...     c.execute("INSERT INTO emp (name) VALUES ('Ann') VALID PERIOD [0, 9)")
+...     c.execute("COMMIT")
+
+Each :meth:`Client.execute` sends one request line and blocks for its
+response.  Server-side failures raise :class:`ServerError`; the
+``"conflict"`` kind raises the :class:`ConflictError` subclass — the one
+*retryable* failure: the server-side transaction is already gone, so the
+caller replays the whole transaction from ``BEGIN`` (see
+:meth:`Client.run_transaction`, which does exactly that).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Callable, List, Optional, Sequence
+
+
+class ServerError(RuntimeError):
+    """A request failed server-side; ``kind`` classifies it (see protocol)."""
+
+    def __init__(self, kind: str, message: str):
+        super().__init__(message)
+        self.kind = kind
+
+
+class ConflictError(ServerError):
+    """First-committer-wins abort — retry the whole transaction."""
+
+
+class Result:
+    """One statement's result: ``columns`` and ``rows`` (lists of values)."""
+
+    def __init__(self, columns: Sequence[str], rows: List[List[Any]]):
+        self.columns = tuple(columns)
+        self.rows = rows
+
+    def scalar(self) -> Any:
+        """The single value of a one-row result (e.g. a status column)."""
+        return self.rows[0][0]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Result({self.columns!r}, {len(self.rows)} rows)"
+
+
+class Client:
+    """A blocking connection to a :class:`~repro.server.DatabaseServer`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7654, timeout: float = 30.0):
+        self._socket = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._socket.makefile("rb")
+        self._next_id = 1
+
+    def execute(self, sql: str) -> Result:
+        """Run one statement; returns its result or raises :class:`ServerError`."""
+        request_id = self._next_id
+        self._next_id += 1
+        payload = json.dumps({"id": request_id, "sql": sql}) + "\n"
+        self._socket.sendall(payload.encode("utf-8"))
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = json.loads(line.decode("utf-8"))
+        if response.get("id") != request_id:
+            raise ConnectionError(
+                f"out-of-order response (sent {request_id}, got {response.get('id')})"
+            )
+        if not response.get("ok"):
+            kind = response.get("kind", "internal")
+            error_type = ConflictError if kind == "conflict" else ServerError
+            raise error_type(kind, response.get("error", "unknown server error"))
+        return Result(response["columns"], response["rows"])
+
+    def run_transaction(
+        self,
+        statements_or_fn,
+        max_attempts: int = 10,
+    ) -> Optional[int]:
+        """Run a transaction with conflict retry; returns its commit epoch.
+
+        ``statements_or_fn`` is either a list of SQL statements or a callable
+        receiving this client (for read-dependent logic).  On
+        :class:`ConflictError` the whole transaction is replayed from
+        ``BEGIN`` — the snapshot-isolation retry loop every client needs.
+        """
+        fn: Callable[["Client"], None]
+        if callable(statements_or_fn):
+            fn = statements_or_fn
+        else:
+            statements = list(statements_or_fn)
+
+            def fn(client: "Client") -> None:
+                for statement in statements:
+                    client.execute(statement)
+
+        last: Optional[ConflictError] = None
+        for _attempt in range(max_attempts):
+            self.execute("BEGIN")
+            try:
+                fn(self)
+                commit = self.execute("COMMIT")
+            except ConflictError as error:
+                last = error  # the txn is gone server-side; just retry
+                continue
+            except BaseException:
+                self._try_rollback()
+                raise
+            return commit.rows[0][1]  # the commit epoch (status "target")
+        raise ConflictError(
+            "conflict",
+            f"transaction still conflicting after {max_attempts} attempts: {last}",
+        )
+
+    def _try_rollback(self) -> None:
+        try:
+            self.execute("ROLLBACK")
+        except (ServerError, ConnectionError, OSError):
+            pass  # session state is unknown mid-failure; the server cleans up
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._socket.close()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def connect(host: str = "127.0.0.1", port: int = 7654, timeout: float = 30.0) -> Client:
+    """Convenience alias: ``repro.client.connect(...)``."""
+    return Client(host, port, timeout=timeout)

@@ -33,6 +33,7 @@ class Database:
     """
 
     def __init__(self, settings: Optional[Settings] = None):
+        from repro.engine.transactions import TransactionManager
         from repro.views.catalog import ViewCatalog
 
         self.settings = settings if settings is not None else Settings()
@@ -47,6 +48,9 @@ class Database:
         #: Materialized views (incremental and recompute kinds).
         self.views = ViewCatalog(self)
         self.statistics = StatisticsCatalog()
+        #: Snapshot-isolation transactions (``None`` only on the read facade
+        #: a transaction hands the planner — see SnapshotDatabase).
+        self.transactions = TransactionManager(self)
         self._stale_tables: set = set()
         self._relation_listeners: Dict[str, tuple] = {}
 
@@ -96,14 +100,34 @@ class Database:
     def close(self) -> None:
         """Checkpoint (when durable) and release the storage files.
 
+        Idempotent.  Open transactions are aborted first — their writes are
+        deferred workspaces, so nothing uncommitted can reach the final
+        checkpoint — which is what makes a mid-transaction server shutdown
+        safe: the flock'd LOCK is released deterministically and the engine
+        is not poisoned.
+
         The storage engine is detached only after its close succeeds: if the
         final checkpoint fails (e.g. disk full), the engine — and its
         directory lock — stay attached so the caller can free space and
         retry ``close()`` instead of silently leaking the lock.
         """
+        if self.transactions is not None:
+            self.transactions.abort_active()
         if self.storage is not None:
             self.storage.close()
             self.storage = None
+
+    # -- sessions --------------------------------------------------------------------
+
+    def session(self):
+        """A new :class:`~repro.engine.session.Session` (transactional SQL).
+
+        Each network connection gets one; embedded callers that want
+        ``BEGIN``/``COMMIT``/``ROLLBACK`` use it directly.
+        """
+        from repro.engine.session import Session
+
+        return Session(self)
 
     # -- catalog ---------------------------------------------------------------------
 
@@ -135,6 +159,7 @@ class Database:
         listener = self._listener_for(name)
         self._relation_listeners[name] = (relation, listener)
         relation.add_mutation_listener(listener)
+        self.transactions.track_relation(name, relation)
         if self.storage is not None:
             # Logs the registration (schema + current contents) and installs
             # the WAL listener so subsequent mutations are written ahead.
@@ -190,6 +215,7 @@ class Database:
         if registered is not None:
             relation, listener = registered
             relation.remove_mutation_listener(listener)
+        self.transactions.untrack_relation(name)
         self._stale_tables.discard(name)
         self.statistics.invalidate(name)
         self.views.drop_dependents(name)

@@ -1,0 +1,172 @@
+"""Per-caller sessions: the transactional SQL surface of one database.
+
+A :class:`Session` is what a network connection (or an embedded caller that
+wants transactions) talks to.  Outside a transaction it behaves exactly like
+:class:`~repro.sql.interface.Connection` — every statement auto-commits.
+``BEGIN`` opens a snapshot-isolation transaction
+(:mod:`repro.engine.transactions`); from then on:
+
+* ``SELECT`` runs the ordinary analyze→plan→execute pipeline, but against
+  the transaction's snapshot facade — the planner and executor see the
+  begin-epoch state overlaid with the session's own uncommitted writes;
+* DML compiles through the same :mod:`repro.sql.dml` helpers as auto-commit
+  statements and applies to the transaction's deferred workspace;
+* DDL (views, ``CHECKPOINT``) is rejected — those are auto-commit objects;
+* ``COMMIT`` validates first-committer-wins and applies atomically,
+  returning the commit epoch in the status table's ``target`` column (the
+  serial position clients replay by); ``ROLLBACK`` discards everything.
+
+A conflict abort ends the transaction: the failed ``COMMIT`` raises
+:class:`~repro.engine.transactions.TransactionConflictError` *and* leaves
+the session idle, so the client retries with a fresh ``BEGIN`` (a subsequent
+``ROLLBACK`` is an error — there is nothing left to roll back).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.database import Database
+from repro.engine.optimizer.settings import Settings
+from repro.engine.table import Table
+from repro.engine.transactions import Transaction, TransactionError
+from repro.sql import ast
+from repro.sql.parser import parse
+
+
+def _status(operation: str, target, rows: int) -> Table:
+    return Table("result", ("operation", "target", "rows"), [(operation, target, rows)])
+
+
+class Session:
+    """One caller's stateful view of a database (see the module docstring)."""
+
+    def __init__(self, database: Database):
+        self.database = database
+        self.transaction: Optional[Transaction] = None
+        self.closed = False
+
+    @property
+    def in_transaction(self) -> bool:
+        return self.transaction is not None
+
+    # -- statement execution ---------------------------------------------------
+
+    def execute(self, sql_text: str, settings: Optional[Settings] = None) -> Table:
+        """Run one SQL statement under this session's transaction state."""
+        if self.closed:
+            raise TransactionError("session is closed")
+        return self.execute_statement(parse(sql_text), settings)
+
+    def execute_statement(
+        self, statement: ast.Statement, settings: Optional[Settings] = None
+    ) -> Table:
+        if isinstance(statement, ast.BeginStatement):
+            return self._begin()
+        if isinstance(statement, ast.CommitStatement):
+            return self._commit()
+        if isinstance(statement, ast.RollbackStatement):
+            return self._rollback()
+        if self.transaction is None:
+            return self._execute_autocommit(statement, settings)
+        return self._execute_transactional(statement, settings)
+
+    # -- transaction control ---------------------------------------------------
+
+    def _begin(self) -> Table:
+        if self.transaction is not None:
+            raise TransactionError(
+                f"transaction {self.transaction.id} is already open; COMMIT or "
+                "ROLLBACK it before BEGIN (transactions do not nest)"
+            )
+        self.transaction = self.database.transactions.begin()
+        return _status("BEGIN", self.transaction.id, 0)
+
+    def _commit(self) -> Table:
+        if self.transaction is None:
+            raise TransactionError("COMMIT outside a transaction; BEGIN first")
+        transaction, self.transaction = self.transaction, None
+        # A conflict propagates to the caller, but the transaction is gone
+        # either way: the session is idle again, ready for a retry BEGIN.
+        epoch = transaction.commit()
+        return _status("COMMIT", epoch, 0)
+
+    def _rollback(self) -> Table:
+        if self.transaction is None:
+            raise TransactionError(
+                "ROLLBACK outside a transaction (a conflict abort already "
+                "ended it); BEGIN first"
+            )
+        transaction, self.transaction = self.transaction, None
+        transaction.rollback()
+        return _status("ROLLBACK", transaction.id, 0)
+
+    # -- statement paths -------------------------------------------------------
+
+    def _execute_autocommit(
+        self, statement: ast.Statement, settings: Optional[Settings]
+    ) -> Table:
+        from repro.sql.analyzer import Analyzer
+        from repro.sql.dml import execute_statement
+
+        if isinstance(statement, ast.SelectStatement):
+            plan = Analyzer(self.database).analyze(statement)
+            return self.database.execute(plan, settings)
+        return execute_statement(self.database, statement)
+
+    def _execute_transactional(
+        self, statement: ast.Statement, settings: Optional[Settings]
+    ) -> Table:
+        from repro.sql.analyzer import Analyzer
+        from repro.sql.dml import compile_delete, compile_insert, compile_update
+
+        transaction = self.transaction
+        assert transaction is not None
+        if isinstance(statement, ast.SelectStatement):
+            facade = transaction.snapshot_database().database
+            plan = Analyzer(facade).analyze(statement)
+            return facade.execute(plan, settings)
+        # DML: compile against the committed schema (schemas are not
+        # transactional), apply to the deferred workspace.
+        if isinstance(statement, ast.InsertStatement):
+            relation = self.database.get_relation(statement.table)
+            rows = compile_insert(relation, statement)
+            count = transaction.insert_rows(statement.table, rows)
+            return _status("INSERT", statement.table, count)
+        if isinstance(statement, ast.UpdateStatement):
+            relation = self.database.get_relation(statement.table)
+            assignments, predicate, period = compile_update(relation, statement)
+            touched = transaction.update_rows(
+                statement.table, assignments, predicate=predicate, period=period
+            )
+            return _status("UPDATE", statement.table, touched)
+        if isinstance(statement, ast.DeleteStatement):
+            relation = self.database.get_relation(statement.table)
+            predicate, period = compile_delete(relation, statement)
+            touched = transaction.delete_rows(
+                statement.table, predicate=predicate, period=period
+            )
+            return _status("DELETE", statement.table, touched)
+        raise TransactionError(
+            f"{type(statement).__name__} is not allowed inside a transaction "
+            "(views and checkpoints are auto-commit objects); COMMIT or "
+            "ROLLBACK first"
+        )
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """End the session, rolling back any open transaction.  Idempotent —
+        the disconnect path of the network server."""
+        if self.closed:
+            return
+        self.closed = True
+        transaction, self.transaction = self.transaction, None
+        if transaction is not None and transaction.status == "active":
+            transaction.rollback()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -1,0 +1,95 @@
+"""Multi-version visibility metadata for snapshot-isolation transactions.
+
+A :class:`VersionStore` is the MVCC sidecar of one registered
+:class:`~repro.relation.relation.TemporalRelation`: it stamps every physical
+tuple (identified by its stable rowid) with the commit epoch that created it
+and, once removed, the commit epoch that deleted it.  The relation itself
+keeps only the *live* tuple set — removed versions are retained here, so a
+reader whose snapshot predates a deletion still sees the old version:
+
+* a live rowid is visible at snapshot epoch ``s`` iff ``created <= s``;
+* a dead version is visible iff ``created <= s < deleted``.
+
+Epochs are assigned by the
+:class:`~repro.engine.transactions.TransactionManager` — one per committed
+transaction and one per auto-commit statement — and stamped through the
+relation's ordinary mutation listeners, so the store never observes a delta
+the change log (and therefore the WAL) did not.
+
+Dead versions are garbage once no active transaction's snapshot can reach
+them; :meth:`collect` drops everything below the oldest active begin epoch,
+which the transaction manager calls whenever a transaction finishes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.relation.changelog import Delta
+from repro.relation.tuple import TemporalTuple
+
+
+class VersionStore:
+    """Created/deleted epoch stamps plus retained dead versions of one relation."""
+
+    def __init__(self) -> None:
+        #: Rowid -> commit epoch that created it.  Absent rowids were part of
+        #: the relation before the first stamped mutation (epoch 0): the
+        #: pre-MVCC baseline every snapshot sees.
+        self.created: Dict[int, int] = {}
+        #: Removed versions: ``(rowid, tuple, created_epoch, deleted_epoch)``
+        #: in deletion order (deleted epochs are monotonic).
+        self.dead: List[Tuple[int, TemporalTuple, int, int]] = []
+
+    def created_at(self, rowid: int) -> int:
+        """Commit epoch that created a live rowid (0 for the baseline)."""
+        return self.created.get(rowid, 0)
+
+    def stamp(self, deltas: Iterable[Delta], epoch: int) -> None:
+        """Record one committed mutation batch at ``epoch``.
+
+        ``+`` deltas mark their rowid as created at ``epoch``; ``-`` deltas
+        move the rowid's version into the dead list with ``deleted_epoch =
+        epoch``.  A version created and deleted by the same epoch (a
+        transaction deleting its own insert never reaches here, but a
+        same-statement split does: the ``-``/``+`` pair of a sequenced
+        update) is retained — it is invisible to every snapshot
+        (``created <= s < deleted`` cannot hold with ``created == deleted``)
+        and collected with its cohort.
+        """
+        for delta in deltas:
+            if delta.sign == "+":
+                self.created[delta.rowid] = epoch
+            else:
+                created = self.created.pop(delta.rowid, 0)
+                self.dead.append((delta.rowid, delta.tuple, created, epoch))
+
+    def dead_visible(self, snapshot_epoch: int) -> List[Tuple[int, TemporalTuple]]:
+        """Dead versions a snapshot at ``snapshot_epoch`` still sees."""
+        return [
+            (rowid, t)
+            for rowid, t, created, deleted in self.dead
+            if created <= snapshot_epoch < deleted
+        ]
+
+    def collect(self, horizon: int) -> int:
+        """Drop dead versions unreachable from snapshots newer than ``horizon``.
+
+        A dead version is unreachable once every active (and future) snapshot
+        epoch is ``>= deleted_epoch``: the visibility window ``created <= s <
+        deleted`` is then empty.  Returns how many versions were dropped.
+        Creation stamps ``<= horizon`` collapse to the implicit baseline for
+        the same reason (``created <= s`` always holds for the surviving
+        snapshots), keeping both structures bounded by the active history.
+        """
+        kept = [entry for entry in self.dead if entry[3] > horizon]
+        dropped = len(self.dead) - len(kept)
+        self.dead = kept
+        if self.created:
+            self.created = {
+                rowid: epoch for rowid, epoch in self.created.items() if epoch > horizon
+            }
+        return dropped
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"VersionStore({len(self.created)} stamped, {len(self.dead)} dead)"

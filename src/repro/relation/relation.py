@@ -37,6 +37,48 @@ from repro.temporal.interval import Interval
 MutationListener = Callable[["TemporalRelation", List[Delta]], None]
 
 
+def apply_assignments(
+    t: TemporalTuple, assignments: Mapping[str, Any], schema: Schema
+) -> TemporalTuple:
+    """Rewrite a tuple's values under ``UPDATE`` assignments.
+
+    A value may be a callable receiving the original tuple
+    (``lambda t: t["a"] + 10``); the timestamp is untouched.
+    """
+    values = list(t.values)
+    for name, value in assignments.items():
+        values[schema.index_of(name)] = value(t) if callable(value) else value
+    return TemporalTuple(schema, tuple(values), t.interval)
+
+
+def sequenced_fragments(
+    t: TemporalTuple,
+    period: Optional[Interval],
+    assignments: Optional[Mapping[str, Any]],
+    schema: Schema,
+) -> List[TemporalTuple]:
+    """Surviving fragments of one tuple under a sequenced mutation.
+
+    ``assignments is None`` encodes a delete.  Shared by the in-place
+    mutation path (:meth:`TemporalRelation._mutate`) and the deferred
+    transaction workspaces of :mod:`repro.engine.transactions`, so both
+    produce identical fragments for identical statements.
+    """
+    if assignments is None:  # delete
+        if period is None:
+            return []
+        return [t.with_interval(piece) for piece in t.interval.minus(period)]
+    updated = apply_assignments(t, assignments, schema)
+    if period is None:
+        return [updated]
+    fragments: List[TemporalTuple] = []
+    # Split at the period boundaries — the normalization split machinery.
+    for piece in t.interval.split_at((period.start, period.end)):
+        source = updated if piece.is_contained_in(period) else t
+        fragments.append(source.with_interval(piece))
+    return fragments
+
+
 class TemporalRelation:
     """A finite collection of :class:`TemporalTuple` over one schema.
 
@@ -434,27 +476,96 @@ class TemporalRelation:
         assignments: Optional[Dict[str, Any]],
     ) -> List[TemporalTuple]:
         """Surviving fragments of one affected tuple under a sequenced mutation."""
-        if assignments is None:  # delete
-            if period is None:
-                return []
-            return [t.with_interval(piece) for piece in t.interval.minus(period)]
-        updated = self._apply_assignments(t, assignments)
-        if period is None:
-            return [updated]
-        fragments: List[TemporalTuple] = []
-        # Split at the period boundaries — the normalization split machinery.
-        for piece in t.interval.split_at((period.start, period.end)):
-            source = updated if piece.is_contained_in(period) else t
-            fragments.append(source.with_interval(piece))
-        return fragments
+        return sequenced_fragments(t, period, assignments, self.schema)
 
-    def _apply_assignments(
-        self, t: TemporalTuple, assignments: Dict[str, Any]
-    ) -> TemporalTuple:
-        values = list(t.values)
-        for name, value in assignments.items():
-            values[self.schema.index_of(name)] = value(t) if callable(value) else value
-        return TemporalTuple(self.schema, tuple(values), t.interval)
+    # -- transactional effects ------------------------------------------------
+
+    def apply_effects(
+        self,
+        removals: Sequence[Tuple[int, Sequence[TemporalTuple]]],
+        inserts: Sequence[TemporalTuple],
+    ) -> List[Delta]:
+        """Apply a transaction's precomputed effects as one mutation batch.
+
+        ``removals`` pairs each removed *live* rowid with the fragments that
+        replace it (empty for a plain delete); ``inserts`` are appended new
+        tuples.  Fragments take the physical position of the tuple they
+        replace and fresh rowids are assigned in storage order — exactly the
+        layout :meth:`_mutate` would have produced had the statement run
+        in place — so commit-order WAL replay of a transactional batch
+        rebuilds the identical relation.  Deltas are interleaved per removed
+        tuple (``-`` then its ``+`` fragments) like every other mutation
+        path, and listeners fire once for the whole batch: a committed
+        transaction is a single change-log/WAL unit per relation.
+        """
+        if not removals and not inserts:
+            return []
+        replacements: Dict[int, Sequence[TemporalTuple]] = {}
+        for rowid, fragments in removals:
+            if rowid in replacements:
+                raise SchemaError(f"duplicate rowid {rowid} in transactional effects")
+            replacements[rowid] = fragments
+        live = set(self._rowids)
+        missing = [rowid for rowid in replacements if rowid not in live]
+        if missing:
+            raise SchemaError(
+                f"transactional effects remove unknown rowid(s) {sorted(missing)}; "
+                "the workspace no longer matches this relation"
+            )
+
+        new_tuples: List[TemporalTuple] = []
+        new_rowids: List[int] = []
+        #: Per removed tuple: ``(rowid, tuple, positions of its fragments)``.
+        affected_rows: List[Tuple[int, TemporalTuple, List[int]]] = []
+        for rowid, t in zip(self._rowids, self._tuples):
+            if rowid not in replacements:
+                new_tuples.append(t)
+                new_rowids.append(rowid)
+                continue
+            positions: List[int] = []
+            for fragment in replacements[rowid]:
+                positions.append(len(new_tuples))
+                new_tuples.append(fragment)
+                new_rowids.append(-1)
+            affected_rows.append((rowid, t, positions))
+        append_positions: List[int] = []
+        for t in inserts:
+            append_positions.append(len(new_tuples))
+            new_tuples.append(t)
+            new_rowids.append(-1)
+
+        if self.enforce_duplicate_free and not _tuples_duplicate_free(new_tuples):
+            raise DuplicateTupleError(
+                "transaction would violate the duplicate-free condition; no change applied"
+            )
+
+        for position, rowid in enumerate(new_rowids):
+            if rowid == -1:
+                new_rowids[position] = self._next_rowid
+                self._next_rowid += 1
+        self._tuples = new_tuples
+        self._rowids = new_rowids
+
+        deltas: List[Delta] = []
+        log = self._changelog
+        for rowid, t, positions in affected_rows:
+            deltas.append(
+                log.append("-", rowid, t) if log is not None else Delta("-", rowid, t, 0)
+            )
+            for p in positions:
+                deltas.append(
+                    log.append("+", new_rowids[p], new_tuples[p])
+                    if log is not None
+                    else Delta("+", new_rowids[p], new_tuples[p], 0)
+                )
+        for p in append_positions:
+            deltas.append(
+                log.append("+", new_rowids[p], new_tuples[p])
+                if log is not None
+                else Delta("+", new_rowids[p], new_tuples[p], 0)
+            )
+        self._after_mutation(deltas)
+        return deltas
 
     # -- basic protocol ------------------------------------------------------
 

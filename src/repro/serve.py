@@ -1,0 +1,95 @@
+"""``python -m repro.serve`` — serve a database over the line protocol.
+
+Examples::
+
+    python -m repro.serve --path /var/lib/repro/db --port 7654
+    python -m repro.serve --memory --port 0          # ephemeral demo server
+
+The server owns the database it opens: shutdown (SIGINT/SIGTERM or Ctrl-C)
+rolls back every open transaction, checkpoints, and releases the directory
+LOCK before exiting — killing the server mid-transaction leaves the
+directory cleanly reopenable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import signal
+import sys
+from typing import Optional, Sequence
+
+from repro.engine.database import Database
+from repro.server.server import DatabaseServer
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve a repro database over the line-delimited JSON protocol.",
+    )
+    target = parser.add_mutually_exclusive_group(required=True)
+    target.add_argument("--path", help="durable database directory (created if missing)")
+    target.add_argument(
+        "--memory", action="store_true", help="serve a fresh in-memory database"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7654, help="0 binds an ephemeral port")
+    parser.add_argument(
+        "--no-sync",
+        action="store_true",
+        help="skip per-commit fsync (faster; OS-crash data-loss window)",
+    )
+    parser.add_argument(
+        "--auto-checkpoint",
+        type=int,
+        default=0,
+        metavar="N",
+        help="checkpoint automatically every N WAL records (0 = manual only)",
+    )
+    return parser
+
+
+async def _serve(database: Database, host: str, port: int) -> int:
+    server = DatabaseServer(database, host, port, owns_database=True)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError):  # non-POSIX loops
+            loop.add_signal_handler(signum, stop.set)
+    await server.start()
+    print(f"serving on {server.host}:{server.port}", flush=True)
+    try:
+        await stop.wait()
+    except KeyboardInterrupt:  # pragma: no cover - fallback without handlers
+        pass
+    finally:
+        await server.stop()
+        print(
+            f"server stopped ({server.stats['requests']} requests, "
+            f"{server.stats['aborted_on_disconnect']} transactions aborted on "
+            "disconnect)",
+            flush=True,
+        )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    arguments = build_parser().parse_args(argv)
+    if arguments.memory:
+        database = Database()
+    else:
+        database = Database.open(
+            arguments.path,
+            sync=not arguments.no_sync,
+            auto_checkpoint=arguments.auto_checkpoint,
+        )
+    try:
+        return asyncio.run(_serve(database, arguments.host, arguments.port))
+    finally:
+        database.close()  # idempotent: a clean shutdown already closed it
+
+
+if __name__ == "__main__":
+    sys.exit(main())

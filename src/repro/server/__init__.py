@@ -1,0 +1,5 @@
+"""Network serving: asyncio server, wire protocol, thread harness."""
+
+from repro.server.server import DatabaseServer, ServerThread, serve_in_thread
+
+__all__ = ["DatabaseServer", "ServerThread", "serve_in_thread"]

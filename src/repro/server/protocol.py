@@ -1,0 +1,89 @@
+"""The wire protocol of the network front end.
+
+Line-delimited JSON over a plain TCP stream — one request line, one response
+line, in order.  A request is::
+
+    {"id": 7, "sql": "SELECT * FROM emp"}
+
+and its response either carries the result table::
+
+    {"id": 7, "ok": true, "columns": ["name", "ts", "te"], "rows": [[...], ...]}
+
+or an error::
+
+    {"id": 7, "ok": false, "kind": "conflict", "error": "transaction 3 aborted ..."}
+
+``kind`` classifies the failure so clients can react mechanically without
+parsing messages; ``"conflict"`` (first-committer-wins abort) is the one
+retryable kind — the client's transaction is gone and it should replay the
+whole transaction from ``BEGIN``.  ``id`` is echoed verbatim (clients use it
+to pair pipelined requests with responses); it is optional.
+
+Values are JSON-native where possible;
+:class:`~repro.temporal.interval.Interval` values (timestamp propagation can
+put them in a select list) and any other engine object are rendered through
+``str`` — the protocol is for results, not round-tripping Python objects.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.engine.transactions import TransactionConflictError, TransactionError
+from repro.relation.errors import (
+    DuplicateTupleError,
+    QueryError,
+    ReproError,
+    SchemaError,
+    SQLSyntaxError,
+)
+
+#: Failure classification, most specific first (the first match wins).
+ERROR_KINDS: Tuple[Tuple[type, str], ...] = (
+    (TransactionConflictError, "conflict"),
+    (TransactionError, "transaction"),
+    (SQLSyntaxError, "syntax"),
+    (SchemaError, "schema"),
+    (DuplicateTupleError, "duplicate"),
+    (QueryError, "query"),
+    (ReproError, "engine"),
+)
+
+
+def error_kind(error: BaseException) -> str:
+    for exception_type, kind in ERROR_KINDS:
+        if isinstance(error, exception_type):
+            return kind
+    return "internal"
+
+
+def encode_line(message: Dict[str, Any]) -> bytes:
+    """One protocol message as a newline-terminated JSON line."""
+    return (json.dumps(message, default=str) + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    """Parse one protocol line; raises ``ValueError`` on malformed input."""
+    message = json.loads(line.decode("utf-8"))
+    if not isinstance(message, dict):
+        raise ValueError(f"protocol messages are JSON objects, got {type(message).__name__}")
+    return message
+
+
+def result_response(request_id: Any, columns: Sequence[str], rows: List[tuple]) -> Dict[str, Any]:
+    return {
+        "id": request_id,
+        "ok": True,
+        "columns": list(columns),
+        "rows": [list(row) for row in rows],
+    }
+
+
+def error_response(request_id: Any, error: BaseException) -> Dict[str, Any]:
+    return {
+        "id": request_id,
+        "ok": False,
+        "kind": error_kind(error),
+        "error": str(error),
+    }

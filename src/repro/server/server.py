@@ -1,0 +1,237 @@
+"""The asyncio network front end: N clients, one durable database.
+
+Each accepted connection gets its own :class:`~repro.engine.session.Session`
+— its own transaction state — and statements from all connections execute in
+the single event-loop thread.  The engine is not thread-safe and does not
+need to be here: a statement runs to completion without ever awaiting, so
+statement execution is *structurally* serialized — a reader can never
+observe a torn write, and snapshot isolation (not the event loop) is what
+provides atomicity across the multiple statements of a transaction.
+
+Disconnects and shutdown are where transactional serving earns its keep:
+
+* a client vanishing mid-transaction rolls its transaction back (deferred
+  workspaces make this free — nothing was applied);
+* :meth:`DatabaseServer.stop` closes every session, aborts every open
+  transaction, and (when the server owns the database) closes it, which
+  checkpoints and releases the flock'd ``LOCK`` deterministically — the
+  engine is left clean, not poisoned, even when killed mid-transaction.
+
+:func:`serve_in_thread` runs a server in a daemon thread with its own event
+loop — the harness the tests and the ``concurrency`` benchmark use to drive
+real socket clients against an in-process database.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Dict, Optional
+
+from repro.engine.database import Database
+from repro.server import protocol
+
+#: Longest accepted request line (64 MiB) — a runaway client must not make
+#: the server buffer unbounded input.
+MAX_LINE = 64 * 1024 * 1024
+
+
+class DatabaseServer:
+    """Serve one database over the line protocol (see the module docstring)."""
+
+    def __init__(self, database: Database, host: str = "127.0.0.1", port: int = 7654,
+                 owns_database: bool = False):
+        self.database = database
+        self.host = host
+        self.port = port
+        #: Close the database on :meth:`stop` (the CLI sets this; embedded
+        #: users usually keep ownership).
+        self.owns_database = owns_database
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connection_tasks: set = set()
+        self._sessions: Dict[int, object] = {}
+        self._next_connection_id = 1
+        self.stats: Dict[str, int] = {
+            "connections": 0,
+            "requests": 0,
+            "errors": 0,
+            "aborted_on_disconnect": 0,
+        }
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port, limit=MAX_LINE
+        )
+        # Port 0 means "pick one": publish the port actually bound.
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Stop accepting, close every session (open transactions roll back),
+        release the database when owned.  Idempotent."""
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        # Cancel handlers stuck waiting for the next request line; their
+        # finally blocks run (rolling open transactions back) before we sweep
+        # whatever sessions remain.
+        tasks = [task for task in self._connection_tasks if not task.done()]
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        for session in list(self._sessions.values()):
+            if getattr(session, "in_transaction", False):
+                self.stats["aborted_on_disconnect"] += 1
+            session.close()
+        self._sessions.clear()
+        if self.owns_database:
+            self.database.close()
+
+    async def serve_until(self, stop_event: asyncio.Event) -> None:
+        """Run until ``stop_event`` is set, then shut down cleanly."""
+        await self.start()
+        try:
+            await stop_event.wait()
+        finally:
+            await self.stop()
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        connection_id = self._next_connection_id
+        self._next_connection_id += 1
+        task = asyncio.current_task()
+        if task is not None:
+            self._connection_tasks.add(task)
+        session = self.database.session()
+        self._sessions[connection_id] = session
+        self.stats["connections"] += 1
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, asyncio.LimitOverrunError):
+                    break
+                if not line:
+                    break  # EOF: client disconnected
+                if not line.strip():
+                    continue
+                response = self._serve_request(session, line)
+                writer.write(protocol.encode_line(response))
+                try:
+                    await writer.drain()
+                except ConnectionError:
+                    break
+        except asyncio.CancelledError:
+            pass  # server shutdown: fall through to the teardown below
+        finally:
+            if task is not None:
+                self._connection_tasks.discard(task)
+            self._sessions.pop(connection_id, None)
+            if session.in_transaction:
+                # Session teardown on disconnect: the open transaction is
+                # rolled back — an interrupted client never half-commits.
+                self.stats["aborted_on_disconnect"] += 1
+            session.close()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - platform noise
+                pass
+
+    def _serve_request(self, session, line: bytes) -> dict:
+        """Execute one request line; never raises (errors become responses)."""
+        self.stats["requests"] += 1
+        request_id = None
+        try:
+            request = protocol.decode_line(line)
+            request_id = request.get("id")
+            sql = request.get("sql")
+            if not isinstance(sql, str):
+                raise ValueError('requests need a "sql" string field')
+            # Synchronous on purpose: no await between here and the result,
+            # so the statement is atomic with respect to every other client.
+            table = session.execute(sql)
+            return protocol.result_response(request_id, table.columns, table.rows)
+        except Exception as error:  # noqa: BLE001 - the wire carries the error
+            self.stats["errors"] += 1
+            return protocol.error_response(request_id, error)
+
+
+class ServerThread:
+    """A server running in a daemon thread with its own event loop."""
+
+    def __init__(self, server: DatabaseServer, thread: threading.Thread,
+                 loop: asyncio.AbstractEventLoop, stop_event: asyncio.Event):
+        self.server = server
+        self._thread = thread
+        self._loop = loop
+        self._stop_event = stop_event
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Signal shutdown and join the thread.  Idempotent."""
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerThread":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+
+def serve_in_thread(
+    database: Database, host: str = "127.0.0.1", port: int = 0,
+    owns_database: bool = False,
+) -> ServerThread:
+    """Start a :class:`DatabaseServer` in a background thread and wait until
+    it accepts connections.  ``port=0`` binds an ephemeral port (read it off
+    the returned handle)."""
+    server = DatabaseServer(database, host, port, owns_database=owns_database)
+    started = threading.Event()
+    holder: dict = {}
+
+    def run() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        stop_event = asyncio.Event()
+        holder["loop"] = loop
+        holder["stop_event"] = stop_event
+
+        async def main() -> None:
+            await server.start()
+            started.set()
+            try:
+                await stop_event.wait()
+            finally:
+                await server.stop()
+
+        try:
+            loop.run_until_complete(main())
+        finally:
+            started.set()  # unblock the caller even if startup failed
+            loop.close()
+
+    thread = threading.Thread(target=run, name="repro-server", daemon=True)
+    thread.start()
+    started.wait(10.0)
+    if "loop" not in holder:
+        raise RuntimeError("server thread failed to start its event loop")
+    return ServerThread(server, thread, holder["loop"], holder["stop_event"])

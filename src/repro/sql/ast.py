@@ -232,6 +232,30 @@ class CheckpointStatement:
     """
 
 
+# -- transactions ----------------------------------------------------------------------
+
+
+@dataclass
+class BeginStatement:
+    """``BEGIN [TRANSACTION | WORK]`` — open a snapshot-isolation transaction.
+
+    Only meaningful on a :class:`~repro.engine.session.Session` (every network
+    connection has one); a bare :class:`~repro.sql.interface.Connection`
+    rejects it.
+    """
+
+
+@dataclass
+class CommitStatement:
+    """``COMMIT [TRANSACTION | WORK]`` — validate and apply the open
+    transaction (first-committer-wins; conflicts abort)."""
+
+
+@dataclass
+class RollbackStatement:
+    """``ROLLBACK [TRANSACTION | WORK]`` — discard the open transaction."""
+
+
 #: Any parsed statement.
 Statement = Union[
     SelectStatement,
@@ -242,4 +266,7 @@ Statement = Union[
     DropViewStatement,
     RefreshViewStatement,
     CheckpointStatement,
+    BeginStatement,
+    CommitStatement,
+    RollbackStatement,
 ]

@@ -103,14 +103,31 @@ def execute_statement(database: Database, statement: ast.Statement) -> Table:
         outcome = database.checkpoint()
         target = database.storage.path if database.storage is not None else ""
         return _status(f"CHECKPOINT ({outcome})", target, 0)
+    if isinstance(
+        statement, (ast.BeginStatement, ast.CommitStatement, ast.RollbackStatement)
+    ):
+        raise QueryError(
+            "transaction statements require a session; use Database.session() "
+            "(or the network client) instead of a bare Connection"
+        )
     raise QueryError(f"unsupported statement {type(statement).__name__}")
 
 
 # -- DML --------------------------------------------------------------------------------
+#
+# Each statement compiles to the plain arguments of the relation-level
+# mutation API.  The compile step is separate from execution because two
+# callers share it: auto-commit statements below apply the mutation to the
+# live relation, while a session with an open transaction feeds the same
+# compiled arguments to its deferred workspace
+# (:meth:`repro.engine.transactions.Transaction`) — identical statements must
+# mutate identically on both paths or commit-order replay would diverge.
 
 
-def _execute_insert(database: Database, statement: ast.InsertStatement) -> Table:
-    relation = database.get_relation(statement.table)
+def compile_insert(
+    relation: TemporalRelation, statement: ast.InsertStatement
+) -> List[Tuple[Tuple[Any, ...], Interval]]:
+    """Validate an INSERT and return its ``(values, interval)`` rows."""
     attributes = list(relation.schema.attribute_names)
     columns = statement.columns if statement.columns is not None else attributes
     unknown = [c for c in columns if c not in attributes]
@@ -128,7 +145,7 @@ def _execute_insert(database: Database, statement: ast.InsertStatement) -> Table
     interval = _period(statement.period)
     assert interval is not None  # the grammar makes VALID PERIOD mandatory
 
-    rows: List[Tuple[Sequence[Any], Interval]] = []
+    rows: List[Tuple[Tuple[Any, ...], Interval]] = []
     for value_list in statement.rows:
         if len(value_list) != len(columns):
             raise QueryError(
@@ -139,12 +156,17 @@ def _execute_insert(database: Database, statement: ast.InsertStatement) -> Table
             for name, expression in zip(columns, value_list)
         }
         rows.append((tuple(by_name[a] for a in attributes), interval))
-    database.insert_rows(statement.table, rows)
-    return _status("INSERT", statement.table, len(rows))
+    return rows
 
 
-def _execute_update(database: Database, statement: ast.UpdateStatement) -> Table:
-    relation = database.get_relation(statement.table)
+def compile_update(
+    relation: TemporalRelation, statement: ast.UpdateStatement
+) -> Tuple[
+    dict,
+    Optional[Callable[[TemporalTuple], bool]],
+    Optional[Interval],
+]:
+    """Compile an UPDATE to ``(assignments, predicate, period)``."""
     columns = _tuple_columns(statement.table, relation)
     attributes = relation.schema.attribute_names
     assignments = {}
@@ -158,11 +180,36 @@ def _execute_update(database: Database, statement: ast.UpdateStatement) -> Table
         assignments[name] = (
             lambda t, evaluate=bound: evaluate(t.values + (t.start, t.end))
         )
-    deltas = database.update_rows(
-        statement.table,
+    return (
         assignments,
-        predicate=_tuple_predicate(statement.where, columns),
-        period=_period(statement.period),
+        _tuple_predicate(statement.where, columns),
+        _period(statement.period),
+    )
+
+
+def compile_delete(
+    relation: TemporalRelation, statement: ast.DeleteStatement
+) -> Tuple[Optional[Callable[[TemporalTuple], bool]], Optional[Interval]]:
+    """Compile a DELETE to ``(predicate, period)``."""
+    columns = _tuple_columns(statement.table, relation)
+    return (
+        _tuple_predicate(statement.where, columns),
+        _period(statement.period),
+    )
+
+
+def _execute_insert(database: Database, statement: ast.InsertStatement) -> Table:
+    relation = database.get_relation(statement.table)
+    rows = compile_insert(relation, statement)
+    database.insert_rows(statement.table, rows)
+    return _status("INSERT", statement.table, len(rows))
+
+
+def _execute_update(database: Database, statement: ast.UpdateStatement) -> Table:
+    relation = database.get_relation(statement.table)
+    assignments, predicate, period = compile_update(relation, statement)
+    deltas = database.update_rows(
+        statement.table, assignments, predicate=predicate, period=period
     )
     touched = sum(1 for d in deltas if d.sign == "-")
     return _status("UPDATE", statement.table, touched)
@@ -170,11 +217,9 @@ def _execute_update(database: Database, statement: ast.UpdateStatement) -> Table
 
 def _execute_delete(database: Database, statement: ast.DeleteStatement) -> Table:
     relation = database.get_relation(statement.table)
-    columns = _tuple_columns(statement.table, relation)
+    predicate, period = compile_delete(relation, statement)
     deltas = database.delete_rows(
-        statement.table,
-        predicate=_tuple_predicate(statement.where, columns),
-        period=_period(statement.period),
+        statement.table, predicate=predicate, period=period
     )
     touched = sum(1 for d in deltas if d.sign == "-")
     return _status("DELETE", statement.table, touched)

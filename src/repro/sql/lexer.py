@@ -24,6 +24,8 @@ KEYWORDS = {
     # Temporal DML, materialized views and durability.
     "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE", "FOR", "PERIOD",
     "VALID", "CREATE", "MATERIALIZED", "VIEW", "DROP", "REFRESH", "CHECKPOINT",
+    # Transactions.
+    "BEGIN", "COMMIT", "ROLLBACK", "TRANSACTION", "WORK",
 }
 
 _TOKEN_RE = re.compile(

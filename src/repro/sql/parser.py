@@ -112,6 +112,14 @@ class _Parser:
         if self.check_keyword("CHECKPOINT"):
             self.advance()
             return ast.CheckpointStatement()
+        if self.check_keyword("BEGIN", "COMMIT", "ROLLBACK"):
+            keyword = self.advance().value
+            self.accept_keyword("TRANSACTION", "WORK")  # optional noise words
+            return {
+                "BEGIN": ast.BeginStatement,
+                "COMMIT": ast.CommitStatement,
+                "ROLLBACK": ast.RollbackStatement,
+            }[keyword]()
         return self.parse_statement()
 
     # -- temporal DML -------------------------------------------------------------------

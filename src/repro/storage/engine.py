@@ -95,6 +95,9 @@ class StorageEngine:
         #: further commits would hand recovery records it must discard.
         self._poisoned: Optional[str] = None
         self._records_since_checkpoint = 0
+        #: Open transaction frame: mutation records buffered between
+        #: ``transaction_scope`` entry and exit (one atomic WAL record).
+        self._txn_buffer: Optional[List[Record]] = None
         #: WAL listeners installed on registered relations: name -> (relation, fn).
         self._attached: Dict[str, Tuple[TemporalRelation, object]] = {}
         self.stats: Dict[str, int] = {
@@ -190,6 +193,12 @@ class StorageEngine:
             relation = database.relations.get(record["name"])
             if relation is not None:
                 relation.trim_changelog(record["below"])
+        elif kind == "txn_commit":
+            # One committed transaction: its per-relation mutation batches,
+            # framed atomically (the frame's CRC either validates whole or the
+            # torn tail is discarded — a transaction never half-recovers).
+            for inner in record["records"]:
+                self._apply(inner)
         else:
             raise StorageError(f"unknown WAL record type {kind!r}")
 
@@ -197,6 +206,13 @@ class StorageEngine:
 
     def _append(self, record: Record) -> None:
         if self._replaying or self._closed:
+            return
+        if self._txn_buffer is not None and record["type"] == "mutate":
+            # Inside a committing transaction: hold the per-relation batches
+            # back and write them as one atomic ``txn_commit`` frame when the
+            # scope exits — a crash between two relations' batches must not
+            # recover half a transaction.
+            self._txn_buffer.append(record)
             return
         if self._poisoned is not None:
             raise StorageError(
@@ -225,6 +241,19 @@ class StorageEngine:
         self._records_since_checkpoint += 1
         if self.auto_checkpoint and self._records_since_checkpoint >= self.auto_checkpoint:
             self.checkpoint()
+
+    def transaction_scope(self, txn_id: int):
+        """Context manager framing one transaction commit as one WAL record.
+
+        While the scope is open, mutation records emitted by the relations'
+        WAL listeners are buffered; on clean exit the buffer is appended (and
+        fsync'd) as a single ``txn_commit`` record — the atomic commit point
+        of a multi-relation transaction.  An exception *after* some effects
+        already applied in memory leaves memory ahead of the log with no way
+        to roll the relations back, so the engine poisons itself exactly like
+        a failed WAL append; an exception before any effect is harmless.
+        """
+        return _TransactionScope(self, txn_id)
 
     def on_register_relation(self, name: str, relation: TemporalRelation) -> None:
         """Log the registration and install the WAL mutation listener."""
@@ -335,3 +364,35 @@ class StorageEngine:
         if self._wal is not None:
             self._wal.close()
         self._release_lock()
+
+
+class _TransactionScope:
+    """See :meth:`StorageEngine.transaction_scope`."""
+
+    def __init__(self, engine: StorageEngine, txn_id: int):
+        self.engine = engine
+        self.txn_id = txn_id
+
+    def __enter__(self) -> "_TransactionScope":
+        if self.engine._txn_buffer is not None:
+            raise StorageError("transaction WAL scopes do not nest")
+        self.engine._txn_buffer = []
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        buffered, self.engine._txn_buffer = self.engine._txn_buffer, None
+        if exc_type is not None:
+            if buffered:
+                # Part of the transaction already mutated relations in memory
+                # but nothing reached the log, and relations cannot be rolled
+                # back in place: memory now leads the log permanently.
+                self.engine._poisoned = (
+                    f"transaction {self.txn_id} failed mid-apply "
+                    f"({exc_type.__name__}: {exc}); in-memory state leads the log"
+                )
+            return False
+        if buffered:
+            self.engine._append(
+                {"type": "txn_commit", "txn": self.txn_id, "records": buffered}
+            )
+        return False

@@ -6,7 +6,6 @@ from repro import predicates
 from repro.baselines import fold, sql_normalize_outer_join, sql_outer_join, unfold, unfold_fold_join
 from repro.baselines.sql_outer_join import ProbeStatistics
 from repro.core import reduction
-from repro.relation.schema import Schema
 from repro.temporal.interval import Interval
 from repro.workloads.hotel import expected_q1_result, hotel_prices, hotel_reservations
 from repro.workloads.incumben import IncumbenConfig, generate_incumben

@@ -9,8 +9,7 @@ from repro.core.normalization import (
     self_normalize,
 )
 from repro.relation.errors import SchemaError
-from repro.temporal.interval import Interval
-from repro.workloads.hotel import HOTEL_TIMELINE, hotel_reservations
+from repro.workloads.hotel import HOTEL_TIMELINE
 from repro.workloads.incumben import IncumbenConfig, generate_incumben
 
 

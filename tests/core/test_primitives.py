@@ -1,7 +1,5 @@
 """Unit tests for the definitional primitives: split, align, absorb, extend."""
 
-import pytest
-
 from repro.core.primitives import absorb, align_tuple, extend, split_tuple
 from repro.relation.relation import TemporalRelation
 from repro.relation.schema import Schema

@@ -2,15 +2,14 @@
 
 import pytest
 
-from repro import Interval, predicates
+from repro import predicates
 from repro.core.alignment import align_relation
 from repro.core.normalization import normalize
 from repro.engine.database import Database
 from repro.engine.executor import AdjustmentNode, ValuesNode
 from repro.engine.expressions import Column, Comparison
 from repro.engine.optimizer.settings import Settings
-from repro.engine.plan import Align, Join, Normalize, Scan
-from repro.engine.table import Table
+from repro.engine.plan import Align, Join, Scan
 from repro.engine.temporal_plans import KernelTemporalAlgebra, normalize_plan, scan
 from repro.relation.errors import PlanError
 from repro.relation.tuple import NULL

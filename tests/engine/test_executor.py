@@ -18,7 +18,7 @@ from repro.engine.executor import (
     SortNode,
     ValuesNode,
 )
-from repro.engine.expressions import Column, Comparison, IndexColumn, Literal
+from repro.engine.expressions import Column, Comparison, Literal
 from repro.engine.plan import AggregateCall
 from repro.engine.table import Table
 from repro.relation.errors import PlanError

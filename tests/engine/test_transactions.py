@@ -1,0 +1,294 @@
+"""Snapshot-isolation MVCC: visibility, conflicts, epochs and lifecycle.
+
+Unit tests for :mod:`repro.engine.transactions` and the session surface in
+:mod:`repro.engine.session`.  The server/property tests drive the same
+machinery through sockets and random interleavings; these tests pin the
+individual semantic contracts those rely on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.transactions import (
+    TransactionConflictError,
+    TransactionError,
+)
+from repro.relation.errors import DuplicateTupleError, QueryError
+from repro.relation.relation import TemporalRelation
+from repro.relation.schema import Schema
+from repro.temporal.interval import Interval
+
+
+def _relation(rows=(), duplicate_free=False):
+    relation = TemporalRelation(Schema(["k", "v"]), enforce_duplicate_free=duplicate_free)
+    for values, interval in rows:
+        relation.insert(values, interval)
+    return relation
+
+
+@pytest.fixture
+def database():
+    db = Database()
+    db.register_relation(
+        "r", _relation([(("a", 1), Interval(0, 10)), (("b", 2), Interval(5, 15))])
+    )
+    return db
+
+
+def _rows(table):
+    return sorted(tuple(row) for row in table.rows)
+
+
+class TestVisibility:
+    def test_uncommitted_writes_are_invisible_to_other_sessions(self, database):
+        writer = database.session()
+        reader = database.session()
+        writer.execute("BEGIN")
+        writer.execute("INSERT INTO r (k, v) VALUES ('c', 3) VALID PERIOD [0, 5)")
+        assert len(reader.execute("SELECT k FROM r").rows) == 2
+        writer.execute("COMMIT")
+        assert len(reader.execute("SELECT k FROM r").rows) == 3
+
+    def test_own_writes_are_visible_inside_the_transaction(self, database):
+        session = database.session()
+        session.execute("BEGIN")
+        session.execute("INSERT INTO r (k, v) VALUES ('c', 3) VALID PERIOD [0, 5)")
+        session.execute("DELETE FROM r WHERE k = 'a'")
+        assert _rows(session.execute("SELECT k FROM r")) == [("b",), ("c",)]
+        session.execute("ROLLBACK")
+
+    def test_snapshot_ignores_later_commits(self, database):
+        reader = database.session()
+        reader.execute("BEGIN")
+        assert len(reader.execute("SELECT k FROM r").rows) == 2
+        writer = database.session()
+        writer.execute("INSERT INTO r (k, v) VALUES ('c', 3) VALID PERIOD [0, 5)")
+        writer.execute("DELETE FROM r WHERE k = 'a'")
+        # The reader's snapshot predates both auto-commit statements.
+        assert _rows(reader.execute("SELECT k FROM r")) == [("a",), ("b",)]
+        reader.execute("COMMIT")
+        assert _rows(reader.execute("SELECT k FROM r")) == [("b",), ("c",)]
+
+    def test_rollback_discards_everything(self, database):
+        session = database.session()
+        session.execute("BEGIN")
+        session.execute("UPDATE r SET v = 99 WHERE k = 'a'")
+        session.execute("ROLLBACK")
+        values = dict((k, v) for k, v in database.session().execute("SELECT k, v FROM r").rows)
+        assert values["a"] == 1
+
+    def test_update_for_period_splits_only_inside_the_transaction(self, database):
+        session = database.session()
+        session.execute("BEGIN")
+        session.execute("UPDATE r SET v = 7 WHERE k = 'a' FOR PERIOD [2, 4)")
+        inside = session.execute("SELECT k, v FROM r WHERE k = 'a'")
+        assert sorted(row[1] for row in inside.rows) == [1, 1, 7]
+        assert len(database.get_relation("r")) == 2  # authoritative untouched
+        session.execute("COMMIT")
+        assert len(database.get_relation("r")) == 4
+
+
+class TestEpochs:
+    def test_read_only_commit_does_not_tick_the_clock(self, database):
+        manager = database.transactions
+        before = manager.commit_epoch
+        session = database.session()
+        session.execute("BEGIN")
+        session.execute("SELECT k FROM r")
+        status = session.execute("COMMIT")
+        assert manager.commit_epoch == before
+        assert status.rows[0][1] == before  # commit epoch == begin epoch
+
+    def test_autocommit_statements_tick_the_clock(self, database):
+        manager = database.transactions
+        before = manager.commit_epoch
+        database.session().execute(
+            "INSERT INTO r (k, v) VALUES ('c', 3) VALID PERIOD [0, 5)"
+        )
+        assert manager.commit_epoch == before + 1
+
+    def test_commit_epochs_are_a_total_order(self, database):
+        session = database.session()
+        epochs = []
+        for i in range(3):
+            session.execute("BEGIN")
+            session.execute(
+                f"INSERT INTO r (k, v) VALUES ('x{i}', {i}) VALID PERIOD [0, 5)"
+            )
+            epochs.append(session.execute("COMMIT").rows[0][1])
+        assert epochs == sorted(epochs)
+        assert len(set(epochs)) == 3
+
+    def test_noop_predicate_write_takes_a_unique_epoch(self, database):
+        # An UPDATE matching nothing still occupies a commit-order slot: two
+        # such transactions must not report the same epoch.
+        epochs = []
+        for _ in range(2):
+            session = database.session()
+            session.execute("BEGIN")
+            status = session.execute("UPDATE r SET v = 0 WHERE k = 'missing'")
+            assert status.rows[0][2] == 0
+            epochs.append(session.execute("COMMIT").rows[0][1])
+        assert epochs[0] != epochs[1]
+
+
+class TestConflicts:
+    def test_first_committer_wins_on_the_same_tuple(self, database):
+        first = database.session()
+        second = database.session()
+        first.execute("BEGIN")
+        second.execute("BEGIN")
+        first.execute("UPDATE r SET v = 10 WHERE k = 'a'")
+        second.execute("UPDATE r SET v = 20 WHERE k = 'a'")
+        first.execute("COMMIT")
+        with pytest.raises(TransactionConflictError):
+            second.execute("COMMIT")
+        assert database.transactions.stats["conflicts"] == 1
+
+    def test_predicate_write_conflicts_with_any_relation_write(self, database):
+        # Phantom protection: the UPDATE matched nothing at the snapshot, but
+        # a concurrent insert could change that — relation-granular
+        # escalation aborts it rather than guessing.
+        txn = database.session()
+        txn.execute("BEGIN")
+        txn.execute("UPDATE r SET v = 0 WHERE k = 'c'")
+        database.session().execute(
+            "INSERT INTO r (k, v) VALUES ('c', 3) VALID PERIOD [0, 5)"
+        )
+        with pytest.raises(TransactionConflictError):
+            txn.execute("COMMIT")
+
+    def test_insert_only_transactions_never_conflict(self, database):
+        first = database.session()
+        second = database.session()
+        first.execute("BEGIN")
+        second.execute("BEGIN")
+        first.execute("INSERT INTO r (k, v) VALUES ('c', 3) VALID PERIOD [0, 5)")
+        second.execute("INSERT INTO r (k, v) VALUES ('d', 4) VALID PERIOD [0, 5)")
+        first.execute("COMMIT")
+        second.execute("COMMIT")
+        assert len(database.get_relation("r")) == 4
+
+    def test_disjoint_writers_do_not_conflict(self, database):
+        database.register_relation("s", _relation([(("z", 0), Interval(0, 1))]))
+        first = database.session()
+        second = database.session()
+        first.execute("BEGIN")
+        second.execute("BEGIN")
+        first.execute("UPDATE r SET v = 10 WHERE k = 'a'")
+        second.execute("UPDATE s SET v = 10 WHERE k = 'z'")
+        first.execute("COMMIT")
+        second.execute("COMMIT")
+
+    def test_conflict_abort_leaves_the_session_idle(self, database):
+        first = database.session()
+        second = database.session()
+        first.execute("BEGIN")
+        second.execute("BEGIN")
+        first.execute("DELETE FROM r WHERE k = 'a'")
+        second.execute("DELETE FROM r WHERE k = 'a'")
+        first.execute("COMMIT")
+        with pytest.raises(TransactionConflictError):
+            second.execute("COMMIT")
+        assert not second.in_transaction
+        # The abort already ended the transaction: nothing left to roll back.
+        with pytest.raises(TransactionError, match="ROLLBACK outside"):
+            second.execute("ROLLBACK")
+        # A retry BEGIN works and sees the winner's state.
+        second.execute("BEGIN")
+        assert _rows(second.execute("SELECT k FROM r")) == [("b",)]
+        second.execute("COMMIT")
+
+
+class TestStatementRestrictions:
+    def test_materialized_views_are_unreadable_inside_a_transaction(self, database):
+        conn = database.session()
+        conn.execute("CREATE MATERIALIZED VIEW top AS SELECT k, v FROM r")
+        session = database.session()
+        session.execute("BEGIN")
+        with pytest.raises(QueryError, match="committed state only"):
+            session.execute("SELECT k FROM top")
+        session.execute("ROLLBACK")
+        assert len(session.execute("SELECT k FROM top").rows) == 2
+
+    def test_ddl_inside_a_transaction_is_rejected(self, database):
+        session = database.session()
+        session.execute("BEGIN")
+        with pytest.raises(TransactionError, match="not allowed inside"):
+            session.execute("CREATE MATERIALIZED VIEW v AS SELECT k FROM r")
+        session.execute("ROLLBACK")
+
+    def test_views_refresh_after_transactional_commits(self, database):
+        conn = database.session()
+        conn.execute("CREATE MATERIALIZED VIEW top AS SELECT k, v FROM r")
+        assert len(conn.execute("SELECT k FROM top").rows) == 2
+        session = database.session()
+        session.execute("BEGIN")
+        session.execute("INSERT INTO r (k, v) VALUES ('c', 3) VALID PERIOD [0, 5)")
+        session.execute("COMMIT")
+        assert len(conn.execute("SELECT k FROM top").rows) == 3
+
+
+class TestLifecycle:
+    def test_version_store_collects_when_snapshots_retire(self, database):
+        manager = database.transactions
+        reader = database.session()
+        reader.execute("BEGIN")
+        reader.execute("SELECT k FROM r")  # pin the snapshot
+        writer = database.session()
+        writer.execute("DELETE FROM r WHERE k = 'a'")
+        # The dead version is retained for the open snapshot...
+        assert _rows(reader.execute("SELECT k FROM r")) == [("a",), ("b",)]
+        collected_before = manager.stats["versions_collected"]
+        reader.execute("COMMIT")
+        assert manager.stats["versions_collected"] > collected_before
+
+    def test_close_aborts_open_transactions_and_is_idempotent(self):
+        database = Database()
+        database.register_relation("r", _relation([(("a", 1), Interval(0, 5))]))
+        session = database.session()
+        session.execute("BEGIN")
+        session.execute("DELETE FROM r WHERE k = 'a'")
+        database.close()
+        assert not database.transactions.active
+        database.close()  # idempotent
+
+    def test_session_close_rolls_back_and_is_idempotent(self, database):
+        session = database.session()
+        session.execute("BEGIN")
+        session.execute("DELETE FROM r WHERE k = 'a'")
+        session.close()
+        session.close()
+        assert len(database.get_relation("r")) == 2
+        with pytest.raises(TransactionError, match="closed"):
+            session.execute("SELECT k FROM r")
+
+    def test_mid_apply_failure_aborts_without_leaking(self, database):
+        # Relation "dup" rejects duplicates: a transaction writing r first and
+        # a duplicate into dup second fails mid-apply.  The transaction must
+        # end aborted and deregistered, and the manager must stay usable.
+        database.register_relation(
+            "dup", _relation([(("a", 1), Interval(0, 5))], duplicate_free=True)
+        )
+        manager = database.transactions
+        transaction = manager.begin()
+        transaction.insert_rows("r", [(("c", 3), Interval(0, 5))])
+        transaction.insert_rows("dup", [(("a", 1), Interval(0, 5))])
+        with pytest.raises(DuplicateTupleError):
+            transaction.commit()
+        assert transaction.status == "aborted"
+        assert transaction.id not in manager.active
+        # The next transaction gets a fresh epoch and commits normally.
+        session = database.session()
+        session.execute("BEGIN")
+        session.execute("INSERT INTO r (k, v) VALUES ('d', 4) VALID PERIOD [0, 5)")
+        session.execute("COMMIT")
+
+    def test_commit_on_a_finished_transaction_raises(self, database):
+        manager = database.transactions
+        transaction = manager.begin()
+        transaction.rollback()
+        with pytest.raises(TransactionError, match="aborted"):
+            transaction.commit()

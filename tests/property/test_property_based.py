@@ -11,14 +11,13 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro import Interval, Schema, TemporalRelation, predicates
 from repro.core import reduction, snapshot
 from repro.core.alignment import align_pair, align_relation, alignment_cardinality_bound
-from repro.core.lineage import left_outer_join_lineage, union_lineage
+from repro.core.lineage import union_lineage
 from repro.core.normalization import normalize, normalize_pair
 from repro.core.primitives import absorb, align_tuple, split_tuple
 from repro.core.properties import change_preservation_violations

@@ -1,0 +1,174 @@
+"""Property: interleaved transactions are serializable in commit-epoch order.
+
+Hypothesis drives four concurrent sessions through a random deterministic
+interleaving of BEGIN / DML / COMMIT / ROLLBACK steps, with an observer
+reading between every step.  The invariants, checked at every step and at
+the end:
+
+(a) the final state equals replaying the committed transactions' statements
+    serially in commit-epoch order (the serial-replay invariant the
+    ``concurrency`` benchmark gates on);
+(b) an observer outside any transaction only ever sees the committed
+    prefix — never an uncommitted or torn write (checked by maintaining a
+    shadow database that replays each transaction at the moment it commits);
+(c) on a durable database, crashing mid-stream (open transactions in
+    flight) and reopening recovers exactly the committed prefix.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine.database import Database
+from repro.engine.transactions import TransactionConflictError
+from repro.relation.relation import TemporalRelation
+from repro.relation.schema import Schema
+from repro.temporal.interval import Interval
+
+SETTINGS = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+SESSIONS = 4
+KEYS = 6
+
+# One interleaving step: (session, action, key, start, length, value).
+STEP = st.tuples(
+    st.integers(min_value=0, max_value=SESSIONS - 1),
+    st.sampled_from(["insert", "update", "delete", "read", "commit", "rollback"]),
+    st.integers(min_value=0, max_value=KEYS - 1),
+    st.integers(min_value=0, max_value=40),
+    st.integers(min_value=1, max_value=12),
+    st.integers(min_value=0, max_value=99),
+)
+STEPS = st.lists(STEP, min_size=8, max_size=60)
+
+
+def _statement(action, key, start, length, value):
+    period = f"[{start}, {start + length})"
+    if action == "insert":
+        return (
+            f"INSERT INTO r (k, v) VALUES ('k{key}', {value}) "
+            f"VALID PERIOD {period}"
+        )
+    if action == "update":
+        return f"UPDATE r SET v = {value} WHERE k = 'k{key}' FOR PERIOD {period}"
+    return f"DELETE FROM r WHERE k = 'k{key}' FOR PERIOD {period}"
+
+
+def _seed(database):
+    relation = TemporalRelation(Schema(["k", "v"]))
+    for i in range(KEYS):
+        relation.insert((f"k{i}", i), Interval(5 * i, 5 * i + 30))
+    database.register_relation("r", relation)
+
+
+def _state(database):
+    return database.get_relation("r").as_set()
+
+
+class _Harness:
+    """Drive one interleaving; maintain the shadow and the committed log."""
+
+    def __init__(self, database):
+        self.database = database
+        self.sessions = [database.session() for _ in range(SESSIONS)]
+        self.pending = [[] for _ in range(SESSIONS)]  # statements since BEGIN
+        self.committed = []  # (epoch, statements) in commit order
+        self.shadow = Database()
+        _seed(self.shadow)
+        self.shadow_session = self.shadow.session()
+        self.observer = database.session()
+
+    def step(self, step) -> None:
+        index, action, key, start, length, value = step
+        session = self.sessions[index]
+        if action == "read":
+            # (b): committed state only, and it equals the shadow replay.
+            assert _state(self.database) == _state(self.shadow)
+            rows = self.observer.execute("SELECT k, v FROM r").rows
+            assert len(rows) == len(self.database.get_relation("r"))
+            return
+        if action == "commit":
+            self._commit(index)
+            return
+        if action == "rollback":
+            if session.in_transaction:
+                session.execute("ROLLBACK")
+            self.pending[index] = []
+            return
+        if not session.in_transaction:
+            session.execute("BEGIN")
+            self.pending[index] = []
+        statement = _statement(action, key, start, length, value)
+        session.execute(statement)
+        self.pending[index].append(statement)
+        # Uncommitted writes must not have touched the authoritative state.
+        assert _state(self.database) == _state(self.shadow)
+
+    def _commit(self, index) -> None:
+        session = self.sessions[index]
+        if not session.in_transaction:
+            return
+        statements, self.pending[index] = self.pending[index], []
+        try:
+            epoch = session.execute("COMMIT").rows[0][1]
+        except TransactionConflictError:
+            return  # first-committer-wins: the loser's effects vanish
+        if statements:
+            self.committed.append((epoch, statements))
+            for statement in statements:
+                self.shadow_session.execute(statement)
+            assert _state(self.database) == _state(self.shadow)
+
+    def finish(self) -> None:
+        for index in range(SESSIONS):
+            self._commit(index)
+
+    def check_serial_replay(self) -> None:
+        # (a): commit epochs are a total order and replaying the committed
+        # statements serially in that order reproduces the final state.
+        epochs = [epoch for epoch, _ in self.committed]
+        assert epochs == sorted(epochs)
+        assert len(set(epochs)) == len(epochs)
+        twin = Database()
+        _seed(twin)
+        replayer = twin.session()
+        for _, statements in sorted(self.committed):
+            for statement in statements:
+                replayer.execute(statement)
+        assert _state(self.database) == _state(twin)
+
+
+@SETTINGS
+@given(steps=STEPS)
+def test_interleaved_transactions_are_serializable(steps):
+    database = Database()
+    _seed(database)
+    harness = _Harness(database)
+    for step in steps:
+        harness.step(step)
+    harness.finish()
+    harness.check_serial_replay()
+
+
+@SETTINGS
+@given(steps=STEPS, cut=st.integers(min_value=0, max_value=59))
+def test_crash_mid_stream_recovers_the_committed_prefix(steps, cut):
+    with tempfile.TemporaryDirectory() as tmp:
+        database = Database.open(tmp + "/db")
+        _seed(database)
+        harness = _Harness(database)
+        for step in steps[: max(1, cut)]:
+            harness.step(step)
+        # (c): crash with whatever is in flight; the committed prefix — the
+        # shadow — is exactly what recovery must produce.
+        database.storage.abandon()
+        reopened = Database.open(tmp + "/db")
+        try:
+            assert _state(reopened) == _state(harness.shadow)
+        finally:
+            reopened.close()

@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro import Interval
 from repro.engine.database import Database
-from repro.engine.expressions import Between, Column, Comparison, FunctionCall, Literal, Not
+from repro.engine.expressions import Comparison, Not
 from repro.relation.errors import QueryError, SQLSyntaxError
 from repro.sql import Connection, parse
 from repro.sql import ast

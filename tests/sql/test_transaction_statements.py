@@ -1,0 +1,81 @@
+"""Parsing and error paths of BEGIN / COMMIT / ROLLBACK."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.transactions import TransactionError
+from repro.relation.errors import QueryError, SQLSyntaxError
+from repro.relation.relation import TemporalRelation
+from repro.relation.schema import Schema
+from repro.sql import Connection, ast, parse
+from repro.temporal.interval import Interval
+
+
+@pytest.fixture
+def database():
+    db = Database()
+    relation = TemporalRelation(Schema(["k", "v"]))
+    relation.insert(("a", 1), Interval(0, 10))
+    db.register_relation("r", relation)
+    return db
+
+
+class TestParsing:
+    @pytest.mark.parametrize("text,node", [
+        ("BEGIN", ast.BeginStatement),
+        ("BEGIN WORK", ast.BeginStatement),
+        ("BEGIN TRANSACTION", ast.BeginStatement),
+        ("COMMIT", ast.CommitStatement),
+        ("COMMIT WORK", ast.CommitStatement),
+        ("ROLLBACK", ast.RollbackStatement),
+        ("ROLLBACK TRANSACTION", ast.RollbackStatement),
+    ])
+    def test_forms(self, text, node):
+        assert isinstance(parse(text), node)
+
+    @pytest.mark.parametrize("text", [
+        "BEGIN COMMIT",          # trailing garbage
+        "COMMIT TRANSACTION r",  # no operand allowed
+    ])
+    def test_rejects_trailing_tokens(self, text):
+        with pytest.raises(SQLSyntaxError):
+            parse(text)
+
+
+class TestSessionErrors:
+    def test_commit_without_a_transaction(self, database):
+        with pytest.raises(TransactionError, match="COMMIT outside"):
+            database.session().execute("COMMIT")
+
+    def test_rollback_without_a_transaction(self, database):
+        with pytest.raises(TransactionError, match="ROLLBACK outside"):
+            database.session().execute("ROLLBACK")
+
+    def test_nested_begin(self, database):
+        session = database.session()
+        session.execute("BEGIN")
+        with pytest.raises(TransactionError, match="do not nest"):
+            session.execute("BEGIN")
+        # The original transaction survives the failed BEGIN.
+        assert session.in_transaction
+        session.execute("ROLLBACK")
+
+    def test_status_tables(self, database):
+        session = database.session()
+        begin = session.execute("BEGIN")
+        assert begin.columns == ("operation", "target", "rows")
+        assert begin.rows[0][0] == "BEGIN"
+        commit = session.execute("COMMIT")
+        assert commit.rows[0][0] == "COMMIT"
+        # Read-only: the commit epoch is the begin epoch (the clock's value).
+        assert commit.rows[0][1] == database.transactions.commit_epoch
+
+
+class TestBareConnection:
+    def test_transaction_statements_require_a_session(self, database):
+        connection = Connection(database)
+        for text in ("BEGIN", "COMMIT", "ROLLBACK"):
+            with pytest.raises(QueryError, match="Database.session"):
+                connection.execute(text)
