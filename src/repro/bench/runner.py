@@ -9,10 +9,16 @@ and record:
 * wall-clock seconds for both executions (best of ``repeats`` runs);
 * rows pulled through the plan root, observed with
   :class:`~repro.engine.executor.instrument.CountingNode`;
-* the root line of both ``EXPLAIN`` outputs (so the report proves which
-  physical plan actually ran — the parallel one must show the
-  ``Exchange``/``Partition`` pair);
+* the trace-annotated root line of both plans, captured from one extra
+  traced run (so the report proves which physical plan actually ran — the
+  parallel one must show the ``Exchange``/``Partition`` pair and the
+  ``executed=``/``ship=`` transport its span recorded);
 * whether the two executions produced the identical relation.
+
+Every report also embeds a snapshot of the process metrics registry
+(``repro.obs.metrics``) under the top-level ``"metrics"`` key — the same
+counters/histograms ``SHOW METRICS`` and the ``--metrics-port`` endpoint
+expose on a live server.
 
 Result equality is a **hard** gate: any mismatch raises
 :class:`BenchmarkError` and the process exits non-zero, which is what the CI
@@ -55,6 +61,8 @@ from repro.engine.expressions import Column, Comparison
 from repro.engine.optimizer.settings import Settings
 from repro.engine.plan import LogicalPlan
 from repro.engine.temporal_plans import align_plan, normalize_plan, scan
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.temporal.interval import Interval
 from repro.workloads.synthetic import (
     SyntheticConfig,
@@ -112,10 +120,12 @@ def _best_of(repeats: int, action: Callable[[], object]):
 def _timed_execution(database: Database, plan: LogicalPlan, settings: Settings, repeats: int):
     """Plan, instrument, and run; returns (seconds, sorted rows, pulled, plan root).
 
-    The plan root is captured *after* the timed runs: executor nodes that
-    decide placement at runtime (``Exchange``) annotate themselves with what
-    actually happened (``executed=pool[n]``, ``ship=shm``), and the report
-    must show the executed transport, not the planned intent.
+    The timed runs execute *untraced* — the report's wall clock measures the
+    engine, not the observability layer.  One extra traced run afterwards
+    captures the annotated root line: executor nodes that decide placement at
+    runtime (``Exchange``) record what actually happened on their trace span
+    (``executed=pool[n]``, ``ship=shm``), and the report must show the
+    executed transport, not the planned intent.
     """
     physical = database.plan(plan, settings)
     counter = CountingNode(physical)
@@ -125,8 +135,11 @@ def _timed_execution(database: Database, plan: LogicalPlan, settings: Settings, 
         return list(counter)
 
     seconds, rows = _best_of(repeats, run)
-    root_line = physical.explain().splitlines()[0]
-    return seconds, sorted(rows), counter.pulled, root_line
+    pulled = counter.pulled
+    with obs_trace.collect(physical) as trace:
+        list(physical)
+    root_line = trace.root_span.render().splitlines()[0]
+    return seconds, sorted(rows), pulled, root_line
 
 
 def _row_settings() -> Settings:
@@ -806,6 +819,15 @@ def run_concurrency(
     (throughput, latency percentiles, conflict counts) are always reported,
     never asserted.
 
+    The served database is *durable* (WAL fsync'd on every commit, in a
+    temporary directory), so the scenario also proves the telemetry path
+    end-to-end: after the load it asks the still-running server for its
+    metrics — both ``SHOW METRICS`` over SQL and the ``{"cmd": "metrics"}``
+    protocol request — and gates (hard) that ``txn.commits`` covers every
+    recorded commit, ``txn.conflicts`` covers every client-observed
+    conflict, ``wal.fsync_seconds`` observed at least one fsync, and the
+    two surfaces agree with each other.
+
     ``workers`` and ``repeats`` are unused (the load is the client threads)
     but kept so all native scenarios share the runner's calling convention.
     """
@@ -828,7 +850,8 @@ def run_concurrency(
             ((f"k{i % CONCURRENCY_KEYS}", i), Interval(10 * i, 10 * i + 50))
             for i in range(CONCURRENCY_KEYS * 2)
         ]
-        database = Database()
+        tempdir = tempfile.TemporaryDirectory(prefix="repro-concurrency-")
+        database = Database.open(os.path.join(tempdir.name, "db"))  # sync=True
         relation = TemporalRelation(Schema(["k", "v"]))
         for values, interval in seed_rows:
             relation.insert(values, interval)
@@ -878,6 +901,11 @@ def run_concurrency(
             for thread in threads:
                 thread.join()
             wall_seconds = time.perf_counter() - wall_started
+            # Telemetry over the live server, both surfaces: the protocol
+            # snapshot and SHOW METRICS must exist and agree.
+            with Client(port=handle.port) as probe:
+                snapshot = probe.metrics()
+                show_rows = probe.execute("SHOW METRICS").rows
 
         if errors:
             raise BenchmarkError(
@@ -919,6 +947,44 @@ def run_concurrency(
                 "serializable equivalence"
             )
 
+        database.close()
+        tempdir.cleanup()
+
+        # The telemetry gates — hard, like the equivalence gate: the metrics
+        # registry is process-global and cumulative, so the bounds are
+        # "covers this round", not exact equality across rounds.
+        metric_commits = snapshot.get("txn.commits", {}).get("value", 0)
+        metric_conflicts = snapshot.get("txn.conflicts", {}).get("value", 0)
+        fsync = snapshot.get("wal.fsync_seconds", {})
+        if metric_commits < len(committed):
+            raise BenchmarkError(
+                f"concurrency/clients={clients}: txn.commits metric "
+                f"({metric_commits}) below the {len(committed)} commits the "
+                "clients recorded"
+            )
+        if metric_conflicts < conflicts[0]:
+            raise BenchmarkError(
+                f"concurrency/clients={clients}: txn.conflicts metric "
+                f"({metric_conflicts}) below the {conflicts[0]} conflicts the "
+                "clients observed"
+            )
+        if not fsync.get("count"):
+            raise BenchmarkError(
+                f"concurrency/clients={clients}: wal.fsync_seconds observed no "
+                "fsync on a durable (sync=True) database"
+            )
+        shown = {
+            (row[0], row[2]): row[3]
+            for row in show_rows
+            if row[1] in ("counter", "gauge")
+        }
+        if shown.get(("txn.commits", "")) != metric_commits:
+            raise BenchmarkError(
+                f"concurrency/clients={clients}: SHOW METRICS reports "
+                f"txn.commits={shown.get(('txn.commits', ''))!r}, the protocol "
+                f"snapshot {metric_commits} — the two surfaces disagree"
+            )
+
         latencies.sort()
         p95 = latencies[min(len(latencies) - 1, int(len(latencies) * 0.95))]
         scenario = {
@@ -933,6 +999,13 @@ def run_concurrency(
             "latency_p95_ms": round(p95 * 1e3, 3),
             "final_tuples": len(final_state),
             "identical": identical,
+            "durable": True,
+            "server_metrics": {
+                "txn_commits": metric_commits,
+                "txn_conflicts": metric_conflicts,
+                "wal_fsync_count": fsync.get("count", 0),
+                "wal_fsync_seconds_sum": round(fsync.get("sum", 0.0), 6),
+            },
         }
         scenarios.append(scenario)
         print(
@@ -940,8 +1013,120 @@ def run_concurrency(
             f"{wall_seconds * 1e3:.1f}ms "
             f"({scenario['throughput_txn_per_s']:.0f} txn/s, "
             f"p95={scenario['latency_p95_ms']:.1f}ms, {conflicts[0]} conflicts) "
-            f"identical={identical}"
+            f"identical={identical} "
+            f"metrics: commits={metric_commits} fsyncs={fsync.get('count', 0)}"
         )
+    return scenarios
+
+
+#: The tracing-overhead bar of ``obs_overhead``: with the observability layer
+#: in place, an *untraced* alignment must stay within this fraction of an
+#: enabled-tracing run's savings — i.e. tracing may cost at most 5%.
+OBS_OVERHEAD_BAR_PERCENT = 5.0
+
+#: Sizes of the overhead scenario — full-scale alignment inputs, where the
+#: per-iterator bookkeeping has real work to hide behind.
+OBS_OVERHEAD_SIZES = (4000,)
+
+
+def run_obs_overhead(
+    sizes: Optional[Sequence[int]] = None, workers: int = 2, repeats: int = 2
+) -> List[dict]:
+    """Cost of the tracing layer on the alignment pipeline.
+
+    The executor's only always-on hook is a single thread-local read per
+    operator-iterator construction (``PhysicalNode.__iter__``); when a trace
+    *is* active every pulled row additionally passes through a measuring
+    generator.  This scenario times the same equi-θ ALIGN plan both ways —
+    best of ``max(repeats, 5)`` runs, no trace active vs a fresh
+    :func:`repro.obs.trace.collect` per run — and reports the relative
+    overhead.
+
+    Hard gates (always): both executions produce the identical relation, and
+    the trace's root span accounts for every output row.  The <5% overhead
+    bar is asserted only under ``REPRO_BENCH_STRICT`` (default on; CI's
+    low-scale smoke bench relaxes it — wall-clock ratios on shared runners
+    are noise) and only at full-scale sizes.
+
+    ``workers`` is unused (the measured plan is single-threaded on purpose:
+    pool scheduling noise would drown a 5% signal) but kept so all native
+    scenarios share the runner's calling convention.
+    """
+    del workers
+    sizes = sizes or scaled_sizes(OBS_OVERHEAD_SIZES)
+    strict = os.environ.get("REPRO_BENCH_STRICT", "1") != "0"
+    runs = max(repeats, 5)
+    scenarios: List[dict] = []
+    for size in sizes:
+        left, right = generate_random(
+            config=SyntheticConfig(size=size, categories=100, seed=42)
+        )
+        database = Database()
+        database.register_relation("l", left)
+        database.register_relation("r", right)
+        plan = align_plan(
+            scan(database, "l", "l"),
+            scan(database, "r", "r"),
+            Comparison("=", Column("l.cat"), Column("r.cat")),
+        )
+        physical = database.plan(plan, Settings(parallel_workers=0))
+
+        untraced_seconds, untraced_rows = _best_of(runs, lambda: list(physical))
+
+        traces: List[obs_trace.QueryTrace] = []
+
+        def traced_run():
+            with obs_trace.collect(physical) as trace:
+                rows = list(physical)
+            traces.append(trace)
+            return rows
+
+        traced_seconds, traced_rows = _best_of(runs, traced_run)
+
+        if sorted(untraced_rows) != sorted(traced_rows):
+            raise BenchmarkError(
+                f"obs_overhead/n={size}: traced execution produced a different "
+                f"relation ({len(traced_rows)} vs {len(untraced_rows)} rows)"
+            )
+        if any(t.root_span.rows_out != len(traced_rows) for t in traces):
+            raise BenchmarkError(
+                f"obs_overhead/n={size}: a trace's root span did not account "
+                f"for all {len(traced_rows)} output rows"
+            )
+        overhead_percent = (
+            (traced_seconds - untraced_seconds) / max(untraced_seconds, 1e-9) * 100.0
+        )
+        if not strict:
+            gate = "skipped(strict-off)"
+        elif size < 1000:
+            gate = "skipped(small-input)"
+        else:
+            gate = "passed" if overhead_percent < OBS_OVERHEAD_BAR_PERCENT else "failed"
+        scenario = {
+            "scenario": "obs_overhead",
+            "family": "random",
+            "size": size,
+            "untraced_seconds": round(untraced_seconds, 6),
+            "traced_seconds": round(traced_seconds, 6),
+            "overhead_percent": round(overhead_percent, 2),
+            "gate": gate,
+            "spans": len(traces[-1].spans()),
+            "output_tuples": len(untraced_rows),
+            "identical": True,
+            "plan": physical.explain().splitlines()[0],
+        }
+        scenarios.append(scenario)
+        print(
+            f"[obs_overhead] random n={size}: untraced="
+            f"{untraced_seconds * 1e3:.1f}ms traced={traced_seconds * 1e3:.1f}ms "
+            f"({overhead_percent:+.1f}%, gate={gate})"
+        )
+        if gate == "failed":
+            raise BenchmarkError(
+                f"obs_overhead/n={size}: tracing overhead {overhead_percent:.1f}% "
+                f"above the {OBS_OVERHEAD_BAR_PERCENT}% bar (set "
+                "REPRO_BENCH_STRICT=0 to report instead of assert)"
+            )
     return scenarios
 
 
@@ -985,6 +1170,10 @@ def write_report(name: str, scenarios: List[dict], output_dir: str, workers: int
         "platform": platform.platform(),
         "cpu_count": os.cpu_count(),
         "scenarios": scenarios,
+        # The process metrics registry as of report time: what the scenarios
+        # drove through the engine (commits, fsyncs, plan dispatch, cache
+        # hits) — the same snapshot a live server returns for SHOW METRICS.
+        "metrics": obs_metrics.REGISTRY.snapshot(),
     }
     os.makedirs(output_dir, exist_ok=True)
     path = os.path.join(output_dir, f"BENCH_{name}.json")
@@ -999,6 +1188,7 @@ NATIVE_SCENARIOS = {
     "columnar_adjustment": run_columnar_adjustment,
     "concurrency": run_concurrency,
     "durability": run_durability,
+    "obs_overhead": run_obs_overhead,
     "parallel_alignment": run_parallel_alignment,
     "parallel_normalization": run_parallel_normalization,
     "view_maintenance": run_view_maintenance,

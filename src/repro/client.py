@@ -64,9 +64,23 @@ class Client:
 
     def execute(self, sql: str) -> Result:
         """Run one statement; returns its result or raises :class:`ServerError`."""
+        response = self._request({"sql": sql})
+        return Result(response["columns"], response["rows"])
+
+    def metrics(self) -> dict:
+        """The server's metrics-registry snapshot (``{cmd: "metrics"}``).
+
+        Returns the same name → instrument mapping ``SHOW METRICS`` flattens
+        into rows: counters/gauges carry ``value`` (and counters optionally
+        ``labels``), histograms carry ``count``, ``sum`` and cumulative
+        ``buckets``.
+        """
+        return self._request({"cmd": "metrics"})["metrics"]
+
+    def _request(self, fields: dict) -> dict:
         request_id = self._next_id
         self._next_id += 1
-        payload = json.dumps({"id": request_id, "sql": sql}) + "\n"
+        payload = json.dumps({"id": request_id, **fields}) + "\n"
         self._socket.sendall(payload.encode("utf-8"))
         line = self._reader.readline()
         if not line:
@@ -80,7 +94,7 @@ class Client:
             kind = response.get("kind", "internal")
             error_type = ConflictError if kind == "conflict" else ServerError
             raise error_type(kind, response.get("error", "unknown server error"))
-        return Result(response["columns"], response["rows"])
+        return response
 
     def run_transaction(
         self,

@@ -21,6 +21,7 @@ import warnings
 import zlib
 from typing import Any, Callable, Hashable, List, Sequence, Tuple, TypeVar
 
+from repro.obs import metrics as obs_metrics
 from repro.relation.tuple import is_null
 
 T = TypeVar("T")
@@ -127,6 +128,9 @@ _warned_fallbacks: "set[str]" = set()
 
 
 def _warn_fallback(key: str, cause: str) -> None:
+    # Every fallback counts — only the *warning* is deduplicated, so CI bench
+    # reports expose silent in-process degradation even when it repeats.
+    obs_metrics.counter("parallel.fallbacks", label_name="cause").inc(label=key)
     if key in _warned_fallbacks:
         return
     _warned_fallbacks.add(key)

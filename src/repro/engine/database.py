@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.engine.executor.base import PhysicalNode
+from repro.obs import log as obs_log
+from repro.obs import trace as obs_trace
 from repro.engine.optimizer.settings import Settings
 from repro.engine.plan import LogicalPlan
 from repro.engine.statistics import StatisticsCatalog, TableStatistics
@@ -53,6 +56,10 @@ class Database:
         self.transactions = TransactionManager(self)
         self._stale_tables: set = set()
         self._relation_listeners: Dict[str, tuple] = {}
+        #: The :class:`~repro.obs.trace.QueryTrace` of the most recent traced
+        #: execution (``EXPLAIN ANALYZE``, :meth:`execute_traced`, or every
+        #: query when ``REPRO_TRACE`` is on).
+        self._last_trace = None
 
     # -- durability ------------------------------------------------------------------
 
@@ -287,10 +294,65 @@ class Database:
         plan: Union[LogicalPlan, PhysicalNode],
         settings: Optional[Settings] = None,
         result_name: str = "result",
+        sql: Optional[str] = None,
     ) -> Table:
-        """Plan (if needed) and run a query, returning the result as a table."""
+        """Plan (if needed) and run a query, returning the result as a table.
+
+        ``sql``, when the caller has it (the SQL front end), is carried into
+        traces and slow-query records.  With ``REPRO_TRACE`` on, every
+        execution collects a :class:`~repro.obs.trace.QueryTrace` retrievable
+        via :meth:`last_trace`.
+        """
         physical = plan if isinstance(plan, PhysicalNode) else self.plan(plan, settings)
-        return Table(result_name, physical.columns, physical.execute())
+        if obs_trace.tracing_enabled():
+            table, _trace = self._run_traced(physical, result_name, sql)
+            return table
+        threshold = obs_log.slow_query_threshold()
+        if threshold is None:
+            return Table(result_name, physical.columns, physical.execute())
+        started = perf_counter()
+        rows = physical.execute()
+        elapsed = perf_counter() - started
+        obs_log.maybe_log_slow_query(sql, elapsed, epoch=self._commit_epoch())
+        return Table(result_name, physical.columns, rows)
+
+    def execute_traced(
+        self,
+        plan: Union[LogicalPlan, PhysicalNode],
+        settings: Optional[Settings] = None,
+        result_name: str = "result",
+        sql: Optional[str] = None,
+    ) -> Tuple[Table, "obs_trace.QueryTrace"]:
+        """Run a query with tracing forced on; returns ``(table, trace)``.
+
+        The programmatic face of ``EXPLAIN ANALYZE``: the returned trace's
+        span tree mirrors the physical plan, annotated with per-operator wall
+        time, row counts and runtime decisions.  Also stored for
+        :meth:`last_trace`.
+        """
+        physical = plan if isinstance(plan, PhysicalNode) else self.plan(plan, settings)
+        return self._run_traced(physical, result_name, sql)
+
+    def _run_traced(
+        self, physical: PhysicalNode, result_name: str, sql: Optional[str]
+    ) -> Tuple[Table, "obs_trace.QueryTrace"]:
+        with obs_trace.collect(physical, sql=sql) as trace:
+            rows = physical.execute()
+        self._last_trace = trace
+        threshold = obs_log.slow_query_threshold()
+        if threshold is not None:
+            obs_log.maybe_log_slow_query(
+                sql, trace.total_seconds, epoch=self._commit_epoch(), trace=trace
+            )
+        return Table(result_name, physical.columns, rows), trace
+
+    def last_trace(self):
+        """The trace of the most recent traced execution (or ``None``)."""
+        return self._last_trace
+
+    def _commit_epoch(self) -> Optional[int]:
+        transactions = self.transactions
+        return None if transactions is None else transactions.commit_epoch
 
     def stream(
         self,

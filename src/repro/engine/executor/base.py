@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Any, Iterator, List, Sequence, Tuple
 
+from repro.obs.trace import _state as _trace_state
 from repro.relation.errors import PlanError
 
 Row = Tuple[Any, ...]
@@ -58,8 +59,18 @@ class PhysicalNode:
         raise NotImplementedError
 
     def __iter__(self) -> Iterator[Row]:
-        """Iterate the node's output (each iteration restarts the pipeline)."""
-        return self.rows()
+        """Iterate the node's output (each iteration restarts the pipeline).
+
+        Every operator pulls from its children through ``iter(child)``, so
+        this is the single choke point where an active
+        :class:`~repro.obs.trace.QueryTrace` wraps the iterator to record
+        wall time and row counts.  With no trace active the cost is one
+        thread-local read.
+        """
+        trace = _trace_state.trace
+        if trace is None:
+            return self.rows()
+        return trace.instrument(self, self.rows())
 
     def execute(self) -> List[Row]:
         """Materialise the full output (convenience for callers and tests).
@@ -68,7 +79,7 @@ class PhysicalNode:
             All output rows as a list; prefer iterating the node when the
             consumer may stop early.
         """
-        return list(self.rows())
+        return list(self)
 
     def explain(self, indent: int = 0) -> str:
         """Physical plan tree with cost estimates (PostgreSQL-style EXPLAIN).

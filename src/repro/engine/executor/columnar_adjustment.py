@@ -13,8 +13,8 @@ visible as the join-strategy choice.
 Correctness never depends on the choice: if the materialised rows cannot be
 batch-encoded (non-integer bounds), the node transparently re-runs the
 equivalent serial row pipeline over the same rows, exactly like the
-partition-parallel executor falls back in-process.  ``EXPLAIN`` after a run
-shows which path executed.
+partition-parallel executor falls back in-process.  A traced execution
+(``EXPLAIN ANALYZE``) annotates the span with which path executed.
 """
 
 from __future__ import annotations
@@ -25,6 +25,7 @@ from typing import Iterator
 from repro.columnar.rows import ColumnarUnsupported, adjust_rows_columnar, kernel_mode
 from repro.engine.executor.base import PhysicalNode, Row
 from repro.engine.executor.partition import AdjustmentTask, run_adjustment_task
+from repro.obs import trace as obs_trace
 
 
 class ColumnarAdjustmentNode(PhysicalNode):
@@ -51,10 +52,6 @@ class ColumnarAdjustmentNode(PhysicalNode):
         self.left = left
         self.right = right
         self.task = task
-        #: How the last execution ran (``"numpy"``, ``"python"`` or
-        #: ``"row-fallback"``); ``None`` before the first execution.  Shown
-        #: by post-run EXPLAIN so a silently degraded batch is visible.
-        self.effective_mode: "str | None" = None
 
     def rows(self) -> Iterator[Row]:
         left_rows = list(self.left)
@@ -67,12 +64,12 @@ class ColumnarAdjustmentNode(PhysicalNode):
             result = run_adjustment_task(
                 replace(self.task, use_columnar=False), left_rows, right_rows
             )
-        self.effective_mode = mode
+        # Recorded on the trace span (``executed=numpy|python|row-fallback``),
+        # never on the node, so a silently degraded batch is visible in
+        # EXPLAIN ANALYZE without leaking state between executions.
+        obs_trace.annotate(self, executed=mode)
         yield from result
 
     def describe(self) -> str:
         kind = "align" if self.task.isalign else "normalize"
-        executed = f", executed={self.effective_mode}" if self.effective_mode else ""
-        return (
-            f"ColumnarAdjustment({kind}, keys={len(self.task.key_pairs)}{executed})"
-        )
+        return f"ColumnarAdjustment({kind}, keys={len(self.task.key_pairs)})"

@@ -32,8 +32,9 @@ vectorized take, and ships only segment names + offsets to the workers (see
 :mod:`repro.columnar.shm`).  Result rows are decoded at the merge boundary
 in the parent.  The pickled-row path below stays the runtime fallback —
 non-integer bounds, a disabled/absent shared-memory facility, or a missing
-NumPy silently revert to it — and post-run ``EXPLAIN`` names the transport
-that actually ran (``ship=shm|pickle``).
+NumPy silently revert to it — and a traced execution (``EXPLAIN ANALYZE``)
+annotates the exchange span with the transport that actually ran
+(``ship=shm|pickle``).
 
 Order insensitivity is a correctness obligation, not an optimisation detail:
 the parallel plan must yield a relation *identical* to the serial plan on
@@ -54,6 +55,8 @@ from repro.engine.executor.joins import HashJoinNode, MergeJoinNode, NestedLoopJ
 from repro.engine.executor.project import ProjectNode
 from repro.engine.executor.sort import SortNode
 from repro.engine.expressions import Expression, IndexColumn
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.relation.errors import PlanError
 
 __all__ = [
@@ -243,27 +246,22 @@ class ExchangeNode(PhysicalNode):
         #: The pickled-row path remains the runtime fallback for rows the
         #: encoding cannot batch or hosts without shared memory.
         self.use_shm = use_shm
-        #: Where the last execution actually ran (``"pool[n]"``,
-        #: ``"in-process"``, ``"in-process (fallback: …)"``); ``None`` before
-        #: the first execution.  EXPLAIN after a run shows it, so a plan that
-        #: silently degraded to serial execution is visible, not just slow.
-        self.effective_mode: "str | None" = None
-        #: Transport of the last execution: ``"shm"`` when partitions were
-        #: shipped as shared-memory columnar frames, ``"pickle"`` when rows
-        #: were pickled to the workers.  ``None`` before the first execution.
-        self.effective_ship: "str | None" = None
         #: Segment registry of the last shared-memory execution (``None``
         #: otherwise).  Cleanup already ran by the time execution returns;
         #: tests use ``shm_registry.handed_out`` to prove no segment leaked.
+        #: Never rendered in EXPLAIN, so re-execution cannot show stale state.
         self.shm_registry = None
 
     def rows(self) -> Iterator[Row]:
+        # Runtime placement decisions (``executed=``, ``ship=``) are recorded
+        # on the active trace's span — not on the node — so repeated
+        # executions of one plan can't show stale annotations.
         if self.use_shm and self.task.use_columnar:
             from repro.columnar.rows import ColumnarUnsupported
             from repro.columnar.shm import ShmUnavailable, shm_adjustment
 
             try:
-                output, self.effective_mode, self.shm_registry = shm_adjustment(
+                output, effective_mode, self.shm_registry = shm_adjustment(
                     self.task,
                     list(self.left.child),
                     list(self.right.child),
@@ -274,10 +272,10 @@ class ExchangeNode(PhysicalNode):
             except (ShmUnavailable, ColumnarUnsupported):
                 pass  # fall through to the pickled-row transport
             else:
-                self.effective_ship = "shm"
+                obs_trace.annotate(self, executed=effective_mode, ship="shm")
+                obs_metrics.counter("exchange.ship").inc(label="shm")
                 yield from output
                 return
-        self.effective_ship = "pickle"
         left_buckets = self.left.partitions()
         right_buckets = self.right.partitions()
         # Partitions without argument rows cannot produce output: the group
@@ -291,23 +289,23 @@ class ExchangeNode(PhysicalNode):
         # parallel_map owns the placement policy (pool vs in-process, fork
         # preference, fallback when a payload cannot be shipped) and reports
         # the placement it chose.
-        results, self.effective_mode = parallel_map_with_mode(
+        results, effective_mode = parallel_map_with_mode(
             _run_payload,
             jobs,
             workers=self.workers,
             total_items=total_rows,
             min_items=self.inprocess_threshold,
         )
+        obs_trace.annotate(self, executed=effective_mode, ship="pickle")
+        obs_metrics.counter("exchange.ship").inc(label="pickle")
         for result in results:
             yield from result
 
     def describe(self) -> str:
         kind = "align" if self.task.isalign else "normalize"
-        executed = f", executed={self.effective_mode}" if self.effective_mode else ""
-        ship = f", ship={self.effective_ship}" if self.effective_ship else ""
         kernel = ", kernel=columnar" if self.task.use_columnar else ""
         return (
             f"Exchange({kind}, workers={self.workers}, "
             f"partitions={self.left.partition_count}, join={self.task.join_strategy}"
-            f"{kernel}{ship}{executed})"
+            f"{kernel})"
         )

@@ -60,6 +60,7 @@ from repro.engine.optimizer import cost
 from repro.engine.optimizer.cost import Estimate
 from repro.engine.optimizer.settings import Settings
 from repro.engine.statistics import IntervalStatistics, overlap_selectivity
+from repro.obs import metrics as obs_metrics
 from repro.relation.errors import PlanError
 
 
@@ -597,6 +598,7 @@ class Planner:
             use_columnar=columnar_ok,
         )
         if parallel is not None:
+            obs_metrics.counter("planner.strategy").inc(label="exchange")
             return parallel
         if columnar_ok:
             settings = self.settings
@@ -635,9 +637,11 @@ class Planner:
                         isalign=isalign,
                         use_columnar=True,
                     )
+                    obs_metrics.counter("planner.strategy").inc(label="columnar")
                     return self._estimated(
                         ColumnarAdjustmentNode(left, right, task), columnar_estimate
                     )
+        obs_metrics.counter("planner.strategy").inc(label="row")
         return serial
 
     def _parallel_adjustment_plan(

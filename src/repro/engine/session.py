@@ -56,10 +56,13 @@ class Session:
         """Run one SQL statement under this session's transaction state."""
         if self.closed:
             raise TransactionError("session is closed")
-        return self.execute_statement(parse(sql_text), settings)
+        return self.execute_statement(parse(sql_text), settings, sql=sql_text)
 
     def execute_statement(
-        self, statement: ast.Statement, settings: Optional[Settings] = None
+        self,
+        statement: ast.Statement,
+        settings: Optional[Settings] = None,
+        sql: Optional[str] = None,
     ) -> Table:
         if isinstance(statement, ast.BeginStatement):
             return self._begin()
@@ -67,9 +70,21 @@ class Session:
             return self._commit()
         if isinstance(statement, ast.RollbackStatement):
             return self._rollback()
+        if isinstance(statement, (ast.ExplainStatement, ast.ShowMetricsStatement)):
+            from repro.sql.explain import execute_observability
+
+            # EXPLAIN inside a transaction plans (and, with ANALYZE, runs)
+            # against the snapshot facade, so it sees exactly what the
+            # transaction's own SELECTs see.  SHOW METRICS is process-global.
+            database = self.database
+            if self.transaction is not None and isinstance(
+                statement, ast.ExplainStatement
+            ):
+                database = self.transaction.snapshot_database().database
+            return execute_observability(database, statement, settings, sql=sql)
         if self.transaction is None:
-            return self._execute_autocommit(statement, settings)
-        return self._execute_transactional(statement, settings)
+            return self._execute_autocommit(statement, settings, sql=sql)
+        return self._execute_transactional(statement, settings, sql=sql)
 
     # -- transaction control ---------------------------------------------------
 
@@ -104,18 +119,24 @@ class Session:
     # -- statement paths -------------------------------------------------------
 
     def _execute_autocommit(
-        self, statement: ast.Statement, settings: Optional[Settings]
+        self,
+        statement: ast.Statement,
+        settings: Optional[Settings],
+        sql: Optional[str] = None,
     ) -> Table:
         from repro.sql.analyzer import Analyzer
         from repro.sql.dml import execute_statement
 
         if isinstance(statement, ast.SelectStatement):
             plan = Analyzer(self.database).analyze(statement)
-            return self.database.execute(plan, settings)
+            return self.database.execute(plan, settings, sql=sql)
         return execute_statement(self.database, statement)
 
     def _execute_transactional(
-        self, statement: ast.Statement, settings: Optional[Settings]
+        self,
+        statement: ast.Statement,
+        settings: Optional[Settings],
+        sql: Optional[str] = None,
     ) -> Table:
         from repro.sql.analyzer import Analyzer
         from repro.sql.dml import compile_delete, compile_insert, compile_update
@@ -125,7 +146,7 @@ class Session:
         if isinstance(statement, ast.SelectStatement):
             facade = transaction.snapshot_database().database
             plan = Analyzer(facade).analyze(statement)
-            return facade.execute(plan, settings)
+            return facade.execute(plan, settings, sql=sql)
         # DML: compile against the committed schema (schemas are not
         # transactional), apply to the deferred workspace.
         if isinstance(statement, ast.InsertStatement):

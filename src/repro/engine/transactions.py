@@ -40,6 +40,7 @@ from __future__ import annotations
 from contextlib import nullcontext
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.obs import metrics as obs_metrics
 from repro.relation.changelog import Delta
 from repro.relation.errors import QueryError
 from repro.relation.mvcc import VersionStore
@@ -365,6 +366,7 @@ class TransactionManager:
             transaction.status = "committed"
             transaction.commit_epoch = transaction.begin_epoch
             self._finish(transaction)
+            obs_metrics.counter("txn.commits").inc()
             return transaction.begin_epoch
 
         conflict = self._detect_conflict(transaction)
@@ -372,6 +374,7 @@ class TransactionManager:
             transaction.status = "aborted"
             self._finish(transaction)
             self.stats["conflicts"] += 1
+            obs_metrics.counter("txn.conflicts").inc()
             raise TransactionConflictError(
                 f"transaction {transaction.id} aborted (first-committer-wins): {conflict}"
             )
@@ -412,6 +415,7 @@ class TransactionManager:
         transaction.commit_epoch = epoch
         self._finish(transaction)
         self.stats["committed"] += 1
+        obs_metrics.counter("txn.commits").inc()
         return epoch
 
     def rollback(self, transaction: Transaction) -> None:
@@ -502,6 +506,7 @@ class SnapshotDatabase:
         facade._stale_tables = set()
         facade._relation_listeners = {}
         facade.transactions = None
+        facade._last_trace = None
         facade.get_table = self.get_table  # type: ignore[method-assign]
         self._tables: Dict[str, Tuple[int, Any]] = {}
 

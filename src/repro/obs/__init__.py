@@ -1,0 +1,20 @@
+"""End-to-end observability: metrics registry, query tracing, slow-query log.
+
+The subsystem is deliberately free of engine dependencies (stdlib only) so
+every layer — relation cache, WAL, transactions, planner, executor, server —
+can import it without cycles:
+
+* :mod:`repro.obs.metrics` — a process-wide, thread-safe registry of named
+  counters, gauges and fixed-bucket histograms, with a JSON-able snapshot
+  and Prometheus text exposition;
+* :mod:`repro.obs.trace` — per-query operator traces (:class:`QueryTrace`)
+  collected by the executor base class with near-zero overhead when tracing
+  is disabled; the backing store of ``EXPLAIN ANALYZE`` and
+  :meth:`~repro.engine.database.Database.last_trace`;
+* :mod:`repro.obs.log` — the structured slow-query logger, gated by the
+  ``REPRO_SLOW_QUERY_MS`` threshold.
+"""
+
+from repro.obs import log, metrics, trace
+
+__all__ = ["log", "metrics", "trace"]

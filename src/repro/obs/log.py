@@ -1,0 +1,81 @@
+"""Structured slow-query log.
+
+Records go through the stdlib :mod:`logging` channel ``repro.obs.slow_query``
+as single-line JSON — one record per query whose wall time crosses the
+threshold.  The threshold comes from the ``REPRO_SLOW_QUERY_MS`` environment
+knob (read once at import; milliseconds) and can be overridden per process
+with :func:`set_slow_query_threshold`.  With no threshold configured the
+database takes no timing at all, so the feature is free when off.
+
+Embedders attach handlers/formatters to the logger as usual; with none
+attached the stdlib "last resort" handler prints the JSON line to stderr.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from typing import Optional
+
+logger = logging.getLogger("repro.obs.slow_query")
+
+
+def _env_threshold() -> Optional[float]:
+    raw = os.environ.get("REPRO_SLOW_QUERY_MS", "").strip()
+    if not raw:
+        return None
+    try:
+        millis = float(raw)
+    except ValueError:
+        return None
+    return millis / 1000.0
+
+
+_THRESHOLD_SECONDS = _env_threshold()
+
+
+def slow_query_threshold() -> Optional[float]:
+    """The active threshold in *seconds*, or ``None`` when logging is off."""
+    return _THRESHOLD_SECONDS
+
+
+def set_slow_query_threshold(milliseconds: Optional[float]) -> None:
+    """Override ``REPRO_SLOW_QUERY_MS`` for this process (tests, embedding)."""
+    global _THRESHOLD_SECONDS
+    _THRESHOLD_SECONDS = None if milliseconds is None else milliseconds / 1000.0
+
+
+def log_slow_query(
+    sql: Optional[str],
+    seconds: float,
+    epoch: Optional[int] = None,
+    trace=None,
+) -> dict:
+    """Emit one structured slow-query record; returns the record emitted."""
+    record = {
+        "event": "slow_query",
+        "sql": sql,
+        "duration_ms": round(seconds * 1000.0, 3),
+        "threshold_ms": (
+            None if _THRESHOLD_SECONDS is None else _THRESHOLD_SECONDS * 1000.0
+        ),
+        "epoch": epoch,
+    }
+    if trace is not None:
+        record["trace"] = trace.summary()
+    logger.warning(json.dumps(record, default=str))
+    return record
+
+
+def maybe_log_slow_query(
+    sql: Optional[str],
+    seconds: float,
+    epoch: Optional[int] = None,
+    trace=None,
+) -> bool:
+    """Log iff a threshold is set and ``seconds`` reaches it."""
+    if _THRESHOLD_SECONDS is None or seconds < _THRESHOLD_SECONDS:
+        return False
+    log_slow_query(sql, seconds, epoch=epoch, trace=trace)
+    return True

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro.obs import metrics as obs_metrics
 from repro.relation.changelog import ChangeLog, Delta
 from repro.relation.errors import DuplicateTupleError, SchemaError
 from repro.relation.schema import Schema
@@ -649,11 +650,14 @@ class TemporalRelation:
         referenced by many adjustment calls pay the preprocessing cost once.
         """
         try:
-            return self._derived_cache[key]
+            value = self._derived_cache[key]
         except KeyError:
+            obs_metrics.counter("relation.derived").inc(label="miss")
             value = builder()
             self._derived_cache[key] = value
             return value
+        obs_metrics.counter("relation.derived").inc(label="hit")
+        return value
 
     def peek_derived(self, key: Any) -> Any:
         """The cached derived structure for ``key``, or ``None`` — never builds.

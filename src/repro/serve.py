@@ -4,11 +4,17 @@ Examples::
 
     python -m repro.serve --path /var/lib/repro/db --port 7654
     python -m repro.serve --memory --port 0          # ephemeral demo server
+    python -m repro.serve --memory --metrics-port 9187   # + Prometheus text
 
 The server owns the database it opens: shutdown (SIGINT/SIGTERM or Ctrl-C)
 rolls back every open transaction, checkpoints, and releases the directory
 LOCK before exiting — killing the server mid-transaction leaves the
 directory cleanly reopenable.
+
+With ``--metrics-port`` a second listener serves the process metrics
+registry in Prometheus text exposition format (``GET /metrics``) from a
+plain asyncio handler — no HTTP library involved, just enough of the
+protocol for a scraper.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.engine.database import Database
+from repro.obs import metrics as obs_metrics
 from repro.server.server import DatabaseServer
 
 
@@ -37,6 +44,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=7654, help="0 binds an ephemeral port")
     parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="also serve Prometheus text exposition on this port "
+        "(GET /metrics; 0 binds an ephemeral port)",
+    )
+    parser.add_argument(
         "--no-sync",
         action="store_true",
         help="skip per-commit fsync (faster; OS-crash data-loss window)",
@@ -51,7 +66,45 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-async def _serve(database: Database, host: str, port: int) -> int:
+async def _handle_metrics_http(
+    reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+) -> None:
+    """Answer one HTTP/1.x request with the Prometheus exposition and close."""
+    try:
+        request_line = await reader.readline()
+        while True:  # drain headers up to the blank line
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+        parts = request_line.split()
+        target = parts[1].decode("latin-1", "replace") if len(parts) >= 2 else "/"
+        if target.split("?", 1)[0] in ("/", "/metrics"):
+            status = b"HTTP/1.1 200 OK\r\n"
+            content_type = b"text/plain; version=0.0.4; charset=utf-8"
+            body = obs_metrics.REGISTRY.render_prometheus().encode("utf-8")
+        else:
+            status = b"HTTP/1.1 404 Not Found\r\n"
+            content_type = b"text/plain; charset=utf-8"
+            body = b"not found; try /metrics\n"
+        writer.write(
+            status
+            + b"content-type: " + content_type + b"\r\n"
+            + b"content-length: " + str(len(body)).encode() + b"\r\n"
+            + b"connection: close\r\n\r\n"
+            + body
+        )
+        await writer.drain()
+    except (ConnectionError, OSError):  # pragma: no cover - client went away
+        pass
+    finally:
+        writer.close()
+        with contextlib.suppress(ConnectionError, OSError):
+            await writer.wait_closed()
+
+
+async def _serve(
+    database: Database, host: str, port: int, metrics_port: Optional[int] = None
+) -> int:
     server = DatabaseServer(database, host, port, owns_database=True)
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
@@ -59,12 +112,23 @@ async def _serve(database: Database, host: str, port: int) -> int:
         with contextlib.suppress(NotImplementedError):  # non-POSIX loops
             loop.add_signal_handler(signum, stop.set)
     await server.start()
+    metrics_server = None
+    if metrics_port is not None:
+        metrics_server = await asyncio.start_server(
+            _handle_metrics_http, host, metrics_port
+        )
+        sockets = metrics_server.sockets or []
+        bound = sockets[0].getsockname()[1] if sockets else metrics_port
+        print(f"metrics on {host}:{bound}", flush=True)
     print(f"serving on {server.host}:{server.port}", flush=True)
     try:
         await stop.wait()
     except KeyboardInterrupt:  # pragma: no cover - fallback without handlers
         pass
     finally:
+        if metrics_server is not None:
+            metrics_server.close()
+            await metrics_server.wait_closed()
         await server.stop()
         print(
             f"server stopped ({server.stats['requests']} requests, "
@@ -86,7 +150,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             auto_checkpoint=arguments.auto_checkpoint,
         )
     try:
-        return asyncio.run(_serve(database, arguments.host, arguments.port))
+        return asyncio.run(
+            _serve(
+                database,
+                arguments.host,
+                arguments.port,
+                metrics_port=arguments.metrics_port,
+            )
+        )
     finally:
         database.close()  # idempotent: a clean shutdown already closed it
 

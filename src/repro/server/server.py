@@ -29,6 +29,7 @@ import threading
 from typing import Dict, Optional
 
 from repro.engine.database import Database
+from repro.obs import metrics as obs_metrics
 from repro.server import protocol
 
 #: Longest accepted request line (64 MiB) — a runaway client must not make
@@ -150,10 +151,18 @@ class DatabaseServer:
     def _serve_request(self, session, line: bytes) -> dict:
         """Execute one request line; never raises (errors become responses)."""
         self.stats["requests"] += 1
+        obs_metrics.counter("server.requests").inc()
         request_id = None
         try:
             request = protocol.decode_line(line)
             request_id = request.get("id")
+            if request.get("cmd") == "metrics":
+                # Telemetry request: the registry snapshot, no SQL involved.
+                return {
+                    "id": request_id,
+                    "ok": True,
+                    "metrics": obs_metrics.REGISTRY.snapshot(),
+                }
             sql = request.get("sql")
             if not isinstance(sql, str):
                 raise ValueError('requests need a "sql" string field')
@@ -163,6 +172,9 @@ class DatabaseServer:
             return protocol.result_response(request_id, table.columns, table.rows)
         except Exception as error:  # noqa: BLE001 - the wire carries the error
             self.stats["errors"] += 1
+            obs_metrics.counter("server.errors", label_name="kind").inc(
+                label=protocol.error_kind(error)
+            )
             return protocol.error_response(request_id, error)
 
 

@@ -232,6 +232,28 @@ class CheckpointStatement:
     """
 
 
+# -- observability ---------------------------------------------------------------------
+
+
+@dataclass
+class ExplainStatement:
+    """``EXPLAIN [ANALYZE] SELECT ...`` — the plan, optionally executed.
+
+    Plain ``EXPLAIN`` renders the costed physical plan without running it;
+    ``EXPLAIN ANALYZE`` executes the query under a
+    :class:`~repro.obs.trace.QueryTrace` and renders the plan tree annotated
+    with per-operator wall time, row counts and runtime decisions.
+    """
+
+    statement: "Statement"
+    analyze: bool = False
+
+
+@dataclass
+class ShowMetricsStatement:
+    """``SHOW METRICS`` — the process metrics registry as a result table."""
+
+
 # -- transactions ----------------------------------------------------------------------
 
 
@@ -266,6 +288,8 @@ Statement = Union[
     DropViewStatement,
     RefreshViewStatement,
     CheckpointStatement,
+    ExplainStatement,
+    ShowMetricsStatement,
     BeginStatement,
     CommitStatement,
     RollbackStatement,

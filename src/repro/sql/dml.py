@@ -81,6 +81,11 @@ def _tuple_predicate(
 
 def execute_statement(database: Database, statement: ast.Statement) -> Table:
     """Run one non-SELECT statement and return its status table."""
+    from repro.sql.explain import execute_observability
+
+    observability = execute_observability(database, statement)
+    if observability is not None:
+        return observability
     if isinstance(statement, ast.InsertStatement):
         return _execute_insert(database, statement)
     if isinstance(statement, ast.UpdateStatement):

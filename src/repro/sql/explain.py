@@ -1,0 +1,78 @@
+"""Execution of the observability statements: ``EXPLAIN [ANALYZE]``, ``SHOW METRICS``.
+
+Both return ordinary result tables so every surface (embedded
+:class:`~repro.sql.interface.Connection`, transactional
+:class:`~repro.engine.session.Session`, network client) renders them with the
+machinery it already has:
+
+* ``EXPLAIN`` → one ``plan`` column, one row per plan-tree line;
+* ``EXPLAIN ANALYZE`` → the same tree annotated with per-operator actuals
+  from the :class:`~repro.obs.trace.QueryTrace` of a real execution;
+* ``SHOW METRICS`` → ``(metric, type, label, value)`` rows flattened from the
+  process registry snapshot (histograms emit ``count``, ``sum`` and one
+  cumulative ``le=`` row per bucket).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.optimizer.settings import Settings
+from repro.engine.table import Table
+from repro.obs import metrics as obs_metrics
+from repro.relation.errors import QueryError
+from repro.sql import ast
+
+
+def execute_explain(
+    database,
+    statement: ast.ExplainStatement,
+    settings: Optional[Settings] = None,
+    sql: Optional[str] = None,
+) -> Table:
+    """Run ``EXPLAIN [ANALYZE]``; returns a one-column ``plan`` table."""
+    inner = statement.statement
+    if not isinstance(inner, ast.SelectStatement):
+        raise QueryError(
+            f"EXPLAIN supports queries only, not {type(inner).__name__}"
+        )
+    from repro.sql.analyzer import Analyzer
+
+    plan = Analyzer(database).analyze(inner)
+    if not statement.analyze:
+        text = database.plan(plan, settings).explain()
+    else:
+        _table, trace = database.execute_traced(plan, settings, sql=sql)
+        text = trace.render()
+    return Table("result", ("plan",), [(line,) for line in text.splitlines()])
+
+
+def metrics_table() -> Table:
+    """The ``SHOW METRICS`` result over the process registry."""
+    rows = []
+    for name, entry in obs_metrics.REGISTRY.snapshot().items():
+        kind = entry["type"]
+        if kind == "histogram":
+            rows.append((name, kind, "count", entry["count"]))
+            rows.append((name, kind, "sum", entry["sum"]))
+            for bound, cumulative in entry["buckets"]:
+                rows.append((name, kind, f"le={bound}", cumulative))
+        else:
+            rows.append((name, kind, "", entry["value"]))
+            for label, value in sorted(entry.get("labels", {}).items()):
+                rows.append((name, kind, label, value))
+    return Table("metrics", ("metric", "type", "label", "value"), rows)
+
+
+def execute_observability(
+    database,
+    statement,
+    settings: Optional[Settings] = None,
+    sql: Optional[str] = None,
+) -> Optional[Table]:
+    """Dispatch an observability statement, or ``None`` if it is not one."""
+    if isinstance(statement, ast.ExplainStatement):
+        return execute_explain(database, statement, settings, sql=sql)
+    if isinstance(statement, ast.ShowMetricsStatement):
+        return metrics_table()
+    return None

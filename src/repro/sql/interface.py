@@ -62,7 +62,16 @@ class Connection:
         """Run a statement and return the result (or DML status) table."""
         statement = parse(sql_text)
         if isinstance(statement, ast.SelectStatement):
-            return self.database.execute(self.analyzer.analyze(statement), settings)
+            return self.database.execute(
+                self.analyzer.analyze(statement), settings, sql=sql_text
+            )
+        from repro.sql.explain import execute_observability
+
+        observability = execute_observability(
+            self.database, statement, settings, sql=sql_text
+        )
+        if observability is not None:
+            return observability
         from repro.sql.dml import execute_statement
 
         return execute_statement(self.database, statement)

@@ -26,6 +26,8 @@ KEYWORDS = {
     "VALID", "CREATE", "MATERIALIZED", "VIEW", "DROP", "REFRESH", "CHECKPOINT",
     # Transactions.
     "BEGIN", "COMMIT", "ROLLBACK", "TRANSACTION", "WORK",
+    # Observability.
+    "EXPLAIN", "ANALYZE", "SHOW", "METRICS",
 }
 
 _TOKEN_RE = re.compile(

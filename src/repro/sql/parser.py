@@ -112,6 +112,17 @@ class _Parser:
         if self.check_keyword("CHECKPOINT"):
             self.advance()
             return ast.CheckpointStatement()
+        if self.check_keyword("EXPLAIN"):
+            self.advance()
+            analyze = self.accept_keyword("ANALYZE") is not None
+            inner = self.parse_any_statement()
+            if isinstance(inner, ast.ExplainStatement):
+                raise self.error("EXPLAIN cannot be nested")
+            return ast.ExplainStatement(inner, analyze=analyze)
+        if self.check_keyword("SHOW"):
+            self.advance()
+            self.expect_keyword("METRICS")
+            return ast.ShowMetricsStatement()
         if self.check_keyword("BEGIN", "COMMIT", "ROLLBACK"):
             keyword = self.advance().value
             self.accept_keyword("TRANSACTION", "WORK")  # optional noise words

@@ -36,7 +36,10 @@ from __future__ import annotations
 
 import gc
 import os
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
+
+from repro.obs import metrics as obs_metrics
 
 try:  # POSIX only; on other platforms the double-open guard is advisory-off
     import fcntl
@@ -314,6 +317,7 @@ class StorageEngine:
             raise StorageError("storage engine is closed")
         if self._poisoned is not None:
             raise StorageError(f"storage engine is poisoned ({self._poisoned})")
+        started = perf_counter()
         self.database.views.refresh_all()
         state = snapshot_module.encode_database(self.database)
         # A failure up to and including write_snapshot is harmless: the old
@@ -333,6 +337,9 @@ class StorageEngine:
             raise StorageError(self._poisoned) from error
         self._records_since_checkpoint = 0
         self.stats["checkpoints"] += 1
+        obs_metrics.histogram("storage.checkpoint_seconds").observe(
+            perf_counter() - started
+        )
         return written
 
     def close(self) -> None:

@@ -33,7 +33,10 @@ import os
 import pickle
 import struct
 import zlib
+from time import perf_counter
 from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs import metrics as obs_metrics
 
 MAGIC = b"RWAL"
 FORMAT_VERSION = 1
@@ -177,7 +180,9 @@ class WalWriter:
     def _flush(self, force: bool) -> None:
         self._handle.flush()
         if self.sync or force:
+            started = perf_counter()
             os.fsync(self._handle.fileno())
+            obs_metrics.histogram("wal.fsync_seconds").observe(perf_counter() - started)
 
     def close(self) -> None:
         if not self._handle.closed:

@@ -37,6 +37,7 @@ from repro.core.sweep import ThetaPredicate
 from repro.engine.optimizer import cost
 from repro.engine.optimizer.settings import Settings
 from repro.engine.table import Table
+from repro.obs import metrics as obs_metrics
 from repro.relation.changelog import ChangeLogTruncatedError, Delta
 from repro.relation.relation import TemporalRelation
 from repro.relation.schema import Schema
@@ -49,6 +50,14 @@ from repro.relation.tuple import TemporalTuple
 #: closures) are what views carry so their definitions survive in snapshots
 #: and the write-ahead log.
 DownstreamOp = Tuple[Any, ...]
+
+
+def _count_refresh(outcome: str) -> str:
+    """Count a non-trivial refresh on ``view.refresh{incremental|recompute}``."""
+    obs_metrics.counter("view.refresh").inc(
+        label="recompute" if outcome == "recomputed" else "incremental"
+    )
+    return outcome
 
 
 def compile_downstream(spec: Sequence[DownstreamOp]) -> List[Tuple[str, Any, str]]:
@@ -182,7 +191,7 @@ class _AdjustedView:
         """
         if force:
             self.recompute()
-            return "recomputed"
+            return _count_refresh("recomputed")
         base_deltas = self._pull(self.base, self._base_cursor)
         ref_deltas = (
             base_deltas
@@ -191,7 +200,7 @@ class _AdjustedView:
         )
         if base_deltas is None or ref_deltas is None:
             self.recompute()
-            return "recomputed"
+            return _count_refresh("recomputed")
         if not base_deltas and not ref_deltas:
             return "fresh"
 
@@ -203,12 +212,12 @@ class _AdjustedView:
         )
         if strategy == "recompute":
             self.recompute()
-            return "recomputed"
+            return _count_refresh("recomputed")
 
         self._maintain(base_deltas, ref_deltas)
         self.stats["incremental"] += 1
         self.stats["deltas"] += pending
-        return "incremental"
+        return _count_refresh("incremental")
 
     def _maintain(self, base_deltas: List[Delta], ref_deltas: List[Delta]) -> None:
         affected: Set[int] = set()
@@ -658,7 +667,7 @@ class RecomputeView:
         self._table = self.database.execute(self.plan, result_name=self.name)
         self._tokens = self._current_tokens()
         self.stats["recomputed"] += 1
-        return "recomputed"
+        return _count_refresh("recomputed")
 
     def snapshot_table(self) -> Table:
         self.refresh()

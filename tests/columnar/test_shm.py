@@ -18,6 +18,7 @@ from repro.engine.executor import ExchangeNode
 from repro.engine.expressions import Column, Comparison
 from repro.engine.optimizer.settings import Settings
 from repro.engine.temporal_plans import align_plan, normalize_plan, scan
+from repro.obs import trace as obs_trace
 from repro.workloads.synthetic import SyntheticConfig, generate_random
 
 pytestmark = pytest.mark.skipif(not numpy_available(), reason="NumPy not installed")
@@ -255,9 +256,10 @@ class TestShmAdjustment:
 class TestExchangeIntegration:
     def test_exchange_run_leaves_no_segments(self):
         exchange = _exchange("align")
-        rows = list(exchange.execute())
+        with obs_trace.collect(exchange) as trace:
+            rows = list(exchange.execute())
         assert rows
-        assert exchange.effective_ship == "shm"
+        assert trace.span_for(exchange).attributes["ship"] == "shm"
         assert exchange.shm_registry is not None
         _assert_no_leaks(exchange.shm_registry)
 
@@ -269,6 +271,7 @@ class TestExchangeIntegration:
         reference.use_shm = False
         monkeypatch.setenv("REPRO_SHM", "0")
         assert exchange.use_shm  # as planned before the knob flipped
-        rows = sorted(exchange.execute())
-        assert exchange.effective_ship == "pickle"
+        with obs_trace.collect(exchange) as trace:
+            rows = sorted(exchange.execute())
+        assert trace.span_for(exchange).attributes["ship"] == "pickle"
         assert rows == sorted(reference.execute())

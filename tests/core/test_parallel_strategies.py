@@ -12,6 +12,7 @@ import pytest
 
 from repro import predicates
 from repro.core import parallel as parallel_support
+from repro.obs import metrics as obs_metrics
 from repro.core.alignment import align_relation
 from repro.core.normalization import normalize, normalize_pair
 from repro.workloads.synthetic import (
@@ -155,12 +156,15 @@ class TestFallbackIsLoudAndObservable:
     def test_unpicklable_worker_warns_once_and_reports_fallback_mode(self):
         payloads = list(range(6))
         unpicklable = lambda x: x * 2  # noqa: E731 - the point is the closure
+        fallbacks = obs_metrics.counter("parallel.fallbacks", label_name="cause")
+        before = fallbacks.total
         with pytest.warns(RuntimeWarning, match="fell back to the in-process path"):
             results, mode = parallel_support.parallel_map_with_mode(
                 unpicklable, payloads, workers=2, total_items=10_000, min_items=0
             )
         assert results == [x * 2 for x in payloads]
         assert mode.startswith("in-process (fallback:")
+        assert fallbacks.total == before + 1
         # The same cause warns only once per process.
         import warnings as warnings_module
 
@@ -170,18 +174,23 @@ class TestFallbackIsLoudAndObservable:
                 unpicklable, payloads, workers=2, total_items=10_000, min_items=0
             )
         assert again == results and mode_again == mode
+        # ... but the counter is not deduplicated: every degradation counts.
+        assert fallbacks.total == before + 2
 
     def test_pool_creation_failure_warns_and_names_the_cause(self, monkeypatch):
         def refuse(*_args, **_kwargs):
             raise OSError("no process spawning in this sandbox")
 
         monkeypatch.setattr(parallel_support.multiprocessing, "get_context", refuse)
+        fallbacks = obs_metrics.counter("parallel.fallbacks", label_name="cause")
+        before = fallbacks.value("pool:OSError")
         with pytest.warns(RuntimeWarning, match="worker pool unavailable"):
             results, mode = parallel_support.parallel_map_with_mode(
                 _double, [1, 2, 3], workers=4, total_items=10_000, min_items=0
             )
         assert results == [2, 4, 6]
         assert "fallback" in mode and "OSError" in mode
+        assert fallbacks.value("pool:OSError") == before + 1
 
     def test_small_inputs_stay_in_process_without_warning(self):
         import warnings as warnings_module

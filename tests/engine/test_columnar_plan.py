@@ -10,6 +10,7 @@ from repro.engine.executor import ColumnarAdjustmentNode, ExchangeNode
 from repro.engine.expressions import Column, Comparison, PythonPredicate
 from repro.engine.optimizer.settings import Settings
 from repro.engine.temporal_plans import align_plan, normalize_plan, scan
+from repro.obs import trace as obs_trace
 from repro.workloads.synthetic import SyntheticConfig, generate_random
 
 needs_numpy = pytest.mark.skipif(not numpy_available(), reason="NumPy not installed")
@@ -171,12 +172,16 @@ class TestColumnarExecution:
             assert sorted(database.execute(plan, parallel).rows) == expected
 
     @needs_numpy
-    def test_explain_after_run_shows_kernel_backend(self):
+    def test_trace_after_run_shows_kernel_backend(self):
         database = _database()
         physical = database.plan(_align(database), COLUMNAR)
         assert "executed=" not in physical.explain()
-        list(physical)
-        assert "executed=numpy" in physical.explain()
+        with obs_trace.collect(physical) as trace:
+            list(physical)
+        assert trace.span_for(physical).attributes["executed"] == "numpy"
+        assert "executed=numpy" in trace.render()
+        # The static plan text never mutates — annotations live on the trace.
+        assert "executed=" not in physical.explain()
 
     @needs_numpy
     def test_unencodable_rows_fall_back_to_row_pipeline(self):
@@ -192,8 +197,9 @@ class TestColumnarExecution:
         )
         physical = database.plan(plan, COLUMNAR)
         assert isinstance(physical, ColumnarAdjustmentNode)
-        rows = sorted(physical.execute())
-        assert physical.effective_mode == "row-fallback"
+        with obs_trace.collect(physical) as trace:
+            rows = sorted(physical.execute())
+        assert trace.span_for(physical).attributes["executed"] == "row-fallback"
         assert rows == sorted(database.execute(plan, ROW).rows)
 
     def test_pure_python_kernels_match_row_pipeline(self):
@@ -204,8 +210,9 @@ class TestColumnarExecution:
         if numpy_available():
             physical = database.plan(plan, COLUMNAR)
             with forced_python():
-                columnar_rows = sorted(physical.execute())
-                assert physical.effective_mode == "python"
+                with obs_trace.collect(physical) as trace:
+                    columnar_rows = sorted(physical.execute())
+                assert trace.span_for(physical).attributes["executed"] == "python"
         else:
             pytest.skip("NumPy not installed; planner never emits the node")
         assert columnar_rows == sorted(database.execute(plan, ROW).rows)

@@ -27,6 +27,8 @@ from repro.engine.executor import (
 from repro.engine.expressions import Column, Comparison
 from repro.engine.optimizer.settings import Settings
 from repro.engine.temporal_plans import align_plan, normalize_plan, scan
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.relation.errors import PlanError
 from repro.workloads.synthetic import (
     SyntheticConfig,
@@ -210,21 +212,28 @@ class TestExchangeNode:
             ExchangeNode(exchange.left, other, exchange.task, workers=2)
 
 
-class TestEffectiveModeInExplain:
-    """EXPLAIN after execution names where the Exchange actually ran."""
+class TestEffectiveModeInTrace:
+    """A traced run records where the Exchange actually ran — on the span.
+
+    The ``executed=`` annotation lives on the :class:`QueryTrace` span, never
+    on the node: plan text (``explain()``) stays static, and re-executing one
+    plan can't show a stale placement.
+    """
 
     def test_pooled_execution_records_mode(self, monkeypatch):
         monkeypatch.setenv("REPRO_PARALLEL_MIN_TUPLES", "1")
         database = _database("random")
         physical = database.plan(_align(database), PARALLEL)
         assert isinstance(physical, ExchangeNode)
-        assert physical.effective_mode is None
         assert "executed=" not in physical.explain()
-        physical.execute()
-        assert physical.effective_mode.startswith("pool[")
-        assert "executed=pool[" in physical.explain()
+        with obs_trace.collect(physical) as trace:
+            physical.execute()
+        assert trace.span_for(physical).attributes["executed"].startswith("pool[")
+        assert "executed=pool[" in trace.render()
+        # The node itself is untouched: plan text never carries run state.
+        assert "executed=" not in physical.explain()
 
-    def test_fallback_is_visible_on_the_node(self, monkeypatch):
+    def test_fallback_is_visible_on_the_span_and_counted(self, monkeypatch):
         from repro.core import parallel as parallel_support
 
         parallel_support._warned_fallbacks.clear()
@@ -233,15 +242,38 @@ class TestEffectiveModeInExplain:
             raise OSError("pools disabled")
 
         monkeypatch.setenv("REPRO_PARALLEL_MIN_TUPLES", "1")
+        monkeypatch.setenv("REPRO_SHM", "0")  # the shm transport has no pool to lose
         monkeypatch.setattr(parallel_support.multiprocessing, "get_context", refuse)
         database = _database("random")
         physical = database.plan(_align(database), PARALLEL)
         serial_rows = sorted(database.execute(_align(database), SERIAL).rows)
+        fallbacks = obs_metrics.counter("parallel.fallbacks", label_name="cause")
+        before = fallbacks.value("pool:OSError")
         with pytest.warns(RuntimeWarning, match="worker pool unavailable"):
-            rows = sorted(physical.execute())
+            with obs_trace.collect(physical) as trace:
+                rows = sorted(physical.execute())
         assert rows == serial_rows  # the fallback never changes the relation
-        assert "fallback" in physical.effective_mode
-        assert "executed=in-process (fallback:" in physical.explain()
+        assert "fallback" in trace.span_for(physical).attributes["executed"]
+        assert "executed=in-process (fallback:" in trace.render()
+        assert fallbacks.value("pool:OSError") == before + 1
+
+    def test_reexecution_shows_fresh_annotations_not_stale_ones(self, monkeypatch):
+        # Regression: annotations once lived on the node, so a plan whose
+        # second execution took a different path kept showing the first one.
+        monkeypatch.setenv("REPRO_PARALLEL_MIN_TUPLES", "1")
+        monkeypatch.setenv("REPRO_SHM", "0")
+        database = _database("random")
+        physical = database.plan(_align(database), PARALLEL)
+        assert isinstance(physical, ExchangeNode)
+        with obs_trace.collect(physical) as first:
+            physical.execute()
+        assert first.span_for(physical).attributes["executed"].startswith("pool[")
+        physical.workers = 1  # the second run must take the in-process path
+        with obs_trace.collect(physical) as second:
+            physical.execute()
+        assert second.span_for(physical).attributes["executed"] == "in-process"
+        assert "pool[" not in second.render()
+        assert "executed=" not in physical.explain()
 
 
 class TestShipCostCrossover:
@@ -291,8 +323,8 @@ class TestShipCostCrossover:
         assert "Exchange(align" in explain
 
 
-class TestShmShipInExplain:
-    """Post-run EXPLAIN reports the transport that actually ran."""
+class TestShmShipInTrace:
+    """A traced run reports the transport that actually ran."""
 
     def test_shm_ship_recorded_after_execution(self):
         if not numpy_available():
@@ -301,12 +333,14 @@ class TestShmShipInExplain:
         physical = database.plan(_align(database), PARALLEL)
         assert isinstance(physical, ExchangeNode)
         assert physical.use_shm
-        assert "ship=" not in physical.explain()  # undecided until run time
+        assert "ship=" not in physical.explain()  # plan text is static
         serial_rows = sorted(database.execute(_align(database), SERIAL).rows)
-        rows = sorted(physical.execute())
+        with obs_trace.collect(physical) as trace:
+            rows = sorted(physical.execute())
         assert rows == serial_rows
-        assert physical.effective_ship == "shm"
-        assert "ship=shm" in physical.explain()
+        assert trace.span_for(physical).attributes["ship"] == "shm"
+        assert "ship=shm" in trace.render()
+        assert "ship=" not in physical.explain()
 
     def test_pickle_ship_recorded_when_shm_unavailable(self, monkeypatch):
         if not numpy_available():
@@ -316,6 +350,8 @@ class TestShmShipInExplain:
         assert isinstance(physical, ExchangeNode)
         monkeypatch.setenv("REPRO_SHM", "0")  # flips under the planned node
         serial_rows = sorted(database.execute(_align(database), SERIAL).rows)
-        assert sorted(physical.execute()) == serial_rows
-        assert physical.effective_ship == "pickle"
-        assert "ship=pickle" in physical.explain()
+        with obs_trace.collect(physical) as trace:
+            rows = sorted(physical.execute())
+        assert rows == serial_rows
+        assert trace.span_for(physical).attributes["ship"] == "pickle"
+        assert "ship=pickle" in trace.render()

@@ -1,0 +1,168 @@
+"""Unit tests of the process metrics registry (``repro.obs.metrics``)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_and_total(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(3)
+        assert counter.total == 4
+        assert counter.value() == 4
+
+    def test_one_label_dimension(self):
+        counter = Counter("server.errors", label_name="kind")
+        counter.inc(label="parse")
+        counter.inc(2, label="conflict")
+        counter.inc()  # unlabeled increments only the total
+        assert counter.total == 4
+        assert counter.value("parse") == 1
+        assert counter.value("conflict") == 2
+        assert counter.value("absent") == 0
+        assert counter.labels() == {"parse": 1, "conflict": 2}
+
+    def test_snapshot_shape(self):
+        counter = Counter("c", label_name="cause")
+        assert counter._snapshot() == {"type": "counter", "value": 0}
+        counter.inc(label="x")
+        assert counter._snapshot() == {
+            "type": "counter",
+            "value": 1,
+            "labels": {"x": 1},
+        }
+
+    def test_thread_safety_under_contention(self):
+        counter = Counter("c")
+
+        def hammer():
+            for _ in range(1000):
+                counter.inc(label="t")
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.total == 4000
+        assert counter.value("t") == 4000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value == 6
+        assert gauge._snapshot() == {"type": "gauge", "value": 6}
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        histogram = Histogram("h", buckets=(0.01, 0.1, 1.0))
+        histogram.observe(0.005)
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(5.0)  # above the last bound: +Inf only
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(5.555)
+        snapshot = histogram._snapshot()
+        # Exposed cumulatively, the conventional ``le`` form.
+        assert snapshot["buckets"] == [[0.01, 1], [0.1, 2], [1.0, 3]]
+        assert snapshot["count"] == 4
+
+    def test_default_buckets_span_fsync_to_checkpoint(self):
+        assert LATENCY_BUCKETS[0] <= 0.0001
+        assert LATENCY_BUCKETS[-1] >= 10.0
+        assert list(LATENCY_BUCKETS) == sorted(LATENCY_BUCKETS)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_the_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+        assert registry.get("a") is registry.counter("a")
+        assert registry.get("missing") is None
+
+    def test_kind_mismatch_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.histogram("x")
+
+    def test_reset_zeroes_values_but_keeps_registrations(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(7, label="l")
+        registry.gauge("g").set(3)
+        registry.histogram("h").observe(0.2)
+        registry.reset()
+        assert registry.counter("c").total == 0
+        assert registry.counter("c").labels() == {}
+        assert registry.gauge("g").value == 0
+        assert registry.histogram("h").count == 0
+        assert set(registry.snapshot()) == {"c", "g", "h"}
+
+    def test_snapshot_is_json_able_and_sorted(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.gauge("a").set(1)
+        registry.histogram("c", buckets=(0.1,)).observe(0.05)
+        snapshot = registry.snapshot()
+        assert list(snapshot) == ["a", "b", "c"]
+        json.dumps(snapshot)  # must not raise
+
+    def test_process_registry_helpers_share_one_store(self):
+        counter = obs_metrics.counter("tests.obs.shared")
+        before = counter.total
+        obs_metrics.counter("tests.obs.shared").inc()
+        assert obs_metrics.REGISTRY.counter("tests.obs.shared").total == before + 1
+
+
+class TestPrometheusRendering:
+    def test_counter_gauge_histogram_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("txn.commits").inc(2)
+        registry.counter("server.errors", label_name="kind").inc(label="parse")
+        registry.gauge("sessions").set(3)
+        registry.histogram("wal.fsync_seconds", buckets=(0.001, 0.01)).observe(0.002)
+        text = registry.render_prometheus()
+        assert "# TYPE txn_commits counter" in text
+        assert "txn_commits_total 2" in text
+        assert 'server_errors{kind="parse"} 1' in text
+        assert "server_errors_total 1" in text
+        assert "sessions 3" in text
+        assert '# TYPE wal_fsync_seconds histogram' in text
+        assert 'wal_fsync_seconds_bucket{le="0.001"} 0' in text
+        assert 'wal_fsync_seconds_bucket{le="0.01"} 1' in text
+        assert 'wal_fsync_seconds_bucket{le="+Inf"} 1' in text
+        assert "wal_fsync_seconds_count 1" in text
+        assert text.endswith("\n")
+
+    def test_names_and_label_values_are_sanitized(self):
+        registry = MetricsRegistry()
+        registry.counter("view.refresh{odd}", label_name="why?").inc(
+            label='quo"te\nline'
+        )
+        text = registry.render_prometheus()
+        assert "# TYPE view_refresh_odd_ counter" in text
+        assert 'why_="quo\\"te\\nline"' in text

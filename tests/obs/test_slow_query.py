@@ -1,0 +1,105 @@
+"""The threshold-gated slow-query log (``repro.obs.log``)."""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import pytest
+
+from repro.engine.database import Database
+from repro.obs import log as obs_log
+from repro.relation.relation import TemporalRelation
+from repro.relation.schema import Schema
+from repro.temporal.interval import Interval
+
+
+@pytest.fixture(autouse=True)
+def _restore_threshold():
+    previous = obs_log.slow_query_threshold()
+    yield
+    obs_log.set_slow_query_threshold(
+        None if previous is None else previous * 1000.0
+    )
+
+
+def _database():
+    database = Database()
+    relation = TemporalRelation(Schema(["k", "v"]))
+    relation.insert(("a", 1), Interval(0, 10))
+    database.register_relation("t", relation)
+    return database
+
+
+def _plan(database):
+    from repro.engine.temporal_plans import scan
+
+    return scan(database, "t", "t")
+
+
+class TestThreshold:
+    def test_off_by_default_and_per_process_override(self):
+        obs_log.set_slow_query_threshold(None)
+        assert obs_log.slow_query_threshold() is None
+        assert obs_log.maybe_log_slow_query("SELECT 1", 100.0) is False
+        obs_log.set_slow_query_threshold(250)
+        assert obs_log.slow_query_threshold() == pytest.approx(0.25)
+
+    def test_env_knob_parses_milliseconds(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SLOW_QUERY_MS", "150")
+        assert obs_log._env_threshold() == pytest.approx(0.15)
+        monkeypatch.setenv("REPRO_SLOW_QUERY_MS", "not-a-number")
+        assert obs_log._env_threshold() is None
+        monkeypatch.delenv("REPRO_SLOW_QUERY_MS")
+        assert obs_log._env_threshold() is None
+
+    def test_gate_fires_at_and_above_the_threshold(self, caplog):
+        obs_log.set_slow_query_threshold(100)
+        with caplog.at_level(logging.WARNING, logger="repro.obs.slow_query"):
+            assert obs_log.maybe_log_slow_query("fast", 0.05) is False
+            assert obs_log.maybe_log_slow_query("slow", 0.2) is True
+        assert len(caplog.records) == 1
+        record = json.loads(caplog.records[0].getMessage())
+        assert record["event"] == "slow_query"
+        assert record["sql"] == "slow"
+        assert record["duration_ms"] == 200.0
+        assert record["threshold_ms"] == 100.0
+
+
+class TestDatabaseIntegration:
+    def test_every_query_logs_with_a_zero_threshold(self, caplog):
+        database = _database()
+        plan = _plan(database)
+        obs_log.set_slow_query_threshold(0)
+        with caplog.at_level(logging.WARNING, logger="repro.obs.slow_query"):
+            database.execute(plan, sql="SELECT k FROM t")
+        assert len(caplog.records) == 1
+        record = json.loads(caplog.records[0].getMessage())
+        assert record["sql"] == "SELECT k FROM t"
+        assert record["duration_ms"] >= 0.0
+        # Untraced execution: the record carries no operator breakdown.
+        assert "trace" not in record
+
+    def test_traced_slow_query_embeds_the_span_summary(self, caplog):
+        from repro.obs import trace as obs_trace
+
+        database = _database()
+        plan = _plan(database)
+        obs_log.set_slow_query_threshold(0)
+        obs_trace.set_tracing(True)
+        try:
+            with caplog.at_level(logging.WARNING, logger="repro.obs.slow_query"):
+                database.execute(plan, sql="SELECT k FROM t")
+        finally:
+            obs_trace.set_tracing(False)
+        record = json.loads(caplog.records[0].getMessage())
+        assert record["trace"]["root"]["operator"]
+        assert record["trace"]["total_seconds"] >= 0.0
+
+    def test_no_threshold_means_no_records(self, caplog):
+        database = _database()
+        plan = _plan(database)
+        obs_log.set_slow_query_threshold(None)
+        with caplog.at_level(logging.WARNING, logger="repro.obs.slow_query"):
+            database.execute(plan, sql="SELECT k FROM t")
+        assert not caplog.records

@@ -6,6 +6,8 @@ exercises the full serving lifecycle the unit tests can't: a real
 delivered while a transaction is open.  The assertions:
 
 * the server boots on an ephemeral port and answers queries;
+* ``--metrics-port`` serves Prometheus text exposition over plain HTTP, and
+  the page reflects the traffic the server just handled;
 * SIGTERM mid-transaction exits cleanly (code 0) — open work rolls back;
 * the directory LOCK is released: the database reopens in-process, and the
   recovered state is exactly the committed prefix (the in-flight
@@ -34,20 +36,62 @@ from repro.relation.schema import Schema  # noqa: E402
 BOOT_TIMEOUT = 30.0
 
 
-def wait_for_port(process: subprocess.Popen) -> int:
-    """Read the server's "serving on host:port" banner off stdout."""
+def wait_for_ports(process: subprocess.Popen) -> "tuple[int, int]":
+    """Read the "metrics on" and "serving on" banners off stdout.
+
+    The metrics banner prints first (``--metrics-port`` binds before the
+    protocol listener announces itself), so both appear before any query
+    can be served.
+    """
     deadline = time.monotonic() + BOOT_TIMEOUT
     assert process.stdout is not None
+    metrics_port = None
     while time.monotonic() < deadline:
         line = process.stdout.readline()
         if not line:
             raise SystemExit(
                 f"server exited before binding (code {process.poll()})"
             )
+        match = re.search(r"metrics on [\w.]+:(\d+)", line)
+        if match:
+            metrics_port = int(match.group(1))
         match = re.search(r"serving on [\w.]+:(\d+)", line)
         if match:
-            return int(match.group(1))
+            if metrics_port is None:
+                raise SystemExit("serving banner appeared before metrics banner")
+            return int(match.group(1)), metrics_port
     raise SystemExit("server never printed its port")
+
+
+def check_metrics_endpoint(metrics_port: int) -> None:
+    """GET /metrics must return Prometheus text reflecting served traffic."""
+    import urllib.request
+
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{metrics_port}/metrics", timeout=10
+    ) as response:
+        assert response.status == 200, response.status
+        content_type = response.headers.get("Content-Type", "")
+        assert content_type.startswith("text/plain"), content_type
+        body = response.read().decode("utf-8")
+    assert "# TYPE server_requests counter" in body, body[:400]
+    assert "server_requests_total" in body
+    # The database is durable (sync on commit): fsyncs must be visible.
+    assert "wal_fsync_seconds_count" in body
+
+
+def check_metrics_404(metrics_port: int) -> None:
+    import urllib.error
+    import urllib.request
+
+    try:
+        urllib.request.urlopen(
+            f"http://127.0.0.1:{metrics_port}/nowhere", timeout=10
+        )
+    except urllib.error.HTTPError as error:
+        assert error.code == 404, error.code
+    else:
+        raise SystemExit("unknown path did not 404")
 
 
 def main() -> int:
@@ -62,14 +106,24 @@ def main() -> int:
         env["PYTHONPATH"] = os.path.join(REPO, "src")
         env["PYTHONUNBUFFERED"] = "1"
         process = subprocess.Popen(
-            [sys.executable, "-m", "repro.serve", "--path", db_path, "--port", "0"],
+            [
+                sys.executable,
+                "-m",
+                "repro.serve",
+                "--path",
+                db_path,
+                "--port",
+                "0",
+                "--metrics-port",
+                "0",
+            ],
             stdout=subprocess.PIPE,
             stderr=subprocess.STDOUT,
             text=True,
             env=env,
         )
         try:
-            port = wait_for_port(process)
+            port, metrics_port = wait_for_ports(process)
             client = Client("127.0.0.1", port)
             client.execute(
                 "INSERT INTO smoke (k, v) VALUES ('committed', 1) "
@@ -77,6 +131,9 @@ def main() -> int:
             )
             rows = client.execute("SELECT k, v FROM smoke").rows
             assert rows == [["committed", 1]], rows
+
+            check_metrics_endpoint(metrics_port)
+            check_metrics_404(metrics_port)
 
             # Leave a transaction open across the SIGTERM: shutdown must roll
             # it back, not poison the engine or leak the LOCK.

@@ -1,0 +1,92 @@
+"""Server-exposed telemetry: ``{cmd: "metrics"}``, and the conflict counter.
+
+The headline assertion of the observability PR's concurrency satellite:
+``txn.conflicts`` must equal the number of :class:`ConflictError`\\ s clients
+actually observed — the metric is the wire errors, counted server-side.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client import Client, ConflictError, ServerError
+from repro.engine.database import Database
+from repro.obs import metrics as obs_metrics
+from repro.relation.relation import TemporalRelation
+from repro.relation.schema import Schema
+from repro.server import serve_in_thread
+from repro.temporal.interval import Interval
+
+
+@pytest.fixture
+def database():
+    db = Database()
+    relation = TemporalRelation(Schema(["k", "v"]))
+    relation.insert(("a", 1), Interval(0, 10))
+    db.register_relation("t", relation)
+    return db
+
+
+class TestMetricsCommand:
+    def test_metrics_request_returns_the_registry_snapshot(self, database):
+        requests = obs_metrics.counter("server.requests")
+        with serve_in_thread(database) as handle:
+            with Client(port=handle.port) as client:
+                client.execute("SELECT k FROM t")
+                before = requests.total
+                snapshot = client.metrics()
+        assert snapshot["server.requests"]["type"] == "counter"
+        # The metrics request itself is a request too.
+        assert snapshot["server.requests"]["value"] == before + 1
+        # Interleaved queries keep working on the same connection.
+        assert isinstance(snapshot, dict)
+
+    def test_show_metrics_and_cmd_metrics_agree(self, database):
+        with serve_in_thread(database) as handle:
+            with Client(port=handle.port) as client:
+                client.execute("BEGIN")
+                client.execute(
+                    "INSERT INTO t (k, v) VALUES ('b', 2) VALID PERIOD [0, 5)"
+                )
+                client.execute("COMMIT")
+                snapshot = client.metrics()
+                shown = {
+                    (row[0], row[2]): row[3]
+                    for row in client.execute("SHOW METRICS").rows
+                }
+        assert snapshot["txn.commits"]["value"] >= 1
+        assert shown[("txn.commits", "")] == snapshot["txn.commits"]["value"]
+
+    def test_errors_are_counted_by_kind(self, database):
+        errors = obs_metrics.counter("server.errors", label_name="kind")
+        before = errors.value("syntax")
+        with serve_in_thread(database) as handle:
+            with Client(port=handle.port) as client:
+                with pytest.raises(ServerError):
+                    client.execute("SELEKT nonsense")
+                snapshot = client.metrics()
+        assert errors.value("syntax") == before + 1
+        assert snapshot["server.errors"]["labels"]["syntax"] >= before + 1
+
+
+class TestConflictCounter:
+    def test_txn_conflicts_equals_observed_conflict_errors(self, database):
+        """Every ConflictError a client sees is one ``txn.conflicts`` tick."""
+        counter = obs_metrics.counter("txn.conflicts")
+        before = counter.total
+        observed = 0
+        rounds = 3
+        with serve_in_thread(database) as handle:
+            with Client(port=handle.port) as first, Client(port=handle.port) as second:
+                for round_index in range(rounds):
+                    first.execute("BEGIN")
+                    second.execute("BEGIN")
+                    first.execute(f"UPDATE t SET v = {10 + round_index} WHERE t.k = 'a'")
+                    second.execute(f"UPDATE t SET v = {20 + round_index} WHERE t.k = 'a'")
+                    first.execute("COMMIT")  # first committer wins
+                    try:
+                        second.execute("COMMIT")
+                    except ConflictError:
+                        observed += 1
+        assert observed == rounds  # same-tuple writers always collide
+        assert counter.total == before + observed
