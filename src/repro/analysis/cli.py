@@ -1,0 +1,73 @@
+"""``python -m repro.analysis [--json] [paths]`` — run the invariant checker.
+
+Exit status: 0 when the tree is clean (suppressed findings included —
+they are *documented* exceptions), 1 when any finding (including stale or
+malformed suppressions) survives, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.driver import analyze_paths
+from repro.analysis.registry import all_rules
+
+
+def default_target() -> Path:
+    """The ``repro`` package this checker shipped with (``src/repro``)."""
+    return Path(__file__).resolve().parents[1]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Repo-specific static invariant checker (rule catalog: "
+        "docs/static-analysis.md).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to analyze (default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable report on stdout"
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        metavar="RULE-ID",
+        help="run only this rule (repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    arguments = build_parser().parse_args(argv)
+    if arguments.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id:24s} {rule.summary}")
+        return 0
+    paths = list(arguments.paths) or [default_target()]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+    try:
+        report = analyze_paths(paths, rule_ids=arguments.rule)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if arguments.json:
+        json.dump(report.to_json(), sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        print(report.render_human())
+    return report.exit_code

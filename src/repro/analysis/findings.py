@@ -1,0 +1,71 @@
+"""Findings: what a rule reports, addressed as ``file:line:rule-id``.
+
+A finding is deliberately small — one file position plus one sentence — so
+the same object serves the human renderer, the ``--json`` machine output and
+the test fixtures without translation layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source position.
+
+    ``file`` is the path exactly as the caller handed it to the driver (the
+    CLI passes repo-relative paths through unchanged, so CI logs and editors
+    agree on the address).  ``line``/``col`` are 1-based/0-based as in the
+    :mod:`ast` convention.
+    """
+
+    file: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """``file:line:col: rule-id: message`` — the grep-able human form."""
+        return f"{self.file}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class SuppressedFinding:
+    """A finding silenced by an inline ``# repro: allow(rule): reason``.
+
+    Kept (not dropped) so the summary can tally intentional exceptions and
+    reviewers can audit every reason in one place.
+    """
+
+    finding: Finding
+    reason: str
+
+    def to_json(self) -> Dict[str, Any]:
+        entry = self.finding.to_json()
+        entry["reason"] = self.reason
+        return entry
+
+
+def finding(
+    file: str, node: Any, rule: str, message: str, line: Optional[int] = None
+) -> Finding:
+    """Build a :class:`Finding` from an AST node (or an explicit line)."""
+    return Finding(
+        file=file,
+        line=line if line is not None else getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        rule=rule,
+        message=message,
+    )

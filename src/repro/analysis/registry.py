@@ -1,0 +1,55 @@
+"""The rule registry: one id, one summary, one check function per contract.
+
+Rules register themselves at import time via the :func:`rule` decorator;
+importing :mod:`repro.analysis.rules` populates the registry.  A check
+receives the module under analysis plus the shared session (cross-module
+facts such as the declared ``Settings`` fields) and yields findings.
+
+Adding a rule is three steps, documented in ``docs/static-analysis.md``:
+write the check in a new module under ``rules/``, import it from
+``rules/__init__.py``, and add a firing fixture under ``tests/analysis/``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List
+
+from repro.analysis.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.analysis.driver import AnalysisSession, ModuleContext
+
+CheckFunction = Callable[["ModuleContext", "AnalysisSession"], Iterable[Finding]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered contract check."""
+
+    id: str
+    summary: str
+    check: CheckFunction
+
+
+#: All registered rules, keyed by id, in registration order.
+RULES: Dict[str, Rule] = {}
+
+
+def rule(rule_id: str, summary: str) -> Callable[[CheckFunction], CheckFunction]:
+    """Register ``check`` under ``rule_id`` (decorator)."""
+
+    def register(check: CheckFunction) -> CheckFunction:
+        if rule_id in RULES:
+            raise ValueError(f"rule id {rule_id!r} registered twice")
+        RULES[rule_id] = Rule(rule_id, summary, check)
+        return check
+
+    return register
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, importing the built-in set on first use."""
+    import repro.analysis.rules  # noqa: F401 - registration side effect
+
+    return list(RULES.values())

@@ -1,0 +1,28 @@
+"""The built-in rule set — importing this package registers every rule.
+
+One module per contract; the rule ids, in catalog order:
+
+========================  =====================================================
+``mutation-funnel``       R1 — relation state mutates only via the funnel
+``trace-only-annotations``  R2 — executors annotate traces, not node state
+``shm-lifecycle``         R3 — shared-memory segments are registry-owned
+``pool-payload``          R4 — pool payloads stay picklable and server-free
+``no-blocking-in-async``  R5 — no blocking calls on the event loop
+``metrics-discipline``    R6 — literal, module-scope metric registration
+``settings-knob``         R7 — every Settings read names a declared field
+``swallowed-error``       R8 — no silent except in storage/server code
+========================  =====================================================
+
+The catalog with each contract's *why* lives in ``docs/static-analysis.md``.
+"""
+
+from repro.analysis.rules import (  # noqa: F401 - registration side effects
+    async_blocking,
+    error_swallow,
+    metrics_discipline,
+    mutation_funnel,
+    pool_payloads,
+    settings_knobs,
+    shm_lifecycle,
+    trace_annotations,
+)

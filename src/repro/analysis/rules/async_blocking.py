@@ -1,0 +1,83 @@
+"""R5 ``no-blocking-in-async``: nothing blocks the event loop.
+
+The server's correctness argument (PR 7) is that a statement runs to
+completion *without awaiting*, so statements are structurally serialized —
+but that same single-threaded loop means one blocking call freezes every
+connected client, the metrics endpoint and shutdown handling at once.  This
+rule bans the classic offenders inside ``async def`` bodies in ``server/``
+and ``serve.py``: ``time.sleep``, ``os.fsync``-family calls, ``subprocess``
+use, builtin ``open`` and the eager :class:`pathlib.Path` read/write
+helpers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.findings import Finding, finding
+from repro.analysis.registry import rule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.driver import AnalysisSession, ModuleContext
+
+RULE_ID = "no-blocking-in-async"
+
+#: Fully qualified callables that block the calling thread.
+_BANNED_QUALIFIED = {
+    "time.sleep",
+    "os.fsync",
+    "os.fdatasync",
+    "os.sync",
+    "os.system",
+    "os.wait",
+    "os.waitpid",
+}
+
+#: Attribute names that read/write files eagerly wherever they appear.
+_BANNED_ATTRS = {"read_text", "write_text", "read_bytes", "write_bytes"}
+
+
+def _body_without_nested_functions(func: ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+    """Walk the statements executed in the coroutine's own frame."""
+    stack: list = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue  # a nested def body runs in its own frame, checked there
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@rule(RULE_ID, "async server code must not call blocking primitives")
+def check(module: ModuleContext, session: AnalysisSession) -> Iterator[Finding]:
+    if "server" not in module.path.parts and module.path.name != "serve.py":
+        return
+    for func in ast.walk(module.tree):
+        if not isinstance(func, ast.AsyncFunctionDef):
+            continue
+        for node in _body_without_nested_functions(func):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = module.resolve(node.func) or ""
+            blocking = None
+            if resolved in _BANNED_QUALIFIED:
+                blocking = resolved
+            elif resolved == "open" or resolved.endswith(".open"):
+                blocking = "open()"
+            elif resolved == "subprocess" or resolved.startswith("subprocess."):
+                blocking = resolved
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _BANNED_ATTRS
+            ):
+                blocking = f".{node.func.attr}()"
+            if blocking is not None:
+                yield finding(
+                    module.display,
+                    node,
+                    RULE_ID,
+                    f"blocking call {blocking} inside async def {func.name}; "
+                    "it stalls every client on the event loop — run it before "
+                    "serving, in an executor, or not at all",
+                )

@@ -1,0 +1,77 @@
+"""R8 ``swallowed-error``: no silent broad except where poisoning matters.
+
+The storage engine's failure semantics are deliberate: a failed WAL append
+or checkpoint *poisons* the engine (it refuses further commits rather than
+let memory lead the log), and the server maps every error onto a typed wire
+response.  A ``except: pass`` — or a broad ``except Exception`` whose body
+only ``pass``/``break``/``continue``s — in these modules converts a
+poison-worthy failure into silent divergence between memory and disk (or a
+client left waiting).  Scoped to ``storage/``, ``server/`` and ``serve.py``;
+narrow except types (``FileNotFoundError``, ``ConnectionError``,
+``CancelledError``) are fine — it is silence about *unknown* failures that
+is banned.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.findings import Finding, finding
+from repro.analysis.registry import rule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.driver import AnalysisSession, ModuleContext
+
+RULE_ID = "swallowed-error"
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _is_broad(type_node: ast.expr | None) -> bool:
+    if type_node is None:
+        return True  # bare except
+    if isinstance(type_node, ast.Name):
+        return type_node.id in _BROAD
+    if isinstance(type_node, ast.Attribute):
+        return type_node.attr in _BROAD
+    if isinstance(type_node, ast.Tuple):
+        return any(_is_broad(element) for element in type_node.elts)
+    return False
+
+
+def _swallows(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body does nothing with the failure."""
+    for statement in handler.body:
+        if isinstance(statement, (ast.Pass, ast.Break, ast.Continue)):
+            continue
+        if isinstance(statement, ast.Expr) and isinstance(statement.value, ast.Constant):
+            continue  # a bare docstring/ellipsis is still silence
+        return False
+    return True
+
+
+@rule(RULE_ID, "storage/server code must not silently swallow broad exceptions")
+def check(module: ModuleContext, session: AnalysisSession) -> Iterator[Finding]:
+    parts = module.path.parts
+    if not ("storage" in parts or "server" in parts or module.path.name == "serve.py"):
+        return
+    for handler in ast.walk(module.tree):
+        if not isinstance(handler, ast.ExceptHandler):
+            continue
+        if handler.type is None:
+            yield finding(
+                module.display,
+                handler,
+                RULE_ID,
+                "bare except: in poisoning-sensitive code; name the "
+                "exceptions this path is allowed to absorb",
+            )
+        elif _is_broad(handler.type) and _swallows(handler):
+            yield finding(
+                module.display,
+                handler,
+                RULE_ID,
+                "broad except swallows the failure silently; storage/server "
+                "failures must poison, propagate, or be handled visibly",
+            )

@@ -1,0 +1,130 @@
+"""R6 ``metrics-discipline``: literal names, one label, module-scope registration.
+
+The metrics registry (PR 8) is get-or-create by *name*: a dynamic or
+misspelled name silently forks a metric into two series, and a name outside
+the ``snake.dotted`` grammar stops round-tripping through the Prometheus
+sanitizer (``relation.derived`` → ``relation_derived``) — two raw names can
+even collide post-sanitization.  Registration also takes the registry lock;
+doing it per call on a hot path (the derived-cache counter sits inside every
+index probe) pays that lock for nothing.  Hence the discipline:
+
+* ``counter``/``gauge``/``histogram`` call sites pass a **literal** name
+  matching ``[a-z][a-z0-9_]*(\\.[a-z0-9_]+)*``;
+* a counter declares at most the one label dimension the API supports, with
+  a literal ``label_name``;
+* instruments are registered **at module scope** (a module-level constant);
+  hot paths then call ``.inc()``/``.observe()`` on the constant.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.analysis.findings import Finding, finding
+from repro.analysis.registry import rule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.driver import AnalysisSession, ModuleContext
+
+RULE_ID = "metrics-discipline"
+
+_KINDS = {"counter", "gauge", "histogram"}
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)*$")
+_LABEL_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+_ALLOWED_KWARGS = {"counter": {"label_name"}, "gauge": set(), "histogram": {"buckets"}}
+_MAX_POSITIONAL = {"counter": 2, "gauge": 1, "histogram": 2}
+
+
+def _registration_kind(module: ModuleContext, call: ast.Call) -> Optional[str]:
+    """``counter``/``gauge``/``histogram`` when ``call`` registers a metric."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        resolved = module.resolve(func) or ""
+        head, _, tail = resolved.rpartition(".")
+        if tail in _KINDS and head in ("repro.obs.metrics", "repro.obs"):
+            return tail
+        return None
+    if isinstance(func, ast.Attribute) and func.attr in _KINDS:
+        base = module.resolve(func.value) or ""
+        if base in ("repro.obs.metrics", "repro.obs.metrics.REGISTRY") or base.endswith(
+            ".REGISTRY"
+        ) or base == "REGISTRY":
+            return func.attr
+    return None
+
+
+@rule(RULE_ID, "metric registration is literal, single-label and module-scope")
+def check(module: ModuleContext, session: AnalysisSession) -> Iterator[Finding]:
+    if module.relative_to("obs", "metrics.py"):
+        return  # the registry's own implementation and wrappers
+    for call in ast.walk(module.tree):
+        if not isinstance(call, ast.Call):
+            continue
+        kind = _registration_kind(module, call)
+        if kind is None:
+            continue
+
+        name_arg: Optional[ast.expr] = call.args[0] if call.args else None
+        for keyword in call.keywords:
+            if keyword.arg == "name":
+                name_arg = keyword.value
+        if not (isinstance(name_arg, ast.Constant) and isinstance(name_arg.value, str)):
+            yield finding(
+                module.display,
+                call,
+                RULE_ID,
+                f"{kind}() needs a literal string name; a dynamic name can "
+                "silently fork a metric into two series",
+            )
+        elif not _NAME_RE.match(name_arg.value):
+            yield finding(
+                module.display,
+                call,
+                RULE_ID,
+                f"metric name {name_arg.value!r} is outside the "
+                "snake.dotted grammar [a-z][a-z0-9_]*(.[a-z0-9_]+)* that "
+                "survives Prometheus sanitization unambiguously",
+            )
+
+        if len(call.args) > _MAX_POSITIONAL[kind]:
+            yield finding(
+                module.display,
+                call,
+                RULE_ID,
+                f"{kind}() takes at most {_MAX_POSITIONAL[kind]} positional "
+                "argument(s); metrics carry at most one label dimension",
+            )
+        for keyword in call.keywords:
+            if keyword.arg in (None, "name"):
+                continue
+            if keyword.arg not in _ALLOWED_KWARGS[kind]:
+                yield finding(
+                    module.display,
+                    call,
+                    RULE_ID,
+                    f"{kind}() does not accept {keyword.arg!r}; metrics carry "
+                    "at most one label dimension (label_name on counters)",
+                )
+            elif keyword.arg == "label_name" and not (
+                isinstance(keyword.value, ast.Constant)
+                and isinstance(keyword.value.value, str)
+                and _LABEL_RE.match(keyword.value.value)
+            ):
+                yield finding(
+                    module.display,
+                    call,
+                    RULE_ID,
+                    "label_name must be a literal matching [a-z][a-z0-9_]*",
+                )
+
+        if not module.at_module_scope(call):
+            yield finding(
+                module.display,
+                call,
+                RULE_ID,
+                f"{kind}() registered inside a function; register the "
+                "instrument once at module scope and call .inc()/.observe() "
+                "on the constant (registration takes the registry lock)",
+            )

@@ -1,0 +1,117 @@
+"""R4 ``pool-payload``: pool payloads stay picklable and server-free.
+
+:func:`~repro.core.parallel.parallel_map` ships payloads to fork/spawn pool
+workers by pickling.  Two regressions have actually happened here: slotted
+classes silently stopped pickling under ``__slots__`` (PR 2 added
+``__reduce__`` to ``Interval``/``TemporalTuple`` for exactly this), and a
+payload module importing ``asyncio``/server code would drag an event loop
+into every pool worker on spawn platforms.  The rule checks the payload
+classes (``AdjustmentTask``, ``ShmJob`` and the value types they carry) in
+whatever module defines them:
+
+* a class with ``__slots__`` (or ``@dataclass(slots=True)``) must define
+  ``__reduce__``/``__reduce_ex__``/``__getstate__``;
+* the defining module must not import ``asyncio``, ``repro.server`` or
+  ``repro.serve``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator, List
+
+from repro.analysis.findings import Finding, finding
+from repro.analysis.registry import rule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.driver import AnalysisSession, ModuleContext
+
+RULE_ID = "pool-payload"
+
+#: Classes shipped (directly or inside rows) through ``parallel_map``.
+PAYLOAD_CLASSES = {
+    "AdjustmentTask",
+    "ShmJob",
+    "SegmentBlock",
+    "TemporalTuple",
+    "Interval",
+}
+
+#: Modules a payload-defining module must never import.
+FORBIDDEN_IMPORTS = ("asyncio", "repro.server", "repro.serve")
+
+_PICKLE_HOOKS = {"__reduce__", "__reduce_ex__", "__getstate__"}
+
+
+def _has_slots(class_def: ast.ClassDef) -> bool:
+    for item in class_def.body:
+        if isinstance(item, ast.Assign):
+            if any(
+                isinstance(t, ast.Name) and t.id == "__slots__" for t in item.targets
+            ):
+                return True
+        elif isinstance(item, ast.AnnAssign):
+            if isinstance(item.target, ast.Name) and item.target.id == "__slots__":
+                return True
+    for decorator in class_def.decorator_list:
+        if isinstance(decorator, ast.Call):
+            for keyword in decorator.keywords:
+                if (
+                    keyword.arg == "slots"
+                    and isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is True
+                ):
+                    return True
+    return False
+
+
+def _forbidden_import(node: ast.AST) -> str | None:
+    modules: List[str] = []
+    if isinstance(node, ast.Import):
+        modules = [alias.name for alias in node.names]
+    elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+        modules = [node.module]
+    for name in modules:
+        for forbidden in FORBIDDEN_IMPORTS:
+            if name == forbidden or name.startswith(forbidden + "."):
+                return name
+    return None
+
+
+@rule(RULE_ID, "parallel_map payload classes stay picklable; their modules stay server-free")
+def check(module: ModuleContext, session: AnalysisSession) -> Iterator[Finding]:
+    payload_classes = [
+        node
+        for node in ast.walk(module.tree)
+        if isinstance(node, ast.ClassDef) and node.name in PAYLOAD_CLASSES
+    ]
+    if not payload_classes:
+        return
+
+    for class_def in payload_classes:
+        defines_hook = any(
+            isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and item.name in _PICKLE_HOOKS
+            for item in class_def.body
+        )
+        if _has_slots(class_def) and not defines_hook:
+            yield finding(
+                module.display,
+                class_def,
+                RULE_ID,
+                f"pool payload class {class_def.name} declares __slots__ but no "
+                "__reduce__/__getstate__; slotted payloads silently fail to "
+                "pickle into pool workers",
+            )
+
+    for node in ast.walk(module.tree):
+        name = _forbidden_import(node)
+        if name is not None:
+            yield finding(
+                module.display,
+                node,
+                RULE_ID,
+                f"module defines pool payload classes but imports {name}; "
+                "payload modules must stay free of asyncio/server code so "
+                "workers never inherit an event loop",
+            )

@@ -1,0 +1,58 @@
+"""R7 ``settings-knob``: every ``settings.<knob>`` read names a declared field.
+
+:class:`~repro.engine.optimizer.settings.Settings` is a plain dataclass, so
+``settings.colummar_min_rows`` (note the typo) is not an error anywhere —
+it raises ``AttributeError`` only on the execution path that reaches it,
+which for optimizer gates is exactly the path no test covers at small
+sizes.  Worse, a *dead* knob (declared once, read never after a rename)
+keeps accepting ``SET``-style overrides that do nothing.  This rule checks
+every attribute read off a name/attribute called ``settings`` against the
+fields and methods declared on the ``Settings`` class — the declaration is
+parsed from source (fixtures may carry their own ``settings.py``; the real
+tree resolves to ``repro/engine/optimizer/settings.py``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.findings import Finding, finding
+from repro.analysis.registry import rule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.driver import AnalysisSession, ModuleContext
+
+RULE_ID = "settings-knob"
+
+
+def _is_settings_expression(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id == "settings"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "settings"
+    return False
+
+
+@rule(RULE_ID, "settings.<knob> reads must name a declared Settings field")
+def check(module: ModuleContext, session: AnalysisSession) -> Iterator[Finding]:
+    declared = session.settings_fields()
+    if declared is None:
+        return  # no Settings declaration reachable; nothing to validate against
+    if module.path.name == "settings.py":
+        return  # the declaration itself
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Attribute):
+            continue
+        if not _is_settings_expression(node.value):
+            continue
+        knob = node.attr
+        if knob.startswith("__") or knob in declared:
+            continue
+        yield finding(
+            module.display,
+            node,
+            RULE_ID,
+            f"settings.{knob} is not a declared Settings field; a typo'd "
+            "knob raises only on the untested execution path that reaches it",
+        )

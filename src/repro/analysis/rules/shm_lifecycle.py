@@ -1,0 +1,50 @@
+"""R3 ``shm-lifecycle``: every shared-memory segment is registry-owned.
+
+A ``multiprocessing.shared_memory`` segment is a *named kernel object*: it
+outlives the process that created it unless someone unlinks it, and a worker
+that dies mid-task cannot clean up after itself.  PR 6's answer is the
+:class:`~repro.columnar.shm.SegmentRegistry` — every name is recorded
+*before* any worker runs and ``cleanup()`` unlinks every handed-out name
+unconditionally.  A ``SharedMemory(...)`` call outside the registry is a
+leak waiting for the first crashed worker; this rule keeps all segment
+creation/attachment inside ``SegmentRegistry`` (or explicitly suppressed
+with a reason explaining whose registry owns the name).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.findings import Finding, finding
+from repro.analysis.registry import rule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.driver import AnalysisSession, ModuleContext
+
+RULE_ID = "shm-lifecycle"
+
+#: Call names that create or attach a segment.
+_SEGMENT_CALLS = {"SharedMemory", "create_segment"}
+
+
+@rule(RULE_ID, "SharedMemory segments are created/attached only via SegmentRegistry")
+def check(module: ModuleContext, session: AnalysisSession) -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", "")
+        if name not in _SEGMENT_CALLS:
+            continue
+        enclosing_class = module.enclosing_class(node)
+        if enclosing_class is not None and enclosing_class.name == "SegmentRegistry":
+            continue
+        yield finding(
+            module.display,
+            node,
+            RULE_ID,
+            f"{name}(...) outside SegmentRegistry: segment names must be "
+            "registry-owned so cleanup() can unlink them even when the "
+            "creating worker died",
+        )

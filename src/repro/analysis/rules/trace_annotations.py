@@ -1,0 +1,66 @@
+"""R2 ``trace-only-annotations``: executors annotate traces, not node state.
+
+PR 8 moved the executor's post-run facts (``executed=``, ``ship=``) off the
+physical nodes and onto trace spans so that ``explain()`` is static before
+*and* after execution and a plan can be re-run without leaking state between
+runs.  An operator that assigns ``self.<attr>`` after ``__init__`` regresses
+exactly that: node state survives across iterations, EXPLAIN output starts
+depending on execution history, and concurrent traces of the same plan tree
+race.  Run-time facts belong on the active span via
+:func:`repro.obs.trace.annotate`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.findings import Finding, finding
+from repro.analysis.registry import rule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.driver import AnalysisSession, ModuleContext
+
+RULE_ID = "trace-only-annotations"
+
+
+def _is_node_class(class_def: ast.ClassDef) -> bool:
+    """Whether the class subclasses a physical operator (a ``*Node`` base)."""
+    for base in class_def.bases:
+        name = base.attr if isinstance(base, ast.Attribute) else getattr(base, "id", "")
+        if name.endswith("Node"):
+            return True
+    return False
+
+
+@rule(RULE_ID, "executor operators must not assign node attributes post-__init__")
+def check(module: ModuleContext, session: AnalysisSession) -> Iterator[Finding]:
+    if "executor" not in module.path.parts:
+        return
+    for class_def in ast.walk(module.tree):
+        if not isinstance(class_def, ast.ClassDef) or not _is_node_class(class_def):
+            continue
+        for method in class_def.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name == "__init__":
+                continue
+            for node in ast.walk(method):
+                if not isinstance(node, (ast.Assign, ast.AugAssign)):
+                    continue
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        yield finding(
+                            module.display,
+                            node,
+                            RULE_ID,
+                            f"{class_def.name}.{method.name} assigns "
+                            f"self.{target.attr} at run time; operators record "
+                            "run-time facts via trace.annotate(node, ...), not "
+                            "node state",
+                        )

@@ -1,0 +1,104 @@
+"""Inline suppressions: ``# repro: allow(<rule-id>): <reason>``.
+
+A suppression silences findings of one rule on one line.  It covers the
+physical line it sits on; when the comment stands alone on its line it covers
+the next code line instead (long statements under the 100-column limit).
+
+Suppressions are themselves linted:
+
+* a suppression that silences nothing is *stale* and becomes a
+  ``stale-suppression`` finding — contracts change, and a leftover allow
+  would silently re-open the hole it once documented;
+* an allow without a reason, or naming an unknown rule, is a
+  ``malformed-suppression`` finding — the reason is the contract's audit
+  trail, not decoration.
+
+Comments are found with :mod:`tokenize`, not a regex over raw lines, so an
+``allow(...)`` inside a string literal never counts as a suppression.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Rule id of the "suppression suppresses nothing" meta finding.
+STALE_RULE = "stale-suppression"
+#: Rule id of the "suppression is unusable as written" meta finding.
+MALFORMED_RULE = "malformed-suppression"
+
+#: Anything that *looks* like an attempted suppression; the strict form is
+#: matched second so near-misses are reported instead of silently ignored.
+_ATTEMPT = re.compile(r"#\s*repro:\s*allow\b")
+_STRICT = re.compile(
+    r"#\s*repro:\s*allow\(\s*(?P<rule>[a-z][a-z0-9-]*)\s*\)\s*:\s*(?P<reason>\S.*)$"
+)
+
+
+@dataclass
+class Suppression:
+    """One parsed ``allow`` comment and its match bookkeeping."""
+
+    comment_line: int  # where the comment physically sits
+    covered_line: int  # the code line it silences
+    rule: str
+    reason: str
+    used: bool = field(default=False)
+
+
+@dataclass
+class SuppressionIndex:
+    """All suppressions of one module, addressable by (line, rule)."""
+
+    suppressions: List[Suppression]
+    malformed: List[Suppression]  # rule == "" marks an unparseable attempt
+    _by_line: Dict[int, List[Suppression]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for s in self.suppressions:
+            self._by_line.setdefault(s.covered_line, []).append(s)
+
+    def claim(self, line: int, rule: str) -> Optional[Suppression]:
+        """The suppression covering ``line`` for ``rule``, marked used."""
+        for s in self._by_line.get(line, ()):
+            if s.rule == rule:
+                s.used = True
+                return s
+        return None
+
+    def stale(self) -> List[Suppression]:
+        return [s for s in self.suppressions if not s.used]
+
+
+def _comment_only(source_line: str) -> bool:
+    return source_line.lstrip().startswith("#")
+
+
+def collect_suppressions(source: str) -> SuppressionIndex:
+    """Parse every ``repro: allow`` comment out of ``source``."""
+    lines = source.splitlines()
+    suppressions: List[Suppression] = []
+    malformed: List[Suppression] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        # The driver reports the parse error separately; no comments to read.
+        return SuppressionIndex([], [])
+    for token in tokens:
+        if token.type != tokenize.COMMENT or not _ATTEMPT.search(token.string):
+            continue
+        line = token.start[0]
+        covered = line
+        if 0 < line <= len(lines) and _comment_only(lines[line - 1]):
+            covered = line + 1
+        match = _STRICT.search(token.string)
+        if match is None:
+            malformed.append(Suppression(line, covered, "", ""))
+            continue
+        suppressions.append(
+            Suppression(line, covered, match.group("rule"), match.group("reason").strip())
+        )
+    return SuppressionIndex(suppressions, malformed)

@@ -203,8 +203,8 @@ PARALLEL_GATE_MIN_SIZE = 1000
 def parallel_speedup_gate(
     speedup: float,
     size: int,
-    cpu_count: "int | None" = None,
-    strict: "bool | None" = None,
+    cpu_count: int | None = None,
+    strict: bool | None = None,
 ) -> str:
     """Verdict of the parallel speedup gate for one scenario.
 

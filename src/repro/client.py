@@ -81,7 +81,7 @@ class Client:
         request_id = self._next_id
         self._next_id += 1
         payload = json.dumps({"id": request_id, **fields}) + "\n"
-        self._socket.sendall(payload.encode("utf-8"))
+        self._socket.sendall(payload.encode())
         line = self._reader.readline()
         if not line:
             raise ConnectionError("server closed the connection")
@@ -108,13 +108,13 @@ class Client:
         :class:`ConflictError` the whole transaction is replayed from
         ``BEGIN`` — the snapshot-isolation retry loop every client needs.
         """
-        fn: Callable[["Client"], None]
+        fn: Callable[[Client], None]
         if callable(statements_or_fn):
             fn = statements_or_fn
         else:
             statements = list(statements_or_fn)
 
-            def fn(client: "Client") -> None:
+            def fn(client: Client) -> None:
                 for statement in statements:
                     client.execute(statement)
 
@@ -148,7 +148,7 @@ class Client:
         finally:
             self._socket.close()
 
-    def __enter__(self) -> "Client":
+    def __enter__(self) -> Client:
         return self
 
     def __exit__(self, *_exc) -> None:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import os
 from contextlib import contextmanager
-from typing import Iterator, Optional
+from typing import Any, Iterator, Optional
 
 try:  # pragma: no cover - exercised implicitly by every kernel call
     import numpy as _numpy
@@ -23,7 +23,7 @@ except Exception:  # pragma: no cover - the no-NumPy environment
 _force_python = False
 
 
-def numpy_or_none():
+def numpy_or_none() -> Any:
     """The ``numpy`` module, or ``None`` when absent or forced off."""
     if _force_python or os.environ.get("REPRO_NO_NUMPY"):
         return None

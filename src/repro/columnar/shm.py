@@ -40,16 +40,19 @@ from __future__ import annotations
 
 import uuid
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, List, Optional, Sequence, Tuple
 
 from repro.columnar import kernels
 from repro.columnar.runtime import numpy_or_none
 from repro.core.parallel import code_partition_order, parallel_map_with_mode
 
-try:  # pragma: no cover - absent only on exotic platforms
+if TYPE_CHECKING:  # pragma: no cover - the checker always sees the module
     from multiprocessing import shared_memory as _shared_memory
-except ImportError:  # pragma: no cover
-    _shared_memory = None
+else:
+    try:  # pragma: no cover - absent only on exotic platforms
+        from multiprocessing import shared_memory as _shared_memory
+    except ImportError:  # pragma: no cover
+        _shared_memory = None
 
 __all__ = [
     "SegmentBlock",
@@ -123,7 +126,7 @@ class SegmentRegistry:
         self._base = f"{prefix}{uuid.uuid4().hex[:10]}"
         self._counter = 0
         self.handed_out: List[str] = []
-        self._open: List["_shared_memory.SharedMemory"] = []
+        self._open: List[_shared_memory.SharedMemory] = []
 
     def _next_name(self) -> str:
         self._counter += 1
@@ -135,12 +138,12 @@ class SegmentRegistry:
         """A fresh name for a segment some other process will create."""
         return self._next_name()
 
-    def create(self, nbytes: int) -> "_shared_memory.SharedMemory":
+    def create(self, nbytes: int) -> _shared_memory.SharedMemory:
         segment = _create_segment(self._next_name(), nbytes)
         self._open.append(segment)
         return segment
 
-    def attach(self, name: str) -> "_shared_memory.SharedMemory":
+    def attach(self, name: str) -> _shared_memory.SharedMemory:
         segment = _shared_memory.SharedMemory(name=name)
         self._open.append(segment)
         return segment
@@ -161,14 +164,14 @@ class SegmentRegistry:
             segment.close()
             segment.unlink()
 
-    def __enter__(self) -> "SegmentRegistry":
+    def __enter__(self) -> SegmentRegistry:
         return self
 
-    def __exit__(self, *_exc) -> None:
+    def __exit__(self, *_exc: object) -> None:
         self.cleanup()
 
 
-def _create_segment(name: str, nbytes: int) -> "_shared_memory.SharedMemory":
+def _create_segment(name: str, nbytes: int) -> _shared_memory.SharedMemory:
     """Create a named segment, replacing a stale leftover of the same name.
 
     The stale case is real: when a pool worker dies *after* creating its
@@ -178,15 +181,18 @@ def _create_segment(name: str, nbytes: int) -> "_shared_memory.SharedMemory":
     """
     size = max(1, nbytes)
     try:
+        # repro: allow(shm-lifecycle): _create_segment is the registry's own factory; every name it binds was issued by SegmentRegistry.reserve
         return _shared_memory.SharedMemory(name=name, create=True, size=size)
     except FileExistsError:
+        # repro: allow(shm-lifecycle): attaching to a stale leftover of a registry-issued name in order to unlink it
         stale = _shared_memory.SharedMemory(name=name)
         stale.close()
         stale.unlink()
+        # repro: allow(shm-lifecycle): recreate under the registry-issued name after clearing the dead worker's leftover
         return _shared_memory.SharedMemory(name=name, create=True, size=size)
 
 
-def write_block(segment, arrays: Sequence) -> SegmentBlock:
+def write_block(segment: Any, arrays: Sequence[Any]) -> SegmentBlock:
     """Serialise ``int64`` arrays into an (already sized) segment."""
     np = numpy_or_none()
     lengths = tuple(int(len(array)) for array in arrays)
@@ -202,12 +208,12 @@ def write_block(segment, arrays: Sequence) -> SegmentBlock:
     return SegmentBlock(name=segment.name, lengths=lengths)
 
 
-def block_nbytes(arrays: Sequence) -> int:
+def block_nbytes(arrays: Sequence[Any]) -> int:
     """Bytes a :func:`write_block` of these arrays needs."""
     return _WORD * (2 + len(arrays) + sum(len(array) for array in arrays))
 
 
-def read_block(segment, lengths: Sequence[int]) -> List:
+def read_block(segment: Any, lengths: Sequence[int]) -> List[Any]:
     """The arrays of a block as zero-copy ndarray views into ``segment``.
 
     The views borrow the segment's buffer: consume (or copy) them before
@@ -229,12 +235,13 @@ def read_block(segment, lengths: Sequence[int]) -> List:
     return arrays
 
 
-def attach_block(block: SegmentBlock):
+def attach_block(block: SegmentBlock) -> Tuple[Any, List[Any]]:
     """Attach to a published block; returns ``(segment, arrays)``.
 
     The caller owns the segment handle (close it once the arrays are
     consumed); unlinking stays with the registry that handed out the name.
     """
+    # repro: allow(shm-lifecycle): consumer-side attach to a published block; the name came from the registry and unlinking stays with it
     segment = _shared_memory.SharedMemory(name=block.name)
     return segment, read_block(segment, block.lengths)
 
@@ -317,14 +324,14 @@ def run_shm_job(job: ShmJob) -> Optional[Tuple[str, Tuple[int, ...]]]:
 
 
 def shm_adjustment(
-    task,
-    left_rows: Sequence[tuple],
-    right_rows: Sequence[tuple],
+    task: Any,
+    left_rows: Sequence[Tuple[Any, ...]],
+    right_rows: Sequence[Tuple[Any, ...]],
     workers: int,
     partitions: int,
     min_items: Optional[int] = None,
     registry: Optional[SegmentRegistry] = None,
-) -> Tuple[List[tuple], str, SegmentRegistry]:
+) -> Tuple[List[Tuple[Any, ...]], str, SegmentRegistry]:
     """Run one adjustment task partition-parallel over shared-memory frames.
 
     The shared-memory twin of pickled-row
@@ -425,7 +432,7 @@ def shm_adjustment(
         )
 
         ts_index, te_index = task.ts_index, task.te_index
-        output: List[tuple] = []
+        output: List[Tuple[Any, ...]] = []
         for job, result in zip(jobs, results):
             if result is None:
                 continue

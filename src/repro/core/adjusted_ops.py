@@ -20,7 +20,7 @@ values and never mutate their inputs.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.aggregates import AggregateSpec
 from repro.core.sweep import ThetaPredicate
@@ -44,7 +44,7 @@ def select(relation: TemporalRelation, predicate: TuplePredicate) -> TemporalRel
 def project(relation: TemporalRelation, attributes: Sequence[str]) -> TemporalRelation:
     """Projection ``π_{B,T}`` with duplicate elimination on ``(B values, T)``."""
     schema = relation.schema.project(attributes)
-    seen: Set[Tuple[Tuple, Interval]] = set()
+    seen: Set[Tuple[Tuple[Any, ...], Interval]] = set()
     result = TemporalRelation(schema)
     for t in relation:
         values = t.values_of(attributes)
@@ -72,8 +72,8 @@ def aggregate(
     schema = Schema(list(group_attrs) + [spec.name for spec in aggregates],
                     timestamp=relation.schema.timestamp)
 
-    groups: Dict[Tuple[Tuple, Interval], List[TemporalTuple]] = defaultdict(list)
-    order: List[Tuple[Tuple, Interval]] = []
+    groups: Dict[Tuple[Tuple[Any, ...], Interval], List[TemporalTuple]] = defaultdict(list)
+    order: List[Tuple[Tuple[Any, ...], Interval]] = []
     for t in relation:
         key = (t.values_of(group_attrs) if group_attrs else (), t.interval)
         if key not in groups:
@@ -102,7 +102,7 @@ def _require_union_compatible(left: TemporalRelation, right: TemporalRelation) -
 def union(left: TemporalRelation, right: TemporalRelation) -> TemporalRelation:
     """Set union over ``(values, timestamp)`` pairs."""
     _require_union_compatible(left, right)
-    seen: Set[Tuple[Tuple, Interval]] = set()
+    seen: Set[Tuple[Tuple[Any, ...], Interval]] = set()
     result = TemporalRelation(left.schema)
     for t in list(left) + [s.with_schema(left.schema) for s in right]:
         key = (t.values, t.interval)
@@ -117,7 +117,7 @@ def difference(left: TemporalRelation, right: TemporalRelation) -> TemporalRelat
     """Set difference over ``(values, timestamp)`` pairs."""
     _require_union_compatible(left, right)
     right_keys = {(s.values, s.interval) for s in right}
-    seen: Set[Tuple[Tuple, Interval]] = set()
+    seen: Set[Tuple[Tuple[Any, ...], Interval]] = set()
     result = TemporalRelation(left.schema)
     for t in left:
         key = (t.values, t.interval)
@@ -132,7 +132,7 @@ def intersection(left: TemporalRelation, right: TemporalRelation) -> TemporalRel
     """Set intersection over ``(values, timestamp)`` pairs."""
     _require_union_compatible(left, right)
     right_keys = {(s.values, s.interval) for s in right}
-    seen: Set[Tuple[Tuple, Interval]] = set()
+    seen: Set[Tuple[Tuple[Any, ...], Interval]] = set()
     result = TemporalRelation(left.schema)
     for t in left:
         key = (t.values, t.interval)

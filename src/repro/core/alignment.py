@@ -21,7 +21,7 @@ PostgreSQL optimizer pick a hash or merge join.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.columnar import dispatch as columnar_dispatch
 from repro.core import parallel as parallel_support
@@ -215,7 +215,7 @@ def _align_columnar(
 # -- the parallel strategy ----------------------------------------------------
 
 
-def _align_partition_worker(payload) -> List[Tuple[int, List[Interval]]]:
+def _align_partition_worker(payload: Tuple[Any, ...]) -> List[Tuple[int, List[Interval]]]:
     """Align the argument tuples of one partition (runs in a pool worker).
 
     The payload carries full :class:`TemporalTuple` values (they pickle via
@@ -311,7 +311,7 @@ def align_pair(
     theta: Optional[ThetaPredicate] = None,
     left_equi_attributes: Optional[Sequence[str]] = None,
     right_equi_attributes: Optional[Sequence[str]] = None,
-):
+) -> Tuple[TemporalRelation, TemporalRelation]:
     """Align two relations against each other (both directions).
 
     Returns ``(left Φθ right, right Φθ' left)`` where ``θ'`` swaps the

@@ -15,7 +15,7 @@ result tuple is padded with ``ω``.
 
 from __future__ import annotations
 
-from typing import Callable, FrozenSet, Optional, Sequence, Tuple
+from typing import Any, Callable, FrozenSet, Optional, Sequence, Tuple
 
 from repro.core.sweep import ThetaPredicate
 from repro.relation.relation import TemporalRelation
@@ -33,7 +33,7 @@ TuplePredicate = Callable[[TemporalTuple], bool]
 def _alive_matching(
     relation: TemporalRelation,
     point: int,
-    values: Tuple,
+    values: Tuple[Any, ...],
     attributes: Optional[Sequence[str]] = None,
 ) -> FrozenSet[TemporalTuple]:
     """Argument tuples alive at ``point`` whose (projected) values equal ``values``."""
@@ -124,7 +124,7 @@ def difference_lineage(left: TemporalRelation, right: TemporalRelation) -> Linea
 # -- join family -----------------------------------------------------------------
 
 
-def _split_values(z: TemporalTuple, left_width: int) -> Tuple[Tuple, Tuple]:
+def _split_values(z: TemporalTuple, left_width: int) -> Tuple[Tuple[Any, ...], Tuple[Any, ...]]:
     return z.values[:left_width], z.values[left_width:]
 
 

@@ -19,7 +19,7 @@ PostgreSQL optimizer picks for the group-construction join.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 from repro.columnar import dispatch as columnar_dispatch
 from repro.core import parallel as parallel_support
@@ -126,7 +126,9 @@ def _normalize_columnar(
     return result
 
 
-def _normalize_partition_worker(payload) -> List[Tuple[int, List[Tuple[int, int]]]]:
+def _normalize_partition_worker(
+    payload: Tuple[Any, ...],
+) -> List[Tuple[int, List[Tuple[int, int]]]]:
     """Split the argument intervals of one partition (runs in a pool worker).
 
     Tuple values never travel: the payload carries ``(index, key, start,
@@ -135,7 +137,7 @@ def _normalize_partition_worker(payload) -> List[Tuple[int, List[Tuple[int, int]
     index — the cheapest possible wire format.
     """
     left_items, right_items = payload
-    collected: Dict[Hashable, set] = defaultdict(set)
+    collected: Dict[Hashable, Set[int]] = defaultdict(set)
     for key, start, end in right_items:
         if start == end:  # empty interval: no split points
             continue
@@ -262,7 +264,7 @@ def _split_points_by_key(
     """
 
     def build() -> Dict[Hashable, List[int]]:
-        collected: Dict[Hashable, set] = defaultdict(set)
+        collected: Dict[Hashable, Set[int]] = defaultdict(set)
         for s in reference:
             if s.interval.is_empty():
                 continue

@@ -24,6 +24,8 @@ from typing import Any, Callable, Hashable, List, Sequence, Tuple, TypeVar
 from repro.obs import metrics as obs_metrics
 from repro.relation.tuple import is_null
 
+_FALLBACK_COUNTER = obs_metrics.counter("parallel.fallbacks", label_name="cause")
+
 T = TypeVar("T")
 R = TypeVar("R")
 
@@ -49,10 +51,10 @@ def stable_hash(value: Any) -> int:
     if isinstance(value, numbers.Number):
         return hash(value) & 0xFFFFFFFF
     if isinstance(value, str):
-        return zlib.crc32(value.encode("utf-8"))
+        return zlib.crc32(value.encode())
     if isinstance(value, tuple):
         return partition_hash(value)
-    return zlib.crc32(repr(value).encode("utf-8"))
+    return zlib.crc32(repr(value).encode())
 
 
 def partition_hash(key: Sequence[Any]) -> int:
@@ -68,7 +70,7 @@ def partition_hash(key: Sequence[Any]) -> int:
 DEFAULT_MIN_TUPLES = 2048
 
 
-def resolve_workers(workers: "int | None" = None) -> int:
+def resolve_workers(workers: int | None = None) -> int:
     """Worker count to use: explicit argument, else env, else CPU count."""
     if workers is None:
         env = os.environ.get("REPRO_PARALLEL_WORKERS")
@@ -90,7 +92,7 @@ def partition_indexes(keys: Sequence[Hashable], partition_count: int) -> List[in
     ]
 
 
-def code_partition_order(codes, partition_count: int):
+def code_partition_order(codes: Any, partition_count: int) -> Tuple[Any, Any, Any]:
     """Partition rows by dictionary key code with one vectorized take.
 
     The columnar layer already dictionary-encodes equality keys into dense
@@ -124,13 +126,13 @@ def code_partition_order(codes, partition_count: int):
 #: exactly once, so a tight loop of small maps cannot flood stderr.  Keyed on
 #: ``kind:ExceptionType``, not the message: pickling errors embed per-object
 #: reprs (memory addresses), which would defeat the dedup.
-_warned_fallbacks: "set[str]" = set()
+_warned_fallbacks: set[str] = set()
 
 
 def _warn_fallback(key: str, cause: str) -> None:
     # Every fallback counts — only the *warning* is deduplicated, so CI bench
     # reports expose silent in-process degradation even when it repeats.
-    obs_metrics.counter("parallel.fallbacks", label_name="cause").inc(label=key)
+    _FALLBACK_COUNTER.inc(label=key)
     if key in _warned_fallbacks:
         return
     _warned_fallbacks.add(key)
@@ -170,7 +172,7 @@ def parallel_map_with_mode(
     payloads: Sequence[T],
     workers: int,
     total_items: int,
-    min_items: "int | None" = None,
+    min_items: int | None = None,
 ) -> Tuple[List[R], str]:
     """Map ``worker`` over ``payloads`` and report *where* the map ran.
 
@@ -221,7 +223,7 @@ def parallel_map(
     payloads: Sequence[T],
     workers: int,
     total_items: int,
-    min_items: "int | None" = None,
+    min_items: int | None = None,
 ) -> List[R]:
     """:func:`parallel_map_with_mode` without the mode (most callers merge
     results and do not report placement)."""

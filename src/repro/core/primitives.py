@@ -10,7 +10,7 @@ value-equivalence class.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Any, Dict, Iterable, List, Sequence, Set, Tuple
 
 from repro.core.sweep import uncovered_intervals
 from repro.relation.relation import TemporalRelation
@@ -140,7 +140,7 @@ def absorb(relation: TemporalRelation) -> TemporalRelation:
         A new relation containing, per value-equivalence class, only the
         maximal intervals; the input is not modified.
     """
-    by_values: Dict[Tuple, List[Interval]] = defaultdict(list)
+    by_values: Dict[Tuple[Any, ...], List[Interval]] = defaultdict(list)
     for t in relation:
         by_values[t.values].append(t.interval)
 

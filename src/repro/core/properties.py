@@ -23,7 +23,7 @@ notebooks.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.lineage import LineageFunction
 from repro.relation.relation import TemporalRelation
@@ -109,8 +109,8 @@ def extended_snapshot_reducibility_violations(
     arguments: Sequence[TemporalRelation],
     nontemporal_operator: SnapshotOperator,
     propagated_attribute: str = "U",
-    project_expected: Optional[Callable[[Tuple], Tuple]] = None,
-    project_actual: Optional[Callable[[Tuple], Tuple]] = None,
+    project_expected: Optional[Callable[[Tuple[Any, ...]], Tuple[Any, ...]]] = None,
+    project_actual: Optional[Callable[[Tuple[Any, ...]], Tuple[Any, ...]]] = None,
     points: Optional[Iterable[int]] = None,
 ) -> List[str]:
     """Check Def. 4 by propagating timestamps and projecting them back out.

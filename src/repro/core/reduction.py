@@ -32,7 +32,7 @@ as query plans by the SQL front end (:mod:`repro.sql.analyzer`).
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional, Sequence, Tuple
 
 from repro.core import adjusted_ops
 from repro.core.aggregates import AggregateSpec
@@ -103,7 +103,7 @@ def _aligned_pair(
     theta: Optional[ThetaPredicate],
     left_equi_attributes: Optional[Sequence[str]],
     right_equi_attributes: Optional[Sequence[str]],
-):
+) -> Tuple[TemporalRelation, TemporalRelation]:
     return align_pair(
         left,
         right,

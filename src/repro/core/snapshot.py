@@ -16,7 +16,7 @@ because snapshots are constant inside a segment.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.core.aggregates import AggregateSpec
 from repro.core.sweep import ThetaPredicate
@@ -63,7 +63,7 @@ def materialize(
     one, exactly as Def. 7 prescribes.
     """
     result = TemporalRelation(schema)
-    open_rows: Dict[Tuple, Tuple[int, Tuple[FrozenSet[TemporalTuple], ...]]] = {}
+    open_rows: Dict[Tuple[Any, ...], Tuple[int, Tuple[FrozenSet[TemporalTuple], ...]]] = {}
     previous_end: Optional[int] = None
 
     for segment in atomic_intervals:
@@ -92,7 +92,9 @@ def _alive(relation: TemporalRelation, point: int) -> List[TemporalTuple]:
     return [t for t in relation if t.valid_at(point)]
 
 
-def _matching(alive: Sequence[TemporalTuple], values: Tuple) -> FrozenSet[TemporalTuple]:
+def _matching(
+    alive: Sequence[TemporalTuple], values: Tuple[Any, ...]
+) -> FrozenSet[TemporalTuple]:
     return frozenset(t for t in alive if t.values == values)
 
 
@@ -113,7 +115,7 @@ def projection_rows(relation: TemporalRelation, attributes: Sequence[str]) -> Sn
 
     def rows(point: int) -> SnapshotRows:
         alive = _alive(relation, point)
-        grouped: Dict[Tuple, List[TemporalTuple]] = defaultdict(list)
+        grouped: Dict[Tuple[Any, ...], List[TemporalTuple]] = defaultdict(list)
         for t in alive:
             grouped[t.values_of(attrs)].append(t)
         return {values: (frozenset(members),) for values, members in grouped.items()}
@@ -130,7 +132,7 @@ def aggregation_rows(
 
     def rows(point: int) -> SnapshotRows:
         alive = _alive(relation, point)
-        grouped: Dict[Tuple, List[TemporalTuple]] = defaultdict(list)
+        grouped: Dict[Tuple[Any, ...], List[TemporalTuple]] = defaultdict(list)
         for t in alive:
             grouped[t.values_of(attrs) if attrs else ()].append(t)
         output: SnapshotRows = {}

@@ -21,6 +21,7 @@ from operator import attrgetter
 from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.relation.tuple import TemporalTuple
+from repro.temporal.interval import Interval
 from repro.temporal.interval_index import IntervalIndex, KeyedIntervalIndex
 
 #: A θ predicate over one tuple of each argument relation.
@@ -271,7 +272,7 @@ def value_key(attributes: Sequence[str]) -> KeyFunction:
     return key
 
 
-def uncovered_intervals(interval, covers: Iterable) -> List:
+def uncovered_intervals(interval: Interval, covers: Iterable[Interval]) -> List[Interval]:
     """Maximal sub-intervals of ``interval`` not covered by any of ``covers``.
 
     Used by the aligner for the "no matching tuple" pieces (third and fourth

@@ -70,7 +70,7 @@ class Database:
         settings: Optional[Settings] = None,
         sync: bool = True,
         auto_checkpoint: int = 0,
-    ) -> "Database":
+    ) -> Database:
         """Open (or create) a durable database rooted at directory ``path``.
 
         Recovery loads the latest snapshot, replays the write-ahead-log
@@ -322,7 +322,7 @@ class Database:
         settings: Optional[Settings] = None,
         result_name: str = "result",
         sql: Optional[str] = None,
-    ) -> Tuple[Table, "obs_trace.QueryTrace"]:
+    ) -> Tuple[Table, obs_trace.QueryTrace]:
         """Run a query with tracing forced on; returns ``(table, trace)``.
 
         The programmatic face of ``EXPLAIN ANALYZE``: the returned trace's
@@ -335,7 +335,7 @@ class Database:
 
     def _run_traced(
         self, physical: PhysicalNode, result_name: str, sql: Optional[str]
-    ) -> Tuple[Table, "obs_trace.QueryTrace"]:
+    ) -> Tuple[Table, obs_trace.QueryTrace]:
         with obs_trace.collect(physical, sql=sql) as trace:
             rows = physical.execute()
         self._last_trace = trace

@@ -43,7 +43,7 @@ class PhysicalNode:
         children: Input nodes (kept for ``EXPLAIN`` tree rendering).
     """
 
-    def __init__(self, columns: Sequence[str], children: Sequence["PhysicalNode"] = ()):
+    def __init__(self, columns: Sequence[str], children: Sequence[PhysicalNode] = ()):
         self.columns: List[str] = list(columns)
         self.children: List[PhysicalNode] = list(children)
         self.estimated_rows: float = 0.0

@@ -59,6 +59,8 @@ from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.relation.errors import PlanError
 
+_SHIP_COUNTER = obs_metrics.counter("exchange.ship", label_name="transport")
+
 __all__ = [
     "AdjustmentTask",
     "ExchangeNode",
@@ -273,7 +275,7 @@ class ExchangeNode(PhysicalNode):
                 pass  # fall through to the pickled-row transport
             else:
                 obs_trace.annotate(self, executed=effective_mode, ship="shm")
-                obs_metrics.counter("exchange.ship").inc(label="shm")
+                _SHIP_COUNTER.inc(label="shm")
                 yield from output
                 return
         left_buckets = self.left.partitions()
@@ -297,7 +299,7 @@ class ExchangeNode(PhysicalNode):
             min_items=self.inprocess_threshold,
         )
         obs_trace.annotate(self, executed=effective_mode, ship="pickle")
-        obs_metrics.counter("exchange.ship").inc(label="pickle")
+        _SHIP_COUNTER.inc(label="pickle")
         for result in results:
             yield from result
 

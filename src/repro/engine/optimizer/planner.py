@@ -63,6 +63,8 @@ from repro.engine.statistics import IntervalStatistics, overlap_selectivity
 from repro.obs import metrics as obs_metrics
 from repro.relation.errors import PlanError
 
+_STRATEGY_COUNTER = obs_metrics.counter("planner.strategy", label_name="strategy")
+
 
 class Planner:
     """Translate logical plans into costed physical plans."""
@@ -598,7 +600,7 @@ class Planner:
             use_columnar=columnar_ok,
         )
         if parallel is not None:
-            obs_metrics.counter("planner.strategy").inc(label="exchange")
+            _STRATEGY_COUNTER.inc(label="exchange")
             return parallel
         if columnar_ok:
             settings = self.settings
@@ -637,11 +639,11 @@ class Planner:
                         isalign=isalign,
                         use_columnar=True,
                     )
-                    obs_metrics.counter("planner.strategy").inc(label="columnar")
+                    _STRATEGY_COUNTER.inc(label="columnar")
                     return self._estimated(
                         ColumnarAdjustmentNode(left, right, task), columnar_estimate
                     )
-        obs_metrics.counter("planner.strategy").inc(label="row")
+        _STRATEGY_COUNTER.inc(label="row")
         return serial
 
     def _parallel_adjustment_plan(

@@ -103,7 +103,7 @@ class Settings:
     #: recompute earlier.
     view_delta_overhead: float = 16.0
 
-    def copy(self, **overrides: object) -> "Settings":
+    def copy(self, **overrides: object) -> Settings:
         """Copy with some fields replaced (handy in benchmarks and tests)."""
         return replace(self, **overrides)
 

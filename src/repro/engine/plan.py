@@ -26,7 +26,7 @@ class LogicalPlan:
     def columns(self) -> List[str]:
         raise NotImplementedError
 
-    def children(self) -> List["LogicalPlan"]:
+    def children(self) -> List[LogicalPlan]:
         return []
 
     def explain(self, indent: int = 0) -> str:

@@ -186,7 +186,7 @@ class Session:
         if transaction is not None and transaction.status == "active":
             transaction.rollback()
 
-    def __enter__(self) -> "Session":
+    def __enter__(self) -> Session:
         return self
 
     def __exit__(self, *_exc) -> None:

@@ -82,7 +82,7 @@ def relation_interval_statistics(relation) -> Optional[IntervalStatistics]:
 
 
 def overlap_selectivity(
-    left: Optional["IntervalStatistics"], right: Optional["IntervalStatistics"]
+    left: Optional[IntervalStatistics], right: Optional[IntervalStatistics]
 ) -> Optional[float]:
     """Estimated fraction of row pairs with overlapping intervals.
 

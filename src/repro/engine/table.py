@@ -81,7 +81,7 @@ class Table:
         relation: TemporalRelation,
         start_column: str = START_COLUMN,
         end_column: str = END_COLUMN,
-    ) -> "Table":
+    ) -> Table:
         """Store a temporal relation as a table with explicit ``ts``/``te`` columns.
 
         Attributes holding :class:`Interval` values (propagated timestamps)

@@ -49,6 +49,9 @@ from repro.relation.schema import Schema
 from repro.relation.tuple import TemporalTuple
 from repro.temporal.interval import Interval
 
+_COMMIT_COUNTER = obs_metrics.counter("txn.commits")
+_CONFLICT_COUNTER = obs_metrics.counter("txn.conflicts")
+
 
 class TransactionError(QueryError):
     """A transaction statement was used incorrectly (no/nested transaction)."""
@@ -158,7 +161,7 @@ class _Workspace:
 class Transaction:
     """One snapshot-isolation transaction (see the module docstring)."""
 
-    def __init__(self, manager: "TransactionManager", txn_id: int, begin_epoch: int):
+    def __init__(self, manager: TransactionManager, txn_id: int, begin_epoch: int):
         self.manager = manager
         self.id = txn_id
         self.begin_epoch = begin_epoch
@@ -366,7 +369,7 @@ class TransactionManager:
             transaction.status = "committed"
             transaction.commit_epoch = transaction.begin_epoch
             self._finish(transaction)
-            obs_metrics.counter("txn.commits").inc()
+            _COMMIT_COUNTER.inc()
             return transaction.begin_epoch
 
         conflict = self._detect_conflict(transaction)
@@ -374,7 +377,7 @@ class TransactionManager:
             transaction.status = "aborted"
             self._finish(transaction)
             self.stats["conflicts"] += 1
-            obs_metrics.counter("txn.conflicts").inc()
+            _CONFLICT_COUNTER.inc()
             raise TransactionConflictError(
                 f"transaction {transaction.id} aborted (first-committer-wins): {conflict}"
             )
@@ -415,7 +418,7 @@ class TransactionManager:
         transaction.commit_epoch = epoch
         self._finish(transaction)
         self.stats["committed"] += 1
-        obs_metrics.counter("txn.commits").inc()
+        _COMMIT_COUNTER.inc()
         return epoch
 
     def rollback(self, transaction: Transaction) -> None:

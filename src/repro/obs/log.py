@@ -16,7 +16,7 @@ from __future__ import annotations
 import json
 import logging
 import os
-from typing import Optional
+from typing import Any, Dict, Optional
 
 logger = logging.getLogger("repro.obs.slow_query")
 
@@ -50,8 +50,8 @@ def log_slow_query(
     sql: Optional[str],
     seconds: float,
     epoch: Optional[int] = None,
-    trace=None,
-) -> dict:
+    trace: Optional[Any] = None,
+) -> Dict[str, Any]:
     """Emit one structured slow-query record; returns the record emitted."""
     record = {
         "event": "slow_query",
@@ -72,7 +72,7 @@ def maybe_log_slow_query(
     sql: Optional[str],
     seconds: float,
     epoch: Optional[int] = None,
-    trace=None,
+    trace: Optional[Any] = None,
 ) -> bool:
     """Log iff a threshold is set and ``seconds`` reaches it."""
     if _THRESHOLD_SECONDS is None or seconds < _THRESHOLD_SECONDS:

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import re
 import threading
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 #: Default bucket upper bounds (seconds) — spans sub-millisecond fsyncs up to
 #: multi-second checkpoints.  Cumulative counts are derived at render time.
@@ -88,9 +88,9 @@ class Counter:
             self._total = 0
             self._labels.clear()
 
-    def _snapshot(self) -> dict:
+    def _snapshot(self) -> Dict[str, Any]:
         with self._lock:
-            entry: dict = {"type": "counter", "value": self._total}
+            entry: Dict[str, Any] = {"type": "counter", "value": self._total}
             if self._labels:
                 entry["labels"] = dict(self._labels)
             return entry
@@ -127,7 +127,7 @@ class Gauge:
         with self._lock:
             self._value = 0
 
-    def _snapshot(self) -> dict:
+    def _snapshot(self) -> Dict[str, Any]:
         with self._lock:
             return {"type": "gauge", "value": self._value}
 
@@ -177,7 +177,7 @@ class Histogram:
             self._sum = 0.0
             self._count = 0
 
-    def _snapshot(self) -> dict:
+    def _snapshot(self) -> Dict[str, Any]:
         with self._lock:
             cumulative: List[List[Number]] = []
             running = 0
@@ -202,7 +202,9 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._instruments: Dict[str, Instrument] = {}
 
-    def _get_or_create(self, name: str, kind: type, factory) -> Instrument:
+    def _get_or_create(
+        self, name: str, kind: type, factory: Callable[[], Instrument]
+    ) -> Instrument:
         with self._lock:
             existing = self._instruments.get(name)
             if existing is not None:
@@ -236,7 +238,7 @@ class MetricsRegistry:
         for instrument in instruments:
             instrument._reset()
 
-    def snapshot(self) -> Dict[str, dict]:
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
         """A JSON-able point-in-time view of every registered instrument."""
         with self._lock:
             instruments = sorted(self._instruments.items())

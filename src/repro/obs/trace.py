@@ -50,13 +50,13 @@ def set_tracing(enabled: bool) -> None:
 
 
 class _ActiveState(threading.local):
-    trace: Optional["QueryTrace"] = None
+    trace: Optional[QueryTrace] = None
 
 
 _state = _ActiveState()
 
 
-def active_trace() -> Optional["QueryTrace"]:
+def active_trace() -> Optional[QueryTrace]:
     """The trace currently collecting on this thread, if any."""
     return _state.trace
 
@@ -122,9 +122,9 @@ class Span:
         )
         return "\n".join([line] + [child.render(indent + 2) for child in self.children])
 
-    def summary(self) -> dict:
+    def summary(self) -> Dict[str, Any]:
         """JSON-able view (slow-query log, bench reports)."""
-        entry: dict = {
+        entry: Dict[str, Any] = {
             "operator": self.label,
             "seconds": self.seconds,
             "rows": self.rows_out,
@@ -136,14 +136,14 @@ class Span:
             entry["children"] = [child.summary() for child in self.children]
         return entry
 
-    def find(self, fragment: str) -> List["Span"]:
+    def find(self, fragment: str) -> List[Span]:
         """All spans (self included) whose label contains ``fragment``."""
         found = [self] if fragment in self.label else []
         for child in self.children:
             found.extend(child.find(fragment))
         return found
 
-    def walk(self) -> Iterator["Span"]:
+    def walk(self) -> Iterator[Span]:
         yield self
         for child in self.children:
             yield from child.walk()
@@ -178,7 +178,7 @@ class QueryTrace:
     def span_for(self, node: Any) -> Optional[Span]:
         return self._spans.get(id(node))
 
-    def instrument(self, node: Any, iterator: Iterator) -> Iterator:
+    def instrument(self, node: Any, iterator: Iterator[Any]) -> Iterator[Any]:
         """Wrap a node's fresh iterator so its span accumulates actuals."""
         span = self._spans.get(id(node))
         if span is None:
@@ -186,7 +186,7 @@ class QueryTrace:
         return self._measured(span, iterator)
 
     @staticmethod
-    def _measured(span: Span, iterator: Iterator) -> Iterator:
+    def _measured(span: Span, iterator: Iterator[Any]) -> Iterator[Any]:
         span.loops += 1
         rows = 0
         started = perf_counter()
@@ -204,7 +204,7 @@ class QueryTrace:
             span.attributes.update(attributes)
 
     @contextmanager
-    def activate(self):
+    def activate(self) -> Iterator[QueryTrace]:
         """Install as the thread's collecting trace (stacked: save/restore)."""
         previous = _state.trace
         _state.trace = self
@@ -222,7 +222,7 @@ class QueryTrace:
             + f"\nExecution time: {self.total_seconds * 1000.0:.3f} ms"
         )
 
-    def summary(self) -> dict:
+    def summary(self) -> Dict[str, Any]:
         """JSON-able digest for the slow-query log and bench reports."""
         return {
             "total_seconds": self.total_seconds,
@@ -238,7 +238,7 @@ class QueryTrace:
 
 
 @contextmanager
-def collect(root: Any, sql: Optional[str] = None):
+def collect(root: Any, sql: Optional[str] = None) -> Iterator[QueryTrace]:
     """Build a trace over ``root``'s plan tree and activate it for the body.
 
     >>> # with collect(physical) as trace: list(physical)   # doctest: +SKIP

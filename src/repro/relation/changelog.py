@@ -43,7 +43,7 @@ class Delta:
 
     sign: str
     rowid: int
-    tuple: "TemporalTuple"
+    tuple: TemporalTuple
     version: int
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -69,7 +69,7 @@ class ChangeLog:
     def __len__(self) -> int:
         return len(self._records)
 
-    def append(self, sign: str, rowid: int, tuple_: "TemporalTuple") -> Delta:
+    def append(self, sign: str, rowid: int, tuple_: TemporalTuple) -> Delta:
         """Record one change, assigning it the next version."""
         self.version += 1
         delta = Delta(sign, rowid, tuple_, self.version)
@@ -93,7 +93,7 @@ class ChangeLog:
         self.version = version
         self.trimmed_below = trimmed_below
 
-    def append_replay(self, sign: str, rowid: int, tuple_: "TemporalTuple", version: int) -> Delta:
+    def append_replay(self, sign: str, rowid: int, tuple_: TemporalTuple, version: int) -> Delta:
         """Re-append a logged record during WAL replay, preserving its version.
 
         Versions are dense and monotonically increasing, so replay must hand

@@ -28,6 +28,8 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.obs import metrics as obs_metrics
+
+_DERIVED_COUNTER = obs_metrics.counter("relation.derived", label_name="cache")
 from repro.relation.changelog import ChangeLog, Delta
 from repro.relation.errors import DuplicateTupleError, SchemaError
 from repro.relation.schema import Schema
@@ -126,7 +128,7 @@ class TemporalRelation:
         schema: Schema,
         rows: Iterable[Tuple[Sequence[Any], Interval]],
         enforce_duplicate_free: bool = False,
-    ) -> "TemporalRelation":
+    ) -> TemporalRelation:
         """Build a relation from ``(values, interval)`` pairs."""
         relation = cls(schema, enforce_duplicate_free=enforce_duplicate_free)
         for values, interval in rows:
@@ -139,7 +141,7 @@ class TemporalRelation:
         schema: Schema,
         rows: Iterable[Dict[str, Any]],
         enforce_duplicate_free: bool = False,
-    ) -> "TemporalRelation":
+    ) -> TemporalRelation:
         """Build a relation from dictionaries with a ``(start, end)`` pair
         or :class:`Interval` stored under the schema's timestamp name."""
         relation = cls(schema, enforce_duplicate_free=enforce_duplicate_free)
@@ -253,7 +255,7 @@ class TemporalRelation:
         changelog_version: int = 0,
         trimmed_below: int = 0,
         enforce_duplicate_free: bool = False,
-    ) -> "TemporalRelation":
+    ) -> TemporalRelation:
         """Rebuild a tracked relation from persisted state (snapshot load).
 
         ``rows_with_ids`` carries the *physical* identity of every tuple —
@@ -652,11 +654,11 @@ class TemporalRelation:
         try:
             value = self._derived_cache[key]
         except KeyError:
-            obs_metrics.counter("relation.derived").inc(label="miss")
+            _DERIVED_COUNTER.inc(label="miss")
             value = builder()
             self._derived_cache[key] = value
             return value
-        obs_metrics.counter("relation.derived").inc(label="hit")
+        _DERIVED_COUNTER.inc(label="hit")
         return value
 
     def peek_derived(self, key: Any) -> Any:
@@ -706,14 +708,14 @@ class TemporalRelation:
         """
         return {t.values for t in self._tuples if t.valid_at(point)}
 
-    def timeslice_relation(self, point: int) -> "TemporalRelation":
+    def timeslice_relation(self, point: int) -> TemporalRelation:
         """Timeslice that keeps tuples (with their intervals) — convenience
         for inspection; the formal ``τ_t`` drops timestamps."""
         return TemporalRelation(
             self.schema, [t for t in self._tuples if t.valid_at(point)]
         )
 
-    def extend(self, attribute: str = "U") -> "TemporalRelation":
+    def extend(self, attribute: str = "U") -> TemporalRelation:
         """The extend operator ``U`` (Def. 3): timestamp propagation.
 
         Appends a nontemporal attribute holding a copy of each tuple's
@@ -728,26 +730,26 @@ class TemporalRelation:
 
     # -- convenience transforms ------------------------------------------------
 
-    def filter(self, predicate: Callable[[TemporalTuple], bool]) -> "TemporalRelation":
+    def filter(self, predicate: Callable[[TemporalTuple], bool]) -> TemporalRelation:
         """Relation with only the tuples satisfying ``predicate``."""
         return TemporalRelation(self.schema, [t for t in self._tuples if predicate(t)])
 
-    def map_intervals(self, fn: Callable[[Interval], Interval]) -> "TemporalRelation":
+    def map_intervals(self, fn: Callable[[Interval], Interval]) -> TemporalRelation:
         """Relation with every interval replaced by ``fn(interval)``."""
         return TemporalRelation(
             self.schema, [t.with_interval(fn(t.interval)) for t in self._tuples]
         )
 
-    def limit(self, n: int) -> "TemporalRelation":
+    def limit(self, n: int) -> TemporalRelation:
         """Relation with only the first ``n`` tuples (insertion order)."""
         return TemporalRelation(self.schema, self._tuples[:n])
 
-    def sorted_by_interval(self) -> "TemporalRelation":
+    def sorted_by_interval(self) -> TemporalRelation:
         """Relation sorted by ``(start, end, values)`` — used by sweeps and tests."""
         ordered = sorted(self._tuples, key=lambda t: (t.start, t.end, _sort_key(t.values)))
         return TemporalRelation(self.schema, ordered)
 
-    def rename(self, mapping: Dict[str, str]) -> "TemporalRelation":
+    def rename(self, mapping: Dict[str, str]) -> TemporalRelation:
         """Relation with attributes renamed according to ``mapping``."""
         schema = self.schema.rename(mapping)
         return TemporalRelation(

@@ -124,7 +124,7 @@ class Schema:
         """``True`` iff every name is a nontemporal attribute of the schema."""
         return all(n in self._index for n in names)
 
-    def union_compatible_with(self, other: "Schema") -> bool:
+    def union_compatible_with(self, other: Schema) -> bool:
         """Union compatibility: same number of attributes, same names, same order.
 
         The paper requires union compatible arguments for the set operators
@@ -134,26 +134,26 @@ class Schema:
 
     # -- derivation --------------------------------------------------------
 
-    def project(self, names: Sequence[str]) -> "Schema":
+    def project(self, names: Sequence[str]) -> Schema:
         """Schema of a projection onto ``names`` (order as given)."""
         self.indexes_of(names)
         return Schema(list(names), timestamp=self.timestamp)
 
-    def rename(self, mapping: dict) -> "Schema":
+    def rename(self, mapping: dict) -> Schema:
         """Schema with attributes renamed according to ``mapping``."""
         return Schema(
             [mapping.get(a.name, a.name) for a in self.attributes],
             timestamp=self.timestamp,
         )
 
-    def extend(self, names: Sequence[str]) -> "Schema":
+    def extend(self, names: Sequence[str]) -> Schema:
         """Schema with additional attributes appended (timestamp propagation)."""
         clash = set(names) & set(self.attribute_names)
         if clash:
             raise SchemaError(f"extension attributes already exist: {sorted(clash)}")
         return Schema(list(self.attribute_names) + list(names), timestamp=self.timestamp)
 
-    def concat(self, other: "Schema", disambiguate: bool = True) -> "Schema":
+    def concat(self, other: Schema, disambiguate: bool = True) -> Schema:
         """Schema of a Cartesian product / join result.
 
         When ``disambiguate`` is true, attributes of ``other`` that clash with

@@ -25,9 +25,9 @@ class _NullType:
     ``DISTINCT``).
     """
 
-    _instance: Optional["_NullType"] = None
+    _instance: Optional[_NullType] = None
 
-    def __new__(cls) -> "_NullType":
+    def __new__(cls) -> _NullType:
         if cls._instance is None:
             cls._instance = super().__new__(cls)
         return cls._instance
@@ -149,11 +149,11 @@ class TemporalTuple:
 
     # -- predicates ---------------------------------------------------------
 
-    def value_equivalent(self, other: "TemporalTuple") -> bool:
+    def value_equivalent(self, other: TemporalTuple) -> bool:
         """``True`` iff both tuples agree on all nontemporal attributes."""
         return self.values == other.values
 
-    def overlaps(self, other: "TemporalTuple") -> bool:
+    def overlaps(self, other: TemporalTuple) -> bool:
         """``True`` iff the valid-time intervals share a time point."""
         return self.interval.overlaps(other.interval)
 
@@ -167,22 +167,22 @@ class TemporalTuple:
 
     # -- derivation ---------------------------------------------------------
 
-    def with_interval(self, interval: Interval) -> "TemporalTuple":
+    def with_interval(self, interval: Interval) -> TemporalTuple:
         """Copy of the tuple with a different valid-time interval."""
         return TemporalTuple(self.schema, self.values, interval)
 
-    def with_schema(self, schema: Schema) -> "TemporalTuple":
+    def with_schema(self, schema: Schema) -> TemporalTuple:
         """Copy of the tuple re-attached to an equal-length schema."""
         return TemporalTuple(schema, self.values, self.interval)
 
-    def project(self, names: Sequence[str], schema: Optional[Schema] = None) -> "TemporalTuple":
+    def project(self, names: Sequence[str], schema: Optional[Schema] = None) -> TemporalTuple:
         """Copy with only the listed attributes (in the listed order)."""
         target = schema if schema is not None else self.schema.project(names)
         return TemporalTuple(target, self.values_of(names), self.interval)
 
     def concat(
-        self, other: "TemporalTuple", schema: Schema, interval: Optional[Interval] = None
-    ) -> "TemporalTuple":
+        self, other: TemporalTuple, schema: Schema, interval: Optional[Interval] = None
+    ) -> TemporalTuple:
         """Concatenate two tuples under ``schema`` (join result construction)."""
         joined = self.values + other.values
         return TemporalTuple(schema, joined, interval if interval is not None else self.interval)
@@ -190,6 +190,6 @@ class TemporalTuple:
     @classmethod
     def from_mapping(
         cls, schema: Schema, mapping: Mapping[str, Any], interval: Interval
-    ) -> "TemporalTuple":
+    ) -> TemporalTuple:
         """Build a tuple from an attribute-name → value mapping."""
         return cls(schema, tuple(mapping[a] for a in schema.attribute_names), interval)

@@ -81,7 +81,7 @@ async def _handle_metrics_http(
         if target.split("?", 1)[0] in ("/", "/metrics"):
             status = b"HTTP/1.1 200 OK\r\n"
             content_type = b"text/plain; version=0.0.4; charset=utf-8"
-            body = obs_metrics.REGISTRY.render_prometheus().encode("utf-8")
+            body = obs_metrics.REGISTRY.render_prometheus().encode()
         else:
             status = b"HTTP/1.1 404 Not Found\r\n"
             content_type = b"text/plain; charset=utf-8"

@@ -60,7 +60,7 @@ def error_kind(error: BaseException) -> str:
 
 def encode_line(message: Dict[str, Any]) -> bytes:
     """One protocol message as a newline-terminated JSON line."""
-    return (json.dumps(message, default=str) + "\n").encode("utf-8")
+    return (json.dumps(message, default=str) + "\n").encode()
 
 
 def decode_line(line: bytes) -> Dict[str, Any]:

@@ -32,6 +32,9 @@ from repro.engine.database import Database
 from repro.obs import metrics as obs_metrics
 from repro.server import protocol
 
+_REQUEST_COUNTER = obs_metrics.counter("server.requests")
+_ERROR_COUNTER = obs_metrics.counter("server.errors", label_name="kind")
+
 #: Longest accepted request line (64 MiB) — a runaway client must not make
 #: the server buffer unbounded input.
 MAX_LINE = 64 * 1024 * 1024
@@ -151,7 +154,7 @@ class DatabaseServer:
     def _serve_request(self, session, line: bytes) -> dict:
         """Execute one request line; never raises (errors become responses)."""
         self.stats["requests"] += 1
-        obs_metrics.counter("server.requests").inc()
+        _REQUEST_COUNTER.inc()
         request_id = None
         try:
             request = protocol.decode_line(line)
@@ -172,7 +175,7 @@ class DatabaseServer:
             return protocol.result_response(request_id, table.columns, table.rows)
         except Exception as error:  # noqa: BLE001 - the wire carries the error
             self.stats["errors"] += 1
-            obs_metrics.counter("server.errors", label_name="kind").inc(
+            _ERROR_COUNTER.inc(
                 label=protocol.error_kind(error)
             )
             return protocol.error_response(request_id, error)
@@ -202,7 +205,7 @@ class ServerThread:
             self._loop.call_soon_threadsafe(self._stop_event.set)
         self._thread.join(timeout)
 
-    def __enter__(self) -> "ServerThread":
+    def __enter__(self) -> ServerThread:
         return self
 
     def __exit__(self, *_exc) -> None:

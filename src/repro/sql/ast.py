@@ -43,7 +43,7 @@ class ExistsExpression(Expression):
     """``[NOT] EXISTS (SELECT ...)`` — rewritten by the analyzer into a
     semi/anti join against the outer FROM clause."""
 
-    def __init__(self, query: "SelectStatement", negated: bool = False):
+    def __init__(self, query: SelectStatement, negated: bool = False):
         self.query = query
         self.negated = negated
 
@@ -69,7 +69,7 @@ class TableName:
 class SubqueryRef:
     """A derived table: ``(SELECT ...) alias``."""
 
-    query: "SelectStatement"
+    query: SelectStatement
     alias: str
 
 
@@ -77,8 +77,8 @@ class SubqueryRef:
 class AlignRef:
     """``(left ALIGN right ON condition) alias`` — temporal alignment."""
 
-    left: "FromItem"
-    right: "FromItem"
+    left: FromItem
+    right: FromItem
     condition: Expression
     alias: str
 
@@ -87,8 +87,8 @@ class AlignRef:
 class NormalizeRef:
     """``(left NORMALIZE right USING(attrs)) alias`` — temporal normalization."""
 
-    left: "FromItem"
-    right: "FromItem"
+    left: FromItem
+    right: FromItem
     using: List[str]
     alias: str
 
@@ -97,8 +97,8 @@ class NormalizeRef:
 class JoinRef:
     """Explicit join between two FROM items."""
 
-    left: "FromItem"
-    right: "FromItem"
+    left: FromItem
+    right: FromItem
     kind: str  # inner, left, right, full, cross
     condition: Optional[Expression]
 
@@ -127,7 +127,7 @@ class OrderItem:
 @dataclass
 class CommonTableExpression:
     name: str
-    query: "SelectStatement"
+    query: SelectStatement
 
 
 @dataclass
@@ -144,7 +144,7 @@ class SelectStatement:
     order_by: List[OrderItem] = field(default_factory=list)
     limit: Optional[int] = None
     ctes: List[CommonTableExpression] = field(default_factory=list)
-    set_operation: Optional[Tuple[str, "SelectStatement"]] = None  # (kind, rhs)
+    set_operation: Optional[Tuple[str, SelectStatement]] = None  # (kind, rhs)
 
 
 # -- temporal DML ----------------------------------------------------------------------
@@ -245,7 +245,7 @@ class ExplainStatement:
     with per-operator wall time, row counts and runtime decisions.
     """
 
-    statement: "Statement"
+    statement: Statement
     analyze: bool = False
 
 

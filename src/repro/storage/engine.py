@@ -54,6 +54,8 @@ from repro.temporal.interval import Interval
 from repro.storage import snapshot as snapshot_module
 from repro.storage.wal import Record, WalWriter, _fsync_directory, read_wal
 
+_CHECKPOINT_SECONDS = obs_metrics.histogram("storage.checkpoint_seconds")
+
 WAL_FILE = "wal.log"
 SNAPSHOT_FILE = "snapshot.bin"
 LOCK_FILE = "LOCK"
@@ -114,7 +116,7 @@ class StorageEngine:
     def _acquire_lock(self):
         if fcntl is None:  # pragma: no cover - non-POSIX platforms
             return None
-        handle = open(os.path.join(self.path, LOCK_FILE), "a+")
+        handle = open(os.path.join(self.path, LOCK_FILE), "a+")  # noqa: SIM115  (lock handle lives as long as the engine)
         for attempt in (0, 1):
             try:
                 fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
@@ -337,7 +339,7 @@ class StorageEngine:
             raise StorageError(self._poisoned) from error
         self._records_since_checkpoint = 0
         self.stats["checkpoints"] += 1
-        obs_metrics.histogram("storage.checkpoint_seconds").observe(
+        _CHECKPOINT_SECONDS.observe(
             perf_counter() - started
         )
         return written
@@ -380,7 +382,7 @@ class _TransactionScope:
         self.engine = engine
         self.txn_id = txn_id
 
-    def __enter__(self) -> "_TransactionScope":
+    def __enter__(self) -> _TransactionScope:
         if self.engine._txn_buffer is not None:
             raise StorageError("transaction WAL scopes do not nest")
         self.engine._txn_buffer = []

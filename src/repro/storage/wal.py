@@ -38,6 +38,8 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.obs import metrics as obs_metrics
 
+_FSYNC_SECONDS = obs_metrics.histogram("wal.fsync_seconds")
+
 MAGIC = b"RWAL"
 FORMAT_VERSION = 1
 _HEADER = struct.Struct(">4sIQ")  # magic, format version, epoch
@@ -94,6 +96,7 @@ def read_frames(blob: bytes, offset: int) -> Tuple[List[Record], int]:
             break  # corrupt frame: everything after it is untrusted
         try:
             records.append(pickle.loads(payload))
+        # repro: allow(swallowed-error): an unpicklable tail frame IS torn-tail truncation; recovery keeps the valid prefix by contract
         except Exception:
             break
         position = end
@@ -141,12 +144,12 @@ class WalWriter:
     def __init__(self, path: str, sync: bool = True):
         self.path = path
         self.sync = sync
-        self._handle = open(path, "ab")
+        self._handle = open(path, "ab")  # noqa: SIM115  (log handle lives as long as the WAL)
 
     def create(self, epoch: int) -> None:
         """Initialize an empty log (header only) for ``epoch``."""
         self._handle.close()
-        self._handle = open(self.path, "wb")
+        self._handle = open(self.path, "wb")  # noqa: SIM115
         self._handle.write(pack_header(epoch))
         self._flush(force=True)
         self._handle.close()
@@ -154,7 +157,7 @@ class WalWriter:
         # OS crash can forget a freshly created wal.log wholesale — and with
         # it every record fsync'd into the file before the first checkpoint.
         _fsync_directory(self.path)
-        self._handle = open(self.path, "ab")
+        self._handle = open(self.path, "ab")  # noqa: SIM115
 
     reset = create  # a checkpoint's WAL rotation is the same operation
 
@@ -164,7 +167,7 @@ class WalWriter:
             handle.truncate(valid_length)
             handle.flush()
             os.fsync(handle.fileno())
-        self._handle = open(self.path, "ab")
+        self._handle = open(self.path, "ab")  # noqa: SIM115
 
     def append(self, record: Record) -> int:
         """Append one framed record; returns its size in bytes.
@@ -182,7 +185,7 @@ class WalWriter:
         if self.sync or force:
             started = perf_counter()
             os.fsync(self._handle.fileno())
-            obs_metrics.histogram("wal.fsync_seconds").observe(perf_counter() - started)
+            _FSYNC_SECONDS.observe(perf_counter() - started)
 
     def close(self) -> None:
         if not self._handle.closed:

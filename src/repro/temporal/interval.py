@@ -76,16 +76,16 @@ class Interval:
     def __hash__(self) -> int:
         return hash((self.start, self.end))
 
-    def __lt__(self, other: "Interval") -> bool:
+    def __lt__(self, other: Interval) -> bool:
         return (self.start, self.end) < (other.start, other.end)
 
-    def __le__(self, other: "Interval") -> bool:
+    def __le__(self, other: Interval) -> bool:
         return (self.start, self.end) <= (other.start, other.end)
 
-    def __gt__(self, other: "Interval") -> bool:
+    def __gt__(self, other: Interval) -> bool:
         return (self.start, self.end) > (other.start, other.end)
 
-    def __ge__(self, other: "Interval") -> bool:
+    def __ge__(self, other: Interval) -> bool:
         return (self.start, self.end) >= (other.start, other.end)
 
     def __contains__(self, point: int) -> bool:
@@ -120,39 +120,39 @@ class Interval:
 
     # -- relationships -----------------------------------------------------
 
-    def overlaps(self, other: "Interval") -> bool:
+    def overlaps(self, other: Interval) -> bool:
         """``True`` iff the two intervals share at least one time point."""
         return self.start < other.end and other.start < self.end
 
-    def contains_interval(self, other: "Interval") -> bool:
+    def contains_interval(self, other: Interval) -> bool:
         """``True`` iff ``other ⊆ self`` (empty intervals are contained)."""
         if other.is_empty():
             return True
         return self.start <= other.start and other.end <= self.end
 
-    def is_contained_in(self, other: "Interval") -> bool:
+    def is_contained_in(self, other: Interval) -> bool:
         """``True`` iff ``self ⊆ other``."""
         return other.contains_interval(self)
 
-    def properly_contains(self, other: "Interval") -> bool:
+    def properly_contains(self, other: Interval) -> bool:
         """``True`` iff ``other ⊂ self`` (strict containment, paper's ``⊂``)."""
         return self.contains_interval(other) and self != other
 
-    def meets(self, other: "Interval") -> bool:
+    def meets(self, other: Interval) -> bool:
         """``True`` iff ``self`` ends exactly where ``other`` starts."""
         return self.end == other.start
 
-    def adjacent(self, other: "Interval") -> bool:
+    def adjacent(self, other: Interval) -> bool:
         """``True`` iff the intervals touch without overlapping."""
         return self.end == other.start or other.end == self.start
 
-    def precedes(self, other: "Interval") -> bool:
+    def precedes(self, other: Interval) -> bool:
         """``True`` iff every point of ``self`` is before every point of ``other``."""
         return self.end <= other.start
 
     # -- construction of derived intervals ----------------------------------
 
-    def intersect(self, other: "Interval") -> "Interval":
+    def intersect(self, other: Interval) -> Interval:
         """The common sub-interval; empty interval when disjoint."""
         start = max(self.start, other.start)
         end = min(self.end, other.end)
@@ -160,7 +160,7 @@ class Interval:
             return Interval(start, start)
         return Interval(start, end)
 
-    def union_hull(self, other: "Interval") -> "Interval":
+    def union_hull(self, other: Interval) -> Interval:
         """Smallest interval covering both arguments (not a set union)."""
         if self.is_empty():
             return other
@@ -168,7 +168,7 @@ class Interval:
             return self
         return Interval(min(self.start, other.start), max(self.end, other.end))
 
-    def minus(self, other: "Interval") -> List["Interval"]:
+    def minus(self, other: Interval) -> List[Interval]:
         """Set difference ``self − other`` as zero, one or two intervals."""
         if not self.overlaps(other):
             return [] if self.is_empty() else [self]
@@ -179,7 +179,7 @@ class Interval:
             pieces.append(Interval(other.end, self.end))
         return pieces
 
-    def split_at(self, points: Iterable[int]) -> List["Interval"]:
+    def split_at(self, points: Iterable[int]) -> List[Interval]:
         """Split the interval at every interior point of ``points``.
 
         Only points strictly inside ``(start, end)`` act as split points; the
@@ -193,11 +193,11 @@ class Interval:
         bounds = [self.start] + interior + [self.end]
         return [Interval(a, b) for a, b in zip(bounds, bounds[1:])]
 
-    def shift(self, delta: int) -> "Interval":
+    def shift(self, delta: int) -> Interval:
         """Return the interval translated by ``delta`` time points."""
         return Interval(self.start + delta, self.end + delta)
 
-    def expand(self, before: int = 0, after: int = 0) -> "Interval":
+    def expand(self, before: int = 0, after: int = 0) -> Interval:
         """Return the interval grown by ``before``/``after`` points."""
         return Interval(self.start - before, self.end + after)
 

@@ -51,8 +51,8 @@ class _StabNode:
 
     def __init__(self, center: int):
         self.center = center
-        self.left: Optional["_StabNode"] = None
-        self.right: Optional["_StabNode"] = None
+        self.left: Optional[_StabNode] = None
+        self.right: Optional[_StabNode] = None
         #: Entries containing ``center``, ascending by start / descending by end.
         self.by_start: List[Tuple[int, int, Any]] = []
         self.by_end: List[Tuple[int, int, Any]] = []

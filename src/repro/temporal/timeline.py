@@ -77,6 +77,10 @@ class MonthTimeline(Timeline):
         return f"{self.anchor_year + year}/{month + 1}"
 
 
+#: Default day-zero of :class:`DayTimeline` (the Incumben dataset's start).
+_INCUMBEN_EPOCH = _dt.date(1985, 1, 1)
+
+
 class DayTimeline(Timeline):
     """Day-granularity timeline anchored at a configurable date.
 
@@ -84,7 +88,7 @@ class DayTimeline(Timeline):
     assignments at day granularity over 16 years.
     """
 
-    def __init__(self, anchor: _dt.date = _dt.date(1985, 1, 1)):
+    def __init__(self, anchor: _dt.date = _INCUMBEN_EPOCH):
         self.anchor = anchor
 
     def to_point(self, label: Union[str, int, _dt.date]) -> int:

@@ -50,7 +50,7 @@ def condition_fingerprint(
         return None
     failed = False
 
-    def canonical(match: "re.Match[str]") -> str:
+    def canonical(match: re.Match[str]) -> str:
         nonlocal failed
         name = match.group(1)
         for side, columns in (("l", left_columns), ("r", right_columns)):

@@ -51,10 +51,12 @@ from repro.relation.tuple import TemporalTuple
 #: and the write-ahead log.
 DownstreamOp = Tuple[Any, ...]
 
+_REFRESH_COUNTER = obs_metrics.counter("view.refresh", label_name="outcome")
+
 
 def _count_refresh(outcome: str) -> str:
     """Count a non-trivial refresh on ``view.refresh{incremental|recompute}``."""
-    obs_metrics.counter("view.refresh").inc(
+    _REFRESH_COUNTER.inc(
         label="recompute" if outcome == "recomputed" else "incremental"
     )
     return outcome

@@ -1,0 +1,9 @@
+"""A module every rule is happy with (the negative control)."""
+
+from repro.obs import metrics as obs_metrics
+
+_PARSE_COUNTER = obs_metrics.counter("fixture.parses", label_name="outcome")
+
+
+def record(ok: bool) -> None:
+    _PARSE_COUNTER.inc(label="ok" if ok else "error")

@@ -1,0 +1,17 @@
+"""R2 bad fixture: an executor node stashing run-time facts on itself."""
+
+
+class PhysicalNode:
+    def __init__(self, columns):
+        self.columns = columns
+
+
+class LeakyScanNode(PhysicalNode):
+    def __init__(self, columns):
+        super().__init__(columns)
+        self.rows_out = 0  # __init__ is fine
+
+    def rows(self):
+        self.rows_out += 1  # run-time fact on node state: flagged
+        self.last_row = None  # so is a fresh attribute
+        yield ()

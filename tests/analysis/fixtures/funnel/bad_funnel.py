@@ -1,0 +1,7 @@
+"""R1 bad fixture: pokes relation internals from outside the funnel."""
+
+
+def sneak_row(relation, row):
+    relation._tuples.append(row)  # in-place mutator on protected state
+    relation._rowids = []  # plain assignment to protected state
+    del relation._derived_cache["stats"]  # delete from protected state

@@ -1,0 +1,19 @@
+"""R1 clean fixture: protected writes, but inside the funnel of relation.py."""
+
+
+class TemporalRelation:
+    def __init__(self):
+        self._tuples = []
+        self._rowids = []
+
+    def _mutate(self, rows):
+        self._tuples.extend(rows)
+        self._after_mutation()
+
+    def apply_effects(self, removals, inserts):
+        self._tuples = [t for t in self._tuples if t not in removals]
+        self._tuples.extend(inserts)
+        self._after_mutation()
+
+    def _after_mutation(self):
+        self._derived_cache = {}

@@ -1,0 +1,12 @@
+"""R7 fixture Settings declaration (stands in for the optimizer's)."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Settings:
+    enable_fixture: bool = True
+    fixture_min_rows: int = 100
+
+    def copy(self):
+        return Settings(self.enable_fixture, self.fixture_min_rows)

@@ -1,0 +1,13 @@
+"""R6 bad fixture: every way to register a metric wrong."""
+
+from repro.obs import metrics as obs_metrics
+
+METRIC_NAME = "fixture.dynamic"
+
+_BAD_NAME = obs_metrics.counter("Fixture.CamelCase")  # flagged: not snake/dot
+_DYNAMIC = obs_metrics.counter(METRIC_NAME)  # flagged: non-literal name
+_BAD_LABEL = obs_metrics.counter("fixture.labeled", label_name="Kind!")  # flagged
+
+
+def tally():
+    obs_metrics.counter("fixture.inline").inc()  # flagged: function-scope registration

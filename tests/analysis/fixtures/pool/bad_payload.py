@@ -1,0 +1,15 @@
+"""R4 bad fixture: a slotted pool payload with no pickle hook, plus asyncio."""
+
+import asyncio  # flagged: payload modules must stay server/event-loop free
+
+
+class ShmJob:
+    __slots__ = ("segment", "lengths")  # flagged: slots without __reduce__
+
+    def __init__(self, segment, lengths):
+        self.segment = segment
+        self.lengths = lengths
+
+
+def wait(job: ShmJob):
+    return asyncio.get_event_loop()

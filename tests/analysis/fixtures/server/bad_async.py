@@ -1,0 +1,18 @@
+"""R5 bad fixture: blocking calls inside server coroutine bodies."""
+
+import os
+import subprocess
+import time
+
+
+async def handle(request):
+    time.sleep(0.1)  # flagged: blocks the event loop
+    with open("/tmp/fixture-log", "a") as handle:  # flagged: blocking file IO
+        handle.write("hit")
+        os.fsync(handle.fileno())  # flagged: synchronous fsync
+    subprocess.run(["true"])  # flagged: subprocess in a coroutine
+
+    def helper():
+        time.sleep(0.1)  # nested sync def: not this coroutine's await point
+
+    return helper

@@ -1,0 +1,14 @@
+"""R3 bad fixture: shared-memory segments created outside the registry."""
+
+from multiprocessing import shared_memory
+
+
+def leak_segment(payload: bytes):
+    segment = shared_memory.SharedMemory(create=True, size=len(payload))  # flagged
+    segment.buf[: len(payload)] = payload
+    return segment.name
+
+
+class NotTheRegistry:
+    def grab(self, registry, nbytes):
+        return registry.create_segment(nbytes)  # flagged: wrong owner class

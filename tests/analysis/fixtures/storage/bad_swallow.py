@@ -1,0 +1,19 @@
+"""R8 bad fixture: silent broad excepts in poisoning-sensitive code."""
+
+
+def append_record(handle, frame):
+    try:
+        handle.write(frame)
+    except:  # noqa: E722  — flagged: bare except
+        pass
+
+
+def checkpoint(engine):
+    try:
+        engine.flush()
+    except Exception:  # flagged: broad + silent body
+        pass
+    try:
+        engine.sync()
+    except ValueError:  # narrow: allowed even when silent
+        pass

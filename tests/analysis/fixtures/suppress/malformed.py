@@ -1,0 +1,11 @@
+"""Malformed-suppression fixture: allow() attempts the parser must reject."""
+
+
+def first(rows):
+    # repro: allow(mutation-funnel)
+    return list(rows)  # no ": reason" — malformed
+
+
+def second(rows):
+    # repro: allow(not-a-rule): the rule id does not exist
+    return list(rows)

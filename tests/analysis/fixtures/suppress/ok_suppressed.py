@@ -1,0 +1,7 @@
+"""Suppression fixture: a real finding, documented away (exit 0)."""
+
+
+def sneak(relation, row):
+    # repro: allow(mutation-funnel): fixture demonstrating a documented exception
+    relation._tuples.append(row)
+    relation._rowids.append(len(relation._tuples))  # repro: allow(mutation-funnel): trailing-comment form

@@ -1,0 +1,67 @@
+"""The ``python -m repro.analysis`` surface: exit codes and JSON schema."""
+
+import json
+from pathlib import Path
+
+from repro.analysis.cli import main
+from repro.analysis.registry import RULES
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_exit_zero_on_clean_tree(capsys):
+    assert main([str(FIXTURES / "clean")]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_exit_one_on_findings(capsys):
+    assert main([str(FIXTURES / "funnel")]) == 1
+    out = capsys.readouterr().out
+    assert "mutation-funnel" in out and "FAILED" in out
+
+
+def test_exit_two_on_missing_path(capsys):
+    assert main([str(FIXTURES / "does-not-exist")]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_exit_two_on_unknown_rule(capsys):
+    assert main(["--rule", "no-such-rule", str(FIXTURES / "clean")]) == 2
+    assert "no-such-rule" in capsys.readouterr().err
+
+
+def test_list_rules_prints_the_catalog(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in RULES:
+        assert rule_id in out
+
+
+def test_json_report_schema(capsys):
+    assert main(["--json", str(FIXTURES / "funnel")]) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["version"] == 1
+    assert report["files_scanned"] == 1
+    assert {entry["id"] for entry in report["rules"]} == set(RULES)
+    assert report["summary"]["findings"] == len(report["findings"]) == 3
+    assert report["summary"]["by_rule"] == {"mutation-funnel": 3}
+    for entry in report["findings"]:
+        assert set(entry) >= {"file", "line", "col", "rule", "message"}
+        assert entry["rule"] == "mutation-funnel"
+        assert isinstance(entry["line"], int) and entry["line"] > 0
+
+
+def test_json_report_includes_suppressions(capsys):
+    assert main(["--json", str(FIXTURES / "suppress" / "ok_suppressed.py")]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["summary"]["suppressed"] == 2
+    for entry in report["suppressed"]:
+        assert entry["rule"] == "mutation-funnel"
+        assert entry["reason"]
+
+
+def test_parse_error_is_reported_not_raised(tmp_path, capsys):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def f(:\n")
+    assert main([str(broken)]) == 1
+    assert "parse-error" in capsys.readouterr().out

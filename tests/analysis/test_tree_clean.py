@@ -1,0 +1,34 @@
+"""Meta-test: the committed tree satisfies its own invariant checker.
+
+This is the same gate CI runs (`python -m repro.analysis src/repro`); keeping
+it in the suite means a contract regression fails locally before push, and a
+rule change that suddenly fires on the real tree is caught by the rule's
+author, not the next contributor.
+"""
+
+import re
+from pathlib import Path
+
+import repro
+from repro.analysis import all_rules, analyze_paths
+
+SRC = Path(repro.__file__).parent
+
+
+def test_committed_tree_is_clean():
+    report = analyze_paths([SRC])
+    assert report.exit_code == 0, report.render_human()
+    assert report.findings == []
+
+
+def test_every_suppression_in_tree_carries_a_reason():
+    report = analyze_paths([SRC])
+    assert report.suppressed, "the tree documents its known exceptions"
+    for suppressed in report.suppressed:
+        assert len(suppressed.reason.split()) >= 3, suppressed
+
+
+def test_rule_catalog_is_documented():
+    catalog = (SRC.parent.parent / "docs" / "static-analysis.md").read_text()
+    for rule in all_rules():
+        assert re.search(rf"`{rule.id}`", catalog), f"{rule.id} missing from docs"

@@ -136,7 +136,7 @@ def test_resolve_workers(monkeypatch):
 
 
 def test_partition_indexes_stable_and_in_range():
-    keys = [("C%04d" % i,) for i in range(50)]
+    keys = [(f"C{i:04d}",) for i in range(50)]
     ids = parallel_support.partition_indexes(keys, 8)
     assert ids == parallel_support.partition_indexes(keys, 8)
     assert all(0 <= i < 8 for i in ids)

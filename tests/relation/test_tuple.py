@@ -26,7 +26,7 @@ class TestNull:
 
     def test_equality_and_hash(self):
         assert NULL == NULL
-        assert not NULL == 0
+        assert not NULL == 0  # noqa: SIM201  (exercises __eq__; != would test __ne__)
         assert hash(NULL) == hash(NULL)
 
     def test_is_null(self):

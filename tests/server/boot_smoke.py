@@ -36,7 +36,7 @@ from repro.relation.schema import Schema  # noqa: E402
 BOOT_TIMEOUT = 30.0
 
 
-def wait_for_ports(process: subprocess.Popen) -> "tuple[int, int]":
+def wait_for_ports(process: subprocess.Popen) -> tuple[int, int]:
     """Read the "metrics on" and "serving on" banners off stdout.
 
     The metrics banner prints first (``--metrics-port`` binds before the

@@ -4,7 +4,7 @@ import pytest
 
 from repro import Interval
 from repro.engine.database import Database
-from repro.relation.errors import QueryError, SQLSyntaxError
+from repro.relation.errors import QueryError, SchemaError, SQLSyntaxError
 from repro.sql import Connection, parse
 from repro.sql import ast
 from repro.workloads.hotel import hotel_prices, hotel_reservations
@@ -96,7 +96,7 @@ class TestDMLExecution:
 
     def test_dml_requires_registered_relation(self, connection):
         connection.database.create_table("plain", ["x", "ts", "te"])
-        with pytest.raises(Exception):
+        with pytest.raises(SchemaError, match="not a registered temporal relation"):
             connection.execute("INSERT INTO plain (x) VALUES (1) VALID PERIOD [0, 1)")
 
     def test_empty_period_rejected(self, connection):
@@ -160,7 +160,7 @@ class TestMaterializedViewsThroughSQL:
         assert "mv" not in connection.database.views
 
     def test_view_name_collision_with_table(self, connection):
-        with pytest.raises(Exception):
+        with pytest.raises(SchemaError, match="already names a table"):
             connection.execute(
                 "CREATE MATERIALIZED VIEW r AS SELECT * FROM (r a NORMALIZE r b USING(n)) x"
             )

@@ -13,6 +13,7 @@ import os
 import pytest
 
 from repro.engine.database import Database
+from repro.relation.errors import DuplicateTupleError
 from repro.relation.relation import TemporalRelation
 from repro.relation.schema import Schema
 from repro.storage.engine import WAL_FILE, StorageError
@@ -148,7 +149,7 @@ class TestMidApplyPoison:
         transaction = manager.begin()
         transaction.insert_rows("r", [(("x", 1), Interval(0, 5))])
         transaction.insert_rows("dup", [(("a", 1), Interval(0, 5))])  # duplicate
-        with pytest.raises(Exception):
+        with pytest.raises(DuplicateTupleError):
             transaction.commit()
         # Memory now leads the log: further durable writes must refuse.
         with pytest.raises(StorageError, match="poisoned"):
