@@ -180,6 +180,8 @@ class AnalysisSession:
     def __init__(self, modules: Sequence[ModuleContext]):
         self.modules = list(modules)
         self._settings_fields: Optional[Set[str]] = None
+        self._fault_sites: Optional[Set[str]] = None
+        self._fault_sites_resolved = False
 
     # -- cross-module facts ---------------------------------------------------
 
@@ -209,6 +211,55 @@ class AnalysisSession:
                     except SyntaxError:  # pragma: no cover - tree is lint-clean
                         return None
         return None
+
+    def fault_sites(self) -> Optional[Set[str]]:
+        """Declared fault-site names (the ``SITES`` dict of the faults package).
+
+        Looked up in the scanned module set first (so fixtures can carry
+        their own ``sites.py``), then on disk next to the ``repro`` package
+        of any scanned module.  ``None`` when no declaration can be found —
+        the fault-site-registered rule then skips rather than guessing.
+        """
+        if not self._fault_sites_resolved:
+            self._fault_sites_resolved = True
+            tree = self._find_fault_sites_tree()
+            self._fault_sites = _fault_declaration(tree) if tree else None
+        return self._fault_sites
+
+    def _find_fault_sites_tree(self) -> Optional[ast.Module]:
+        for module in self.modules:
+            if module.path.name == "sites.py" and _fault_declaration(module.tree):
+                return module.tree
+        for module in self.modules:
+            for ancestor in module.path.parents:
+                candidate = ancestor / "repro" / "faults" / "sites.py"
+                if candidate.is_file():
+                    try:
+                        return ast.parse(candidate.read_text(encoding="utf-8"))
+                    except SyntaxError:  # pragma: no cover - tree is lint-clean
+                        return None
+        return None
+
+
+def _fault_declaration(tree: ast.Module) -> Optional[Set[str]]:
+    """Literal string keys of a module-level ``SITES = {...}`` dict, if any."""
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if not any(isinstance(t, ast.Name) and t.id == "SITES" for t in targets):
+            continue
+        if not isinstance(value, ast.Dict):
+            return None
+        names: Set[str] = set()
+        for key in value.keys:
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                names.add(key.value)
+        return names or None
+    return None
 
 
 def _settings_declaration(tree: ast.Module) -> Optional[Set[str]]:

@@ -11,6 +11,7 @@ One module per contract; the rule ids, in catalog order:
 ``metrics-discipline``    R6 — literal, module-scope metric registration
 ``settings-knob``         R7 — every Settings read names a declared field
 ``swallowed-error``       R8 — no silent except in storage/server code
+``fault-site-registered``  R9 — faults.fire() names a site declared in SITES
 ========================  =====================================================
 
 The catalog with each contract's *why* lives in ``docs/static-analysis.md``.
@@ -19,6 +20,7 @@ The catalog with each contract's *why* lives in ``docs/static-analysis.md``.
 from repro.analysis.rules import (  # noqa: F401 - registration side effects
     async_blocking,
     error_swallow,
+    fault_sites,
     metrics_discipline,
     mutation_funnel,
     pool_payloads,

@@ -1,0 +1,70 @@
+"""R9 ``fault-site-registered``: every ``faults.fire(...)`` names a declared site.
+
+Fault injection is only trustworthy when the set of injection points is
+closed: :func:`repro.faults.fire` raises ``KeyError`` on an undeclared site
+at runtime, but that guard only trips on the execution path that reaches the
+call — which for failure-path code is exactly the path no ordinary test
+covers.  This rule checks every literal site passed to
+``faults.fire``/``faults.stall_ms`` against the ``SITES`` registry parsed
+from source (fixtures may carry their own ``sites.py``; the real tree
+resolves to ``repro/faults/sites.py``), and flags non-literal site
+arguments outright — a computed site name cannot be audited against the
+registry at all.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.findings import Finding, finding
+from repro.analysis.registry import rule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.driver import AnalysisSession, ModuleContext
+
+RULE_ID = "fault-site-registered"
+
+#: Resolved callee names that take a fault-site string as first argument.
+_SITE_CALLS = {
+    "repro.faults.fire",
+    "repro.faults.stall_ms",
+    "repro.faults.plan.fire",
+    "repro.faults.plan.stall_ms",
+}
+
+
+@rule(RULE_ID, "faults.fire()/stall_ms() must name a site declared in SITES")
+def check(module: ModuleContext, session: AnalysisSession) -> Iterator[Finding]:
+    declared = session.fault_sites()
+    if declared is None:
+        return  # no SITES registry reachable; nothing to validate against
+    if module.path.parent.name == "faults":
+        return  # the registry and plan machinery themselves
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = module.resolve(node.func)
+        if callee not in _SITE_CALLS:
+            continue
+        if not node.args:
+            continue  # wrong arity fails loudly at runtime; not this rule's job
+        site = node.args[0]
+        if not (isinstance(site, ast.Constant) and isinstance(site.value, str)):
+            yield finding(
+                module.display,
+                node,
+                RULE_ID,
+                "fault site must be a literal string so the registry can be "
+                "audited statically; computed names hide dead injection points",
+            )
+            continue
+        if site.value not in declared:
+            yield finding(
+                module.display,
+                node,
+                RULE_ID,
+                f"fault site {site.value!r} is not declared in repro.faults.sites."
+                "SITES; an undeclared site is a dead injection point that can "
+                "never be armed",
+            )

@@ -54,6 +54,7 @@ import tempfile
 import time
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro import faults as _faults
 from repro.core.alignment import align_relation
 from repro.engine.database import Database
 from repro.engine.executor import CountingNode
@@ -1019,6 +1020,644 @@ def run_concurrency(
     return scenarios
 
 
+#: Seeds of the chaos scenario — each seed drives one served round (its own
+#: transaction mix *and* its own fault schedule) and must pass every gate.
+CHAOS_SEEDS = (11, 23, 47)
+
+#: Socket clients of each served chaos round.
+CHAOS_CLIENTS = 3
+
+#: Ceiling on one served round's client phase; a thread still alive after
+#: this is a hung client — a hard gate, not a timeout to wait out.
+CHAOS_JOIN_TIMEOUT = 120.0
+
+
+def _preserve_chaos_artifacts(tag: str, source: str) -> Optional[str]:
+    """Copy a failed round's database directory for post-mortem.
+
+    Controlled by ``REPRO_RECOVERY_ARTIFACT_DIR`` (the CI chaos job points it
+    at an uploaded directory); without it the failure message stands alone.
+    """
+    target_root = os.environ.get("REPRO_RECOVERY_ARTIFACT_DIR")
+    if not target_root:
+        return None
+    destination = os.path.join(target_root, tag)
+    shutil.copytree(source, destination, dirs_exist_ok=True)
+    return destination
+
+
+def _chaos_fail(tag: str, source_dir: Optional[str], message: str) -> None:
+    if source_dir is not None:
+        preserved = _preserve_chaos_artifacts(tag, source_dir)
+        if preserved:
+            message += f" (recovery artifacts preserved at {preserved})"
+    raise BenchmarkError(message)
+
+
+def _chaos_net_spec(seed: int) -> str:
+    """The round's fault schedule: seed-dependent drop/stall cadences."""
+    drop_every = 6 + seed % 5
+    stall_every = 9 + seed % 4
+    return (
+        f"net.drop:every={drop_every}:after=2,"
+        f"net.stall:every={stall_every}:ms=2"
+    )
+
+
+def _chaos_serve_subprocess(path: str, spec: str):
+    """Boot ``python -m repro.serve`` with ``REPRO_FAULTS`` armed.
+
+    Returns ``(process, host, port)`` once the server prints its banner; the
+    banner must also confirm the faults armed — a chaos round against a
+    server that silently ignored its fault spec would prove nothing.
+    """
+    env = dict(os.environ)
+    src_root = os.path.abspath(
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "..")
+    )
+    env["PYTHONPATH"] = os.pathsep.join(
+        entry for entry in (src_root, env.get("PYTHONPATH")) if entry
+    )
+    env[_faults.ENV_VAR] = spec
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "--path", path, "--port", "0"],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    banner: List[str] = []
+    armed = False
+    assert process.stdout is not None
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            break
+        banner.append(line.strip())
+        if line.startswith("faults armed:"):
+            armed = True
+        if line.startswith("serving on "):
+            if not armed:
+                process.kill()
+                raise BenchmarkError(
+                    f"chaos: server came up without arming {_faults.ENV_VAR}; "
+                    f"output: {banner}"
+                )
+            host, _, port = line.strip().split()[-1].rpartition(":")
+            return process, host, int(port)
+    process.kill()
+    raise BenchmarkError(
+        f"chaos: served subprocess never announced its port; output: {banner}"
+    )
+
+
+def _chaos_served_round(seed: int) -> dict:
+    """One served round: clients under net faults, SIGKILL, replay gate.
+
+    A durable database is served by a *subprocess* whose ``net.drop`` /
+    ``net.stall`` sites are armed through the environment — the process
+    boundary proves the env-arming path end-to-end and lets the round kill
+    the server without mercy.  ``CHAOS_CLIENTS`` threads push seeded
+    transactions through :meth:`Client.run_transaction` (reconnect + replay
+    + capped backoff; ``retry_ambiguous=True`` is sound here because
+    ``net.drop`` severs *before* executing the request, so an interrupted
+    COMMIT never applied).  Hard gates:
+
+    * no client errors out of its retry budget, none hangs past the join
+      timeout, every transaction commits under a unique epoch;
+    * the injected faults are *observed*: the live server's metrics must
+      count ``faults.injected`` for both armed net sites;
+    * after SIGKILL (no shutdown path), reopening the directory must yield
+      exactly the committed prefix — equal to replaying the recorded
+      commits in epoch order on a twin.
+    """
+    import random as random_module
+    import threading
+
+    from repro.client import Client, DisconnectedError, OverloadedError
+    from repro.relation.relation import TemporalRelation
+    from repro.relation.schema import Schema
+    from repro.sql.interface import Connection
+
+    tag = f"chaos-served-seed{seed}"
+    transactions_per_client = max(3, int(10 * SCALE))
+    seed_rows = [
+        ((f"k{i % CONCURRENCY_KEYS}", i), Interval(10 * i, 10 * i + 50))
+        for i in range(CONCURRENCY_KEYS * 2)
+    ]
+    tempdir = tempfile.TemporaryDirectory(prefix="repro-chaos-")
+    path = os.path.join(tempdir.name, "db")
+    database = Database.open(path)
+    relation = TemporalRelation(Schema(["k", "v"]))
+    for values, interval in seed_rows:
+        relation.insert(values, interval)
+    database.register_relation("t", relation)
+    database.close()
+
+    process, host, port = _chaos_serve_subprocess(path, _chaos_net_spec(seed))
+    committed: List[tuple] = []
+    errors: List[BaseException] = []
+    lock = threading.Lock()
+
+    def run_client(client_index: int) -> None:
+        rng = random_module.Random(seed * 1000 + client_index)
+        try:
+            with Client(host, port, timeout=10.0) as client:
+                for _ in range(transactions_per_client):
+                    statements = _transaction_statements(rng)
+                    epoch = client.run_transaction(
+                        statements,
+                        max_attempts=60,
+                        backoff_base=0.002,
+                        backoff_cap=0.05,
+                        retry_ambiguous=True,
+                    )
+                    with lock:
+                        committed.append((epoch, statements))
+        except BaseException as error:  # noqa: BLE001 - reported as gate failure
+            with lock:
+                errors.append(error)
+
+    injected: Dict[str, int] = {}
+    try:
+        threads = [
+            threading.Thread(target=run_client, args=(i,), daemon=True)
+            for i in range(CHAOS_CLIENTS)
+        ]
+        wall_started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=CHAOS_JOIN_TIMEOUT)
+        wall_seconds = time.perf_counter() - wall_started
+        hung = sum(1 for thread in threads if thread.is_alive())
+        if hung:
+            _chaos_fail(
+                tag, path,
+                f"chaos/seed={seed}: {hung} client(s) still alive "
+                f"{CHAOS_JOIN_TIMEOUT:g}s after start — hung under net faults",
+            )
+        if errors:
+            _chaos_fail(
+                tag, path,
+                f"chaos/seed={seed}: {len(errors)} client(s) failed: {errors[0]!r}",
+            )
+        # The probe's own requests face the same armed faults: retry through.
+        for _ in range(20):
+            try:
+                with Client(host, port, timeout=10.0) as probe:
+                    injected = (
+                        probe.metrics()
+                        .get("faults.injected", {})
+                        .get("labels", {})
+                    )
+                break
+            except (DisconnectedError, OverloadedError, OSError):
+                continue
+        else:
+            _chaos_fail(
+                tag, path,
+                f"chaos/seed={seed}: could not read metrics off the faulted "
+                "server in 20 attempts",
+            )
+    finally:
+        process.kill()  # SIGKILL: recovery must come from the fsync'd WAL
+        try:
+            process.wait(timeout=30)
+        finally:
+            if process.stdout is not None:
+                process.stdout.close()
+
+    for site in ("net.drop", "net.stall"):
+        if injected.get(site, 0) < 1:
+            _chaos_fail(
+                tag, path,
+                f"chaos/seed={seed}: armed fault {site} was never observed in "
+                f"the server's faults.injected metrics ({injected})",
+            )
+    expected = CHAOS_CLIENTS * transactions_per_client
+    if len(committed) != expected:
+        _chaos_fail(
+            tag, path,
+            f"chaos/seed={seed}: {len(committed)} commits recorded, "
+            f"expected {expected}",
+        )
+    epochs = [epoch for epoch, _ in committed]
+    if len(set(epochs)) != len(epochs):
+        _chaos_fail(
+            tag, path,
+            f"chaos/seed={seed}: duplicate commit epochs — a retried COMMIT "
+            "applied twice",
+        )
+
+    # Recovery gate: the killed server's directory must reopen to exactly
+    # the committed prefix (commit-epoch-ordered serial replay on a twin).
+    recovered = Database.open(path)
+    twin = Database()
+    twin_relation = TemporalRelation(Schema(["k", "v"]))
+    for values, interval in seed_rows:
+        twin_relation.insert(values, interval)
+    twin.register_relation("t", twin_relation)
+    replay = Connection(twin)
+    for _epoch, statements in sorted(committed, key=lambda entry: entry[0]):
+        for statement in statements:
+            replay.execute(statement)
+    recovered_state = recovered.get_relation("t").as_set()
+    replayed_state = twin.get_relation("t").as_set()
+    recovered.close()
+    if recovered_state != replayed_state:
+        _chaos_fail(
+            tag, path,
+            f"chaos/seed={seed}: recovered state ({len(recovered_state)} "
+            f"tuples) differs from the committed prefix "
+            f"({len(replayed_state)} tuples) after SIGKILL",
+        )
+    tempdir.cleanup()
+
+    scenario = {
+        "scenario": "chaos_served",
+        "seed": seed,
+        "clients": CHAOS_CLIENTS,
+        "transactions_per_client": transactions_per_client,
+        "committed": len(committed),
+        "wall_seconds": round(wall_seconds, 6),
+        "injected": {site: int(count) for site, count in sorted(injected.items())},
+        "recovered_tuples": len(recovered_state),
+        "identical": True,
+        "hung_clients": 0,
+    }
+    print(
+        f"[chaos] seed={seed}: {len(committed)} commits in "
+        f"{wall_seconds * 1e3:.0f}ms under "
+        f"drop={injected.get('net.drop', 0)} stall={injected.get('net.stall', 0)}; "
+        f"SIGKILL recovery identical={scenario['identical']}"
+    )
+    return scenario
+
+
+def _chaos_engine_round(workers: int) -> dict:
+    """Pool/shm faults under a real partition-parallel ALIGN.
+
+    A clean parallel run first proves the baseline is healthy (identical to
+    serial; with NumPy it must actually ship via shared memory, so the
+    faulted runs below disturb a live shm exchange rather than an
+    already-degraded fallback).  Then each fault — shm segment creation
+    failing, a worker dying, a worker stalling — is armed for one run, and
+    the gates are: identical results through the designed fallback, the
+    fault observed in the parent's ``faults.injected`` counts, and zero
+    shared-memory segments leaked in ``/dev/shm``.
+    """
+    import warnings
+
+    from repro.columnar.runtime import numpy_available
+
+    size = max(200, int(800 * SCALE))
+    left, right = generate_random(
+        config=SyntheticConfig(size=size, categories=20, seed=7)
+    )
+    database = _register_twin(Database(), left, right)
+    plan = align_plan(
+        scan(database, "l", "l"),
+        scan(database, "r", "r"),
+        Comparison("=", Column("l.cat"), Column("r.cat")),
+    )
+    serial = sorted(database.plan(plan, _row_settings()))
+    settings = _parallel_settings(workers)
+
+    shm_dir = "/dev/shm"
+    before = set(os.listdir(shm_dir)) if os.path.isdir(shm_dir) else set()
+
+    def shm_ships() -> int:
+        labels = obs_metrics.REGISTRY.snapshot().get("exchange.ship", {})
+        return int(labels.get("labels", {}).get("shm", 0))
+
+    ships_before = shm_ships()
+    clean = sorted(database.plan(plan, settings))
+    if clean != serial:
+        raise BenchmarkError(
+            f"chaos_engine: clean parallel run diverged from serial "
+            f"({len(clean)} vs {len(serial)} rows)"
+        )
+    if numpy_available() and shm_ships() <= ships_before:
+        raise BenchmarkError(
+            "chaos_engine: clean parallel run never shipped via shared "
+            "memory — the shm fault runs below would be vacuous"
+        )
+
+    specs = ["pool.worker_kill:count=1", "pool.worker_stall:count=1:ms=5"]
+    if numpy_available():
+        # The first segment creation is parent-side (input blocks are built
+        # before any worker exists), so the injected count is observable.
+        specs.insert(0, "shm.create_fail:count=1")
+    injected: Dict[str, int] = {}
+    for spec in specs:
+        site = spec.split(":", 1)[0]
+        _faults.arm(spec)
+        try:
+            with warnings.catch_warnings():
+                # The pool-death fallback warns by design; the gate below
+                # asserts the fallback's *results*, not its noise.
+                warnings.simplefilter("ignore", RuntimeWarning)
+                faulted = sorted(database.plan(plan, settings))
+            active = _faults.active()
+            counts = active.injected_counts() if active is not None else {}
+        finally:
+            _faults.disarm()
+        if faulted != serial:
+            raise BenchmarkError(
+                f"chaos_engine: run with {site} armed diverged from serial "
+                f"({len(faulted)} vs {len(serial)} rows)"
+            )
+        if counts.get(site, 0) < 1:
+            raise BenchmarkError(
+                f"chaos_engine: armed fault {site} never fired during the "
+                f"parallel run (injected counts: {counts})"
+            )
+        injected[site] = int(counts[site])
+
+    after = set(os.listdir(shm_dir)) if os.path.isdir(shm_dir) else set()
+    leaked = sorted(name for name in after - before if name.startswith("repro"))
+    if leaked:
+        raise BenchmarkError(f"chaos_engine: leaked shm segments: {leaked}")
+
+    scenario = {
+        "scenario": "chaos_engine_faults",
+        "size": size,
+        "workers": workers,
+        "numpy": numpy_available(),
+        "faults": sorted(injected),
+        "injected": injected,
+        "identical": True,
+        "leaked_segments": 0,
+    }
+    print(
+        f"[chaos] engine faults ({', '.join(sorted(injected)) or 'none'}): "
+        f"identical={scenario['identical']} leaked=0"
+    )
+    return scenario
+
+
+def _chaos_storage_round() -> dict:
+    """Storage faults end to end: poison, degrade, recover.
+
+    Three durable databases, one injected storage failure each, all gated:
+
+    * ``wal.append_ioerror`` — the failing write errors, the engine poisons
+      into read-only degraded mode (SELECTs answer, mutations and
+      CHECKPOINT refuse with the poison reason), and reopening yields
+      exactly the acked prefix, writable again;
+    * ``wal.torn_tail`` — recovery truncates the half-written frame and the
+      log accepts appends after it;
+    * ``snapshot.rename_ioerror`` — a failed snapshot publish does *not*
+      poison (the old snapshot + full WAL stay authoritative) and loses
+      nothing.
+    """
+    from repro.relation.relation import TemporalRelation
+    from repro.relation.schema import Schema
+    from repro.storage.engine import StorageError
+
+    injected: Dict[str, int] = {}
+
+    def open_db(path: str):
+        database = Database.open(path)
+        if "r" not in database.relations:
+            database.register_relation("r", TemporalRelation(Schema(["k", "v"])))
+        return database
+
+    def insert(database, key: str) -> None:
+        database.session().execute(
+            f"INSERT INTO r (k, v) VALUES ('{key}', 1) VALID PERIOD [0, 5)"
+        )
+
+    def keys(database) -> set:
+        return {t[0][0] for t in database.get_relation("r").as_set()}
+
+    def fire_one(database, spec: str, action, expected_error) -> None:
+        """Arm ``spec``, run ``action``, gate the typed failure + the count."""
+        site = spec.split(":", 1)[0]
+        _faults.arm(spec)
+        try:
+            try:
+                action(database)
+            except expected_error:
+                pass
+            else:
+                raise BenchmarkError(
+                    f"chaos_storage: {site} armed but {action.__name__} "
+                    f"did not raise {expected_error.__name__}"
+                )
+            active = _faults.active()
+            counts = active.injected_counts() if active is not None else {}
+        finally:
+            _faults.disarm()
+        if counts.get(site, 0) < 1:
+            raise BenchmarkError(
+                f"chaos_storage: armed fault {site} never fired "
+                f"(injected counts: {counts})"
+            )
+        injected[site] = int(counts[site])
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-storage-") as root:
+        # Round 1: append failure → degraded mode → acked-prefix recovery.
+        path = os.path.join(root, "append")
+        database = open_db(path)
+        insert(database, "a")
+        fire_one(
+            database, "wal.append_ioerror:count=1",
+            lambda db: insert(db, "b"), StorageError,
+        )
+        if database.storage.poisoned is None:
+            _chaos_fail("chaos-storage", path,
+                        "chaos_storage: injected append failure did not poison")
+        if "a" not in keys(database):
+            _chaos_fail("chaos-storage", path,
+                        "chaos_storage: degraded mode lost in-memory reads")
+        session = database.session()
+        try:
+            insert(database, "c")
+        except StorageError as error:
+            if "read-only degraded mode" not in str(error):
+                _chaos_fail("chaos-storage", path,
+                            f"chaos_storage: mutation refused untypedly: {error}")
+        else:
+            _chaos_fail("chaos-storage", path,
+                        "chaos_storage: poisoned engine accepted a mutation")
+        try:
+            session.execute("CHECKPOINT")
+        except StorageError as error:
+            if "append" not in str(error):
+                _chaos_fail("chaos-storage", path,
+                            f"chaos_storage: CHECKPOINT hid the poison reason: {error}")
+        else:
+            _chaos_fail("chaos-storage", path,
+                        "chaos_storage: poisoned engine accepted CHECKPOINT")
+        database.storage.abandon()
+        recovered = open_db(path)
+        if keys(recovered) != {"a"} or recovered.storage.poisoned is not None:
+            _chaos_fail(
+                "chaos-storage", path,
+                f"chaos_storage: recovery yielded {keys(recovered)} "
+                "(expected exactly the acked prefix {'a'}, unpoisoned)",
+            )
+        insert(recovered, "post")  # recovered database must be writable
+        recovered.close()
+
+        # Round 2: torn tail → truncated at recovery, appends work after.
+        path = os.path.join(root, "torn")
+        database = open_db(path)
+        insert(database, "a")
+        fire_one(
+            database, "wal.torn_tail:count=1",
+            lambda db: insert(db, "b"), StorageError,
+        )
+        database.storage.abandon()
+        recovered = open_db(path)
+        if keys(recovered) != {"a"}:
+            _chaos_fail("chaos-storage", path,
+                        f"chaos_storage: torn tail not truncated: {keys(recovered)}")
+        insert(recovered, "c")
+        recovered.close()
+        final = open_db(path)
+        if keys(final) != {"a", "c"}:
+            _chaos_fail("chaos-storage", path,
+                        f"chaos_storage: append after torn tail lost: {keys(final)}")
+        final.close()
+
+        # Round 3: snapshot publish fails → not poisoned, nothing lost.
+        path = os.path.join(root, "snapshot")
+        database = open_db(path)
+        insert(database, "a")
+        fire_one(
+            database, "snapshot.rename_ioerror:count=1",
+            lambda db: db.storage.checkpoint(), OSError,
+        )
+        if database.storage.poisoned is not None:
+            _chaos_fail("chaos-storage", path,
+                        "chaos_storage: failed snapshot publish poisoned the engine")
+        insert(database, "b")
+        database.storage.abandon()
+        recovered = open_db(path)
+        if keys(recovered) != {"a", "b"}:
+            _chaos_fail("chaos-storage", path,
+                        f"chaos_storage: snapshot failure lost data: {keys(recovered)}")
+        recovered.close()
+
+    scenario = {
+        "scenario": "chaos_storage_faults",
+        "faults": sorted(injected),
+        "injected": injected,
+        "acked_prefix_recovered": True,
+        "degraded_mode_enforced": True,
+    }
+    print(f"[chaos] storage faults ({', '.join(sorted(injected))}): recovery OK")
+    return scenario
+
+
+def _chaos_timeout_round() -> dict:
+    """Statement timeouts over the wire: typed error, session survives.
+
+    A served database with ``statement_timeout_ms`` set runs a quadratic
+    self-ALIGN that must come back as a typed ``timeout`` wire error — then
+    the same session answers a fast statement, and a timeout inside an open
+    transaction rolls it back (the uncommitted write never becomes visible).
+    """
+    from repro.client import Client, ServerError
+    from repro.relation.relation import TemporalRelation
+    from repro.relation.schema import Schema
+    from repro.server import serve_in_thread
+
+    # Deliberately scale-independent: the round gates a deadline *ratio*
+    # (4000² ALIGN pairs vs a 50ms budget), and a scaled-down input could
+    # finish inside the deadline and fail the gate spuriously.
+    rows = 4000
+    database = Database()
+    relation = TemporalRelation(Schema(["k", "v"]))
+    for index in range(rows):
+        relation.insert((f"k{index}", index), Interval(index, index + 2))
+    database.register_relation("r", relation)
+    database.settings = Settings(
+        enable_columnar=False, parallel_workers=0, statement_timeout_ms=50.0
+    )
+    slow_sql = "SELECT * FROM (r ALIGN r ON 1 = 1) q"
+
+    def expect_timeout(client, context: str) -> None:
+        try:
+            client.execute(slow_sql)
+        except ServerError as error:
+            if error.kind != "timeout":
+                raise BenchmarkError(
+                    f"chaos_timeout: {context}: expected kind 'timeout', "
+                    f"got {error.kind!r}: {error}"
+                )
+        else:
+            raise BenchmarkError(
+                f"chaos_timeout: {context}: the quadratic self-ALIGN over "
+                f"{rows} rows finished inside a 50ms deadline"
+            )
+
+    handle = serve_in_thread(database)
+    try:
+        with Client(handle.host, handle.port, timeout=30.0) as client:
+            expect_timeout(client, "autocommit")
+            if len(client.execute("SELECT k FROM r WHERE v = 0")) != 1:
+                raise BenchmarkError(
+                    "chaos_timeout: session did not survive the timeout"
+                )
+            client.execute("BEGIN")
+            client.execute(
+                "INSERT INTO r (k, v) VALUES ('ghost', -1) VALID PERIOD [0, 5)"
+            )
+            expect_timeout(client, "in-transaction")
+            if len(client.execute("SELECT k FROM r WHERE k = 'ghost'")) != 0:
+                raise BenchmarkError(
+                    "chaos_timeout: timed-out transaction was not rolled back "
+                    "— the uncommitted write is visible"
+                )
+    finally:
+        handle.stop()
+
+    scenario = {
+        "scenario": "chaos_statement_timeout",
+        "rows": rows,
+        "statement_timeout_ms": 50.0,
+        "typed_wire_error": True,
+        "transaction_rolled_back": True,
+    }
+    print(f"[chaos] statement timeout over {rows} rows: typed error + rollback OK")
+    return scenario
+
+
+def run_chaos(
+    sizes: Optional[Sequence[int]] = None, workers: int = 2, repeats: int = 2
+) -> List[dict]:
+    """Fault-injection chaos harness — every gate is hard, none relaxed.
+
+    One served round per seed in :data:`CHAOS_SEEDS` (``--sizes`` overrides
+    the seed list): a subprocess server with net faults armed through
+    ``REPRO_FAULTS``, retrying clients, a SIGKILL, and a recovered-state ≡
+    committed-prefix replay gate.  Then one round each of engine faults
+    (pool death/stall, shm failure, with a no-leak scan of ``/dev/shm``),
+    storage faults (poison → degraded mode → acked-prefix recovery), and
+    statement timeouts over the wire.  Every armed fault must be observed
+    in ``faults.injected`` — a chaos run whose faults never fired proves
+    nothing.  ``repeats`` is unused but kept for the runner's convention.
+    """
+    del repeats
+    _faults.disarm()  # the rounds arm exactly what they gate on
+    try:
+        seeds = [int(seed) for seed in (sizes or CHAOS_SEEDS)]
+        scenarios: List[dict] = []
+        for seed in seeds:
+            scenarios.append(_chaos_served_round(seed))
+        scenarios.append(_chaos_engine_round(workers))
+        scenarios.append(_chaos_storage_round())
+        scenarios.append(_chaos_timeout_round())
+        return scenarios
+    finally:
+        _faults.disarm()
+
+
 #: The tracing-overhead bar of ``obs_overhead``: with the observability layer
 #: in place, an *untraced* alignment must stay within this fraction of an
 #: enabled-tracing run's savings — i.e. tracing may cost at most 5%.
@@ -1185,6 +1824,7 @@ def write_report(name: str, scenarios: List[dict], output_dir: str, workers: int
 
 
 NATIVE_SCENARIOS = {
+    "chaos": run_chaos,
     "columnar_adjustment": run_columnar_adjustment,
     "concurrency": run_concurrency,
     "durability": run_durability,

@@ -7,17 +7,33 @@
 ...     c.execute("COMMIT")
 
 Each :meth:`Client.execute` sends one request line and blocks for its
-response.  Server-side failures raise :class:`ServerError`; the
-``"conflict"`` kind raises the :class:`ConflictError` subclass — the one
-*retryable* failure: the server-side transaction is already gone, so the
-caller replays the whole transaction from ``BEGIN`` (see
-:meth:`Client.run_transaction`, which does exactly that).
+response.  Server-side failures raise :class:`ServerError`; the ``kind``
+field maps to typed subclasses clients can react to mechanically:
+
+* :class:`ConflictError` (``"conflict"``) — first-committer-wins abort; the
+  server-side transaction is already gone, replay it from ``BEGIN``;
+* :class:`OverloadedError` (``"overloaded"``) — the server refused the
+  connection at its cap; back off and reconnect;
+* :class:`DisconnectedError` — the TCP stream died mid-request.  It also
+  subclasses :class:`ConnectionError` so pre-existing ``except
+  ConnectionError`` call sites keep working.  Its
+  :class:`AmbiguousCommitError` subclass marks the one genuinely dangerous
+  case: the connection died *while a COMMIT was in flight*, so the commit
+  may or may not have applied — blind replay could double-apply.
+
+:meth:`Client.run_transaction` wraps all of this into the retry loop every
+client needs: replay on conflict, reconnect + replay on disconnect and
+overload, capped exponential backoff with jitter between attempts, and a
+hard stop on ambiguous commits unless the caller's statements are idempotent
+(``retry_ambiguous=True``).
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
+import time
 from typing import Any, Callable, List, Optional, Sequence
 
 
@@ -31,6 +47,37 @@ class ServerError(RuntimeError):
 
 class ConflictError(ServerError):
     """First-committer-wins abort — retry the whole transaction."""
+
+
+class OverloadedError(ServerError):
+    """The server refused the connection at ``max_connections`` — back off,
+    reconnect, retry."""
+
+
+class DisconnectedError(ServerError, ConnectionError):
+    """The connection died mid-request (EOF, reset, or torn response).
+
+    Retryable by reconnecting, *except* when the in-flight request was a
+    ``COMMIT`` (see :class:`AmbiguousCommitError`).  Subclasses
+    ``ConnectionError`` so older call sites that caught socket-level errors
+    still catch this typed variant.
+    """
+
+    def __init__(self, message: str, kind: str = "disconnected"):
+        super().__init__(kind, message)
+
+
+class AmbiguousCommitError(DisconnectedError):
+    """The connection died while a ``COMMIT`` was in flight.
+
+    The commit may have applied (response lost) or not (request lost) — the
+    client cannot tell.  :meth:`Client.run_transaction` refuses to retry
+    these unless told the transaction is idempotent
+    (``retry_ambiguous=True``), because a replay could apply it twice.
+    """
+
+    def __init__(self, message: str):
+        super().__init__(message, kind="ambiguous_commit")
 
 
 class Result:
@@ -58,13 +105,32 @@ class Client:
     """A blocking connection to a :class:`~repro.server.DatabaseServer`."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 7654, timeout: float = 30.0):
-        self._socket = socket.create_connection((host, port), timeout=timeout)
-        self._reader = self._socket.makefile("rb")
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._socket: Optional[socket.socket] = None
+        self._reader = None
         self._next_id = 1
+        self._connect()
+
+    def _connect(self) -> None:
+        self._socket = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        self._reader = self._socket.makefile("rb")
+
+    def reconnect(self) -> None:
+        """Drop the current connection (if any) and dial a fresh one.
+
+        The server side of the old connection tears its session down,
+        rolling back any transaction this client had open.
+        """
+        self.close()
+        self._connect()
 
     def execute(self, sql: str) -> Result:
         """Run one statement; returns its result or raises :class:`ServerError`."""
-        response = self._request({"sql": sql})
+        response = self._request({"sql": sql}, commit_in_flight="COMMIT" in sql.upper())
         return Result(response["columns"], response["rows"])
 
     def metrics(self) -> dict:
@@ -77,18 +143,34 @@ class Client:
         """
         return self._request({"cmd": "metrics"})["metrics"]
 
-    def _request(self, fields: dict) -> dict:
+    def _request(self, fields: dict, commit_in_flight: bool = False) -> dict:
+        if self._socket is None or self._reader is None:
+            raise DisconnectedError("client is closed; reconnect() first")
         request_id = self._next_id
         self._next_id += 1
         payload = json.dumps({"id": request_id, **fields}) + "\n"
-        self._socket.sendall(payload.encode())
-        line = self._reader.readline()
+        try:
+            self._socket.sendall(payload.encode())
+            line = self._reader.readline()
+        except (ConnectionError, socket.timeout, OSError) as error:
+            raise self._disconnected(f"connection died mid-request: {error}",
+                                     commit_in_flight) from error
         if not line:
-            raise ConnectionError("server closed the connection")
+            raise self._disconnected("server closed the connection",
+                                     commit_in_flight)
         response = json.loads(line.decode("utf-8"))
+        if not response.get("ok") and response.get("id") is None:
+            # Pre-request rejection (admission control): the server answered
+            # before it ever saw our request id, then closed the connection.
+            kind = response.get("kind", "internal")
+            message = response.get("error", "unknown server error")
+            if kind == "overloaded":
+                raise OverloadedError(kind, message)
+            raise ServerError(kind, message)
         if response.get("id") != request_id:
-            raise ConnectionError(
-                f"out-of-order response (sent {request_id}, got {response.get('id')})"
+            raise self._disconnected(
+                f"out-of-order response (sent {request_id}, got {response.get('id')})",
+                commit_in_flight,
             )
         if not response.get("ok"):
             kind = response.get("kind", "internal")
@@ -96,17 +178,46 @@ class Client:
             raise error_type(kind, response.get("error", "unknown server error"))
         return response
 
+    @staticmethod
+    def _disconnected(message: str, commit_in_flight: bool) -> DisconnectedError:
+        if commit_in_flight:
+            return AmbiguousCommitError(
+                f"{message} while a COMMIT was in flight; the commit may or "
+                "may not have applied"
+            )
+        return DisconnectedError(message)
+
     def run_transaction(
         self,
         statements_or_fn,
         max_attempts: int = 10,
+        backoff_base: float = 0.01,
+        backoff_cap: float = 0.5,
+        retry_ambiguous: bool = False,
+        rng: Optional[random.Random] = None,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> Optional[int]:
-        """Run a transaction with conflict retry; returns its commit epoch.
+        """Run a transaction with retry and backoff; returns its commit epoch.
 
         ``statements_or_fn`` is either a list of SQL statements or a callable
-        receiving this client (for read-dependent logic).  On
-        :class:`ConflictError` the whole transaction is replayed from
-        ``BEGIN`` — the snapshot-isolation retry loop every client needs.
+        receiving this client (for read-dependent logic).  Retried failures,
+        each consuming one attempt of the ``max_attempts`` budget:
+
+        * :class:`ConflictError` — the server-side transaction is gone;
+          replay from ``BEGIN``;
+        * :class:`DisconnectedError` / :class:`OverloadedError` — reconnect,
+          then replay (the server rolled the dead connection's transaction
+          back).  An :class:`AmbiguousCommitError` is *not* retried unless
+          ``retry_ambiguous=True``: the interrupted COMMIT may have applied,
+          so only an idempotent transaction may be replayed safely.
+
+        Between attempts the client sleeps ``min(backoff_cap, backoff_base ·
+        2^(attempt-1))`` scaled by a jitter factor in ``[0.5, 1.0)`` —
+        capped exponential backoff that decorrelates a thundering herd of
+        retrying clients.  ``rng`` and ``sleep`` are injectable so tests can
+        pin the schedule.
+
+        Raises the last typed error when the budget runs out.
         """
         fn: Callable[[Client], None]
         if callable(statements_or_fn):
@@ -118,23 +229,51 @@ class Client:
                 for statement in statements:
                     client.execute(statement)
 
-        last: Optional[ConflictError] = None
-        for _attempt in range(max_attempts):
-            self.execute("BEGIN")
+        jitter = rng if rng is not None else random.Random()
+        last: Optional[ServerError] = None
+        for attempt in range(1, max_attempts + 1):
+            if attempt > 1:
+                delay = min(backoff_cap, backoff_base * 2 ** (attempt - 2))
+                sleep(delay * (0.5 + 0.5 * jitter.random()))
             try:
+                self.execute("BEGIN")
                 fn(self)
                 commit = self.execute("COMMIT")
             except ConflictError as error:
-                last = error  # the txn is gone server-side; just retry
+                last = error
+                # A server-side abort already ended the transaction (the
+                # rollback below is then a swallowed no-op); a ConflictError
+                # raised by the caller's own fn leaves it open — roll back so
+                # the retry's BEGIN starts clean either way.
+                self._try_rollback()
+                continue
+            except AmbiguousCommitError as error:
+                if not retry_ambiguous:
+                    raise
+                last = error
+                self._reconnect_quietly()
+                continue
+            except (DisconnectedError, OverloadedError) as error:
+                last = error
+                self._reconnect_quietly()
                 continue
             except BaseException:
                 self._try_rollback()
                 raise
             return commit.rows[0][1]  # the commit epoch (status "target")
-        raise ConflictError(
-            "conflict",
-            f"transaction still conflicting after {max_attempts} attempts: {last}",
-        )
+        assert last is not None
+        message = f"transaction still failing after {max_attempts} attempts: {last}"
+        if isinstance(last, AmbiguousCommitError):
+            raise AmbiguousCommitError(message)
+        if isinstance(last, DisconnectedError):
+            raise DisconnectedError(message)
+        raise type(last)(last.kind, message)
+
+    def _reconnect_quietly(self) -> None:
+        try:
+            self.reconnect()
+        except OSError:
+            pass  # next attempt's BEGIN raises DisconnectedError and retries
 
     def _try_rollback(self) -> None:
         try:
@@ -143,10 +282,14 @@ class Client:
             pass  # session state is unknown mid-failure; the server cleans up
 
     def close(self) -> None:
+        reader, self._reader = self._reader, None
+        sock, self._socket = self._socket, None
         try:
-            self._reader.close()
+            if reader is not None:
+                reader.close()
         finally:
-            self._socket.close()
+            if sock is not None:
+                sock.close()
 
     def __enter__(self) -> Client:
         return self

@@ -42,6 +42,7 @@ import uuid
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, List, Optional, Sequence, Tuple
 
+from repro import faults
 from repro.columnar import kernels
 from repro.columnar.runtime import numpy_or_none
 from repro.core.parallel import code_partition_order, parallel_map_with_mode
@@ -144,6 +145,10 @@ class SegmentRegistry:
         return segment
 
     def attach(self, name: str) -> _shared_memory.SharedMemory:
+        if faults.fire("shm.attach_fail"):
+            # Parent-side attach at the merge boundary: the caller's cleanup
+            # unlinks every handed-out name before the pickled-row fallback.
+            raise ShmUnavailable("injected fault: shm.attach_fail")
         segment = _shared_memory.SharedMemory(name=name)
         self._open.append(segment)
         return segment
@@ -179,6 +184,8 @@ def _create_segment(name: str, nbytes: int) -> _shared_memory.SharedMemory:
     retries the whole map in-process — and the retry must not trip over the
     dead worker's segment.
     """
+    if faults.fire("shm.create_fail"):
+        raise ShmUnavailable("injected fault: shm.create_fail")
     size = max(1, nbytes)
     try:
         # repro: allow(shm-lifecycle): _create_segment is the registry's own factory; every name it binds was issued by SegmentRegistry.reserve

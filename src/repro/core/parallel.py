@@ -17,10 +17,13 @@ import multiprocessing
 import numbers
 import os
 import pickle
+import time
 import warnings
 import zlib
+from dataclasses import dataclass
 from typing import Any, Callable, Hashable, List, Sequence, Tuple, TypeVar
 
+from repro import faults
 from repro.obs import metrics as obs_metrics
 from repro.relation.tuple import is_null
 
@@ -167,6 +170,35 @@ def _is_ship_error(error: Exception) -> bool:
     return isinstance(error, (TypeError, AttributeError)) and "pickle" in str(error).lower()
 
 
+@dataclass
+class _FaultedPayload:
+    """A payload wrapped with the fault behaviour the parent decided on.
+
+    The *decision* (did ``pool.worker_kill`` / ``pool.worker_stall`` fire?)
+    is made in the parent, inside :func:`parallel_map_with_mode`, so the
+    ``faults.injected`` counter lands in the parent's metrics registry —
+    counters incremented in a forked child are invisible to the parent.  The
+    child merely executes the decided behaviour.
+    """
+
+    worker: Callable[[Any], Any]
+    payload: Any
+    kill: bool
+    stall_seconds: float
+
+
+def _run_faulted_payload(job: _FaultedPayload) -> Any:
+    if job.kill:
+        # Simulate the pool's IPC dying under an abruptly killed worker.  (A
+        # literal os._exit here would hang multiprocessing.Pool.map forever —
+        # task results of a dead worker are never redelivered — so the fault
+        # surfaces as the error such a death produces in the parent instead.)
+        raise BrokenPipeError("injected fault: pool.worker_kill")
+    if job.stall_seconds > 0:
+        time.sleep(job.stall_seconds)
+    return job.worker(job.payload)
+
+
 def parallel_map_with_mode(
     worker: Callable[[T], R],
     payloads: Sequence[T],
@@ -207,9 +239,30 @@ def parallel_map_with_mode(
         cause = f"worker pool unavailable ({type(error).__name__}: {error})"
         _warn_fallback(f"pool:{type(error).__name__}", cause)
         return [worker(payload) for payload in payloads], f"in-process (fallback: {cause})"
+    kill = faults.fire("pool.worker_kill")
+    stall_seconds = (
+        faults.stall_ms("pool.worker_stall") / 1000.0
+        if faults.fire("pool.worker_stall")
+        else 0.0
+    )
+    jobs: Sequence[Any]
+    mapper: Callable[[Any], Any]
+    if kill or stall_seconds:
+        jobs = [
+            _FaultedPayload(
+                worker,
+                payload,
+                kill=kill and index == 0,
+                stall_seconds=stall_seconds if index == 0 else 0.0,
+            )
+            for index, payload in enumerate(payloads)
+        ]
+        mapper = _run_faulted_payload
+    else:
+        jobs, mapper = list(payloads), worker
     try:
         with pool:
-            return pool.map(worker, list(payloads)), f"pool[{pool_size}]"
+            return pool.map(mapper, jobs), f"pool[{pool_size}]"
     except Exception as error:
         if not _is_ship_error(error):
             raise  # the worker's own exception — the serial path would hit it too

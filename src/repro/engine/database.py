@@ -5,6 +5,7 @@ from __future__ import annotations
 from time import perf_counter
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.engine import deadline as _deadline
 from repro.engine.executor.base import PhysicalNode
 from repro.obs import log as obs_log
 from repro.obs import trace as obs_trace
@@ -304,15 +305,17 @@ class Database:
         via :meth:`last_trace`.
         """
         physical = plan if isinstance(plan, PhysicalNode) else self.plan(plan, settings)
-        if obs_trace.tracing_enabled():
-            table, _trace = self._run_traced(physical, result_name, sql)
-            return table
-        threshold = obs_log.slow_query_threshold()
-        if threshold is None:
-            return Table(result_name, physical.columns, physical.execute())
-        started = perf_counter()
-        rows = physical.execute()
-        elapsed = perf_counter() - started
+        active = settings if settings is not None else self.settings
+        with _deadline.deadline_scope(active.statement_timeout_ms):
+            if obs_trace.tracing_enabled():
+                table, _trace = self._run_traced(physical, result_name, sql)
+                return table
+            threshold = obs_log.slow_query_threshold()
+            if threshold is None:
+                return Table(result_name, physical.columns, physical.execute())
+            started = perf_counter()
+            rows = physical.execute()
+            elapsed = perf_counter() - started
         obs_log.maybe_log_slow_query(sql, elapsed, epoch=self._commit_epoch())
         return Table(result_name, physical.columns, rows)
 
@@ -331,7 +334,9 @@ class Database:
         :meth:`last_trace`.
         """
         physical = plan if isinstance(plan, PhysicalNode) else self.plan(plan, settings)
-        return self._run_traced(physical, result_name, sql)
+        active = settings if settings is not None else self.settings
+        with _deadline.deadline_scope(active.statement_timeout_ms):
+            return self._run_traced(physical, result_name, sql)
 
     def _run_traced(
         self, physical: PhysicalNode, result_name: str, sql: Optional[str]

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Any, Iterator, List, Sequence, Tuple
 
+from repro.engine import deadline as _deadline
 from repro.obs.trace import _state as _trace_state
 from repro.relation.errors import PlanError
 
@@ -64,13 +65,19 @@ class PhysicalNode:
         Every operator pulls from its children through ``iter(child)``, so
         this is the single choke point where an active
         :class:`~repro.obs.trace.QueryTrace` wraps the iterator to record
-        wall time and row counts.  With no trace active the cost is one
-        thread-local read.
+        wall time and row counts, and where an active statement deadline
+        (:mod:`repro.engine.deadline`) wraps it to enforce
+        ``statement_timeout_ms``.  With neither active the cost is two
+        thread-local reads.
         """
+        iterator = self.rows()
+        limit = _deadline.active_deadline()
+        if limit is not None:
+            iterator = _deadline.checked(iterator, limit)
         trace = _trace_state.trace
         if trace is None:
-            return self.rows()
-        return trace.instrument(self, self.rows())
+            return iterator
+        return trace.instrument(self, iterator)
 
     def execute(self) -> List[Row]:
         """Materialise the full output (convenience for callers and tests).

@@ -103,6 +103,13 @@ class Settings:
     #: recompute earlier.
     view_delta_overhead: float = 16.0
 
+    #: Per-statement execution timeout in milliseconds; 0 disables.  Enforced
+    #: cooperatively: the executor checks a thread-local deadline every few
+    #: hundred produced rows (:mod:`repro.engine.deadline`), so a statement
+    #: stuck inside one long vectorized kernel call overshoots — the knob
+    #: bounds runaway row-at-a-time queries, it is not a hard preemption.
+    statement_timeout_ms: float = 0.0
+
     def copy(self, **overrides: object) -> Settings:
         """Copy with some fields replaced (handy in benchmarks and tests)."""
         return replace(self, **overrides)

@@ -20,6 +20,18 @@ A conflict abort ends the transaction: the failed ``COMMIT`` raises
 :class:`~repro.engine.transactions.TransactionConflictError` *and* leaves
 the session idle, so the client retries with a fresh ``BEGIN`` (a subsequent
 ``ROLLBACK`` is an error — there is nothing left to roll back).
+
+Two hardening behaviours live here because the session is the layer that
+owns transaction state:
+
+* a statement that overruns ``Settings.statement_timeout_ms`` raises
+  :class:`~repro.relation.errors.StatementTimeoutError`, and if a
+  transaction is open the session rolls it back first — a timed-out
+  transaction never stays half-open;
+* when the storage engine is poisoned (WAL append failed, checkpoint
+  half-applied) the database is in *read-only degraded mode*: SELECTs keep
+  answering from memory, but mutations and COMMIT fail fast with a
+  ``StorageError`` instead of diverging memory further from the log.
 """
 
 from __future__ import annotations
@@ -30,6 +42,7 @@ from repro.engine.database import Database
 from repro.engine.optimizer.settings import Settings
 from repro.engine.table import Table
 from repro.engine.transactions import Transaction, TransactionError
+from repro.relation.errors import StatementTimeoutError
 from repro.sql import ast
 from repro.sql.parser import parse
 
@@ -59,6 +72,23 @@ class Session:
         return self.execute_statement(parse(sql_text), settings, sql=sql_text)
 
     def execute_statement(
+        self,
+        statement: ast.Statement,
+        settings: Optional[Settings] = None,
+        sql: Optional[str] = None,
+    ) -> Table:
+        try:
+            return self._dispatch(statement, settings, sql=sql)
+        except StatementTimeoutError:
+            # The deadline fired mid-statement; whatever the statement had
+            # half-done inside an open transaction is unusable, so end the
+            # transaction before surfacing the typed timeout to the caller.
+            transaction, self.transaction = self.transaction, None
+            if transaction is not None and transaction.status == "active":
+                transaction.rollback()
+            raise
+
+    def _dispatch(
         self,
         statement: ast.Statement,
         settings: Optional[Settings] = None,
@@ -101,6 +131,11 @@ class Session:
         if self.transaction is None:
             raise TransactionError("COMMIT outside a transaction; BEGIN first")
         transaction, self.transaction = self.transaction, None
+        try:
+            self._check_writable("COMMIT")
+        except Exception:
+            transaction.rollback()
+            raise
         # A conflict propagates to the caller, but the transaction is gone
         # either way: the session is idle again, ready for a retry BEGIN.
         epoch = transaction.commit()
@@ -116,6 +151,30 @@ class Session:
         transaction.rollback()
         return _status("ROLLBACK", transaction.id, 0)
 
+    # -- degraded mode ---------------------------------------------------------
+
+    _MUTATIONS = (ast.InsertStatement, ast.UpdateStatement, ast.DeleteStatement)
+
+    def _check_writable(self, operation: str) -> None:
+        """Fail fast when the storage engine is in read-only degraded mode.
+
+        Checked *before* a mutation touches memory: the poisoned engine's
+        own append guard would also fire, but only after the in-memory
+        mutation applied, widening the memory/log divergence with every
+        rejected statement.  ``CHECKPOINT`` is deliberately not routed here —
+        ``StorageEngine.checkpoint`` reports the poison reason itself.
+        """
+        storage = self.database.storage
+        if storage is not None and storage.poisoned is not None:
+            from repro.storage.engine import StorageError
+
+            raise StorageError(
+                f"{operation} rejected: database is in read-only degraded "
+                f"mode (storage engine poisoned: {storage.poisoned}); "
+                "SELECTs still answer from memory, reopen the database to "
+                "recover"
+            )
+
     # -- statement paths -------------------------------------------------------
 
     def _execute_autocommit(
@@ -130,6 +189,8 @@ class Session:
         if isinstance(statement, ast.SelectStatement):
             plan = Analyzer(self.database).analyze(statement)
             return self.database.execute(plan, settings, sql=sql)
+        if isinstance(statement, self._MUTATIONS):
+            self._check_writable(type(statement).__name__.replace("Statement", "").upper())
         return execute_statement(self.database, statement)
 
     def _execute_transactional(
@@ -148,7 +209,11 @@ class Session:
             plan = Analyzer(facade).analyze(statement)
             return facade.execute(plan, settings, sql=sql)
         # DML: compile against the committed schema (schemas are not
-        # transactional), apply to the deferred workspace.
+        # transactional), apply to the deferred workspace.  The degraded-mode
+        # check here is fail-fast courtesy only — COMMIT re-checks, which is
+        # the guard that actually protects the log.
+        if isinstance(statement, self._MUTATIONS):
+            self._check_writable(type(statement).__name__.replace("Statement", "").upper())
         if isinstance(statement, ast.InsertStatement):
             relation = self.database.get_relation(statement.table)
             rows = compile_insert(relation, statement)

@@ -44,6 +44,16 @@ class SQLSyntaxError(QueryError):
         super().__init__(f"{message}{location}")
 
 
+class StatementTimeoutError(ReproError):
+    """A statement ran past ``Settings.statement_timeout_ms``.
+
+    Raised cooperatively by the executor's deadline check
+    (:mod:`repro.engine.deadline`); the wire protocol maps it to the typed
+    ``timeout`` error kind, and a session rolls an open transaction back
+    before re-raising — a timed-out transaction never half-commits.
+    """
+
+
 class PlanError(ReproError):
     """The optimizer could not build a physical plan for a logical plan."""
 

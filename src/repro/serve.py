@@ -15,6 +15,13 @@ With ``--metrics-port`` a second listener serves the process metrics
 registry in Prometheus text exposition format (``GET /metrics``) from a
 plain asyncio handler — no HTTP library involved, just enough of the
 protocol for a scraper.
+
+Hardening knobs: ``--max-connections`` (typed ``overloaded`` rejection past
+the cap), ``--idle-timeout`` (reap sessions with no request activity),
+``--statement-timeout-ms`` (cooperative per-statement deadline).  Fault
+injection arms from the ``REPRO_FAULTS`` environment variable (see
+:mod:`repro.faults`); a malformed spec fails startup loudly rather than
+serving with silently-disarmed faults.
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ import signal
 import sys
 from typing import Optional, Sequence
 
+from repro import faults
 from repro.engine.database import Database
 from repro.obs import metrics as obs_metrics
 from repro.server.server import DatabaseServer
@@ -62,6 +70,31 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         metavar="N",
         help="checkpoint automatically every N WAL records (0 = manual only)",
+    )
+    parser.add_argument(
+        "--max-connections",
+        type=int,
+        default=None,
+        metavar="N",
+        help="refuse connections beyond N concurrent sessions with a typed "
+        "'overloaded' response (default: no cap)",
+    )
+    parser.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="disconnect sessions idle longer than this, rolling open "
+        "transactions back (default: never)",
+    )
+    parser.add_argument(
+        "--statement-timeout-ms",
+        type=float,
+        default=0.0,
+        metavar="MS",
+        help="cooperative per-statement deadline; an overrunning statement "
+        "returns a typed 'timeout' error and its transaction rolls back "
+        "(0 = disabled)",
     )
     return parser
 
@@ -103,9 +136,13 @@ async def _handle_metrics_http(
 
 
 async def _serve(
-    database: Database, host: str, port: int, metrics_port: Optional[int] = None
+    database: Database, host: str, port: int, metrics_port: Optional[int] = None,
+    max_connections: Optional[int] = None, idle_timeout: Optional[float] = None,
 ) -> int:
-    server = DatabaseServer(database, host, port, owns_database=True)
+    server = DatabaseServer(
+        database, host, port, owns_database=True,
+        max_connections=max_connections, idle_timeout=idle_timeout,
+    )
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
     for signum in (signal.SIGINT, signal.SIGTERM):
@@ -141,6 +178,16 @@ async def _serve(
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     arguments = build_parser().parse_args(argv)
+    # Arm fault injection before the database opens so storage-layer sites
+    # cover recovery too; a malformed spec is a startup error, not a server
+    # silently running without its faults.
+    try:
+        plan = faults.install_from_env()
+    except faults.FaultSpecError as error:
+        print(f"invalid {faults.ENV_VAR}: {error}", file=sys.stderr, flush=True)
+        return 2
+    if plan is not None:
+        print(f"faults armed: {', '.join(sorted(plan.sites))}", flush=True)
     if arguments.memory:
         database = Database()
     else:
@@ -149,6 +196,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             sync=not arguments.no_sync,
             auto_checkpoint=arguments.auto_checkpoint,
         )
+    if arguments.statement_timeout_ms:
+        database.settings.statement_timeout_ms = arguments.statement_timeout_ms
     try:
         return asyncio.run(
             _serve(
@@ -156,6 +205,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 arguments.host,
                 arguments.port,
                 metrics_port=arguments.metrics_port,
+                max_connections=arguments.max_connections,
+                idle_timeout=arguments.idle_timeout,
             )
         )
     finally:

@@ -19,6 +19,14 @@ retryable kind — the client's transaction is gone and it should replay the
 whole transaction from ``BEGIN``.  ``id`` is echoed verbatim (clients use it
 to pair pipelined requests with responses); it is optional.
 
+Three kinds carry serving-hardening semantics: ``"timeout"`` (the statement
+overran ``statement_timeout_ms``; any open transaction was rolled back
+server-side), ``"storage"`` (the database is in read-only degraded mode —
+mutations fail, SELECTs still answer), and ``"overloaded"`` (the server
+refused the connection at its ``max_connections`` cap; the response carries
+``id: null`` because it precedes any request, and the connection closes
+immediately after — clients should back off and reconnect).
+
 Values are JSON-native where possible;
 :class:`~repro.temporal.interval.Interval` values (timestamp propagation can
 put them in a select list) and any other engine object are rendered through
@@ -37,7 +45,9 @@ from repro.relation.errors import (
     ReproError,
     SchemaError,
     SQLSyntaxError,
+    StatementTimeoutError,
 )
+from repro.storage.engine import StorageError
 
 #: Failure classification, most specific first (the first match wins).
 ERROR_KINDS: Tuple[Tuple[type, str], ...] = (
@@ -46,9 +56,28 @@ ERROR_KINDS: Tuple[Tuple[type, str], ...] = (
     (SQLSyntaxError, "syntax"),
     (SchemaError, "schema"),
     (DuplicateTupleError, "duplicate"),
+    (StatementTimeoutError, "timeout"),
     (QueryError, "query"),
     (ReproError, "engine"),
+    (StorageError, "storage"),
 )
+
+#: Kind attached to connection-cap rejections (no exception class — the
+#: server builds the response directly, see :func:`overloaded_response`).
+OVERLOADED_KIND = "overloaded"
+
+
+def overloaded_response(limit: int) -> Dict[str, Any]:
+    """The pre-request rejection sent when the connection cap is reached."""
+    return {
+        "id": None,
+        "ok": False,
+        "kind": OVERLOADED_KIND,
+        "error": (
+            f"server at max_connections={limit}; connection refused — "
+            "back off and reconnect"
+        ),
+    }
 
 
 def error_kind(error: BaseException) -> str:

@@ -55,6 +55,7 @@ from repro.storage import snapshot as snapshot_module
 from repro.storage.wal import Record, WalWriter, _fsync_directory, read_wal
 
 _CHECKPOINT_SECONDS = obs_metrics.histogram("storage.checkpoint_seconds")
+_POISONED_GAUGE = obs_metrics.gauge("storage.poisoned")
 
 WAL_FILE = "wal.log"
 SNAPSHOT_FILE = "snapshot.bin"
@@ -99,6 +100,7 @@ class StorageEngine:
         #: on-disk WAL epoch no longer matches the engine's, so acknowledging
         #: further commits would hand recovery records it must discard.
         self._poisoned: Optional[str] = None
+        _POISONED_GAUGE.set(0)
         self._records_since_checkpoint = 0
         #: Open transaction frame: mutation records buffered between
         #: ``transaction_scope`` entry and exit (one atomic WAL record).
@@ -137,6 +139,24 @@ class StorageEngine:
         if self._lock_handle is not None:
             self._lock_handle.close()  # closing the fd releases the flock
             self._lock_handle = None
+
+    # -- degraded mode ---------------------------------------------------------
+
+    @property
+    def poisoned(self) -> Optional[str]:
+        """Why the engine stopped accepting commits, or ``None`` if healthy.
+
+        A poisoned engine is in *read-only degraded mode*: the in-memory
+        state diverged from the log (or the log from the snapshot) in a way
+        that cannot be reconciled in place.  Sessions keep answering SELECTs
+        against the in-memory state but refuse mutations; reopening the path
+        recovers the last state the files actually agree on.
+        """
+        return self._poisoned
+
+    def _mark_poisoned(self, reason: str) -> None:
+        self._poisoned = reason
+        _POISONED_GAUGE.set(1)
 
     # -- recovery --------------------------------------------------------------
 
@@ -235,7 +255,7 @@ class StorageEngine:
             # absent from disk.  Poison the engine so every later commit
             # fails fast instead of compounding the divergence; reopening the
             # path returns to the last state the log actually contains.
-            self._poisoned = f"WAL append failed: {error}"
+            self._mark_poisoned(f"WAL append failed: {error}")
             raise StorageError(
                 f"WAL append failed ({error}); the in-memory state now leads "
                 "the log — the engine is poisoned, reopen the database to "
@@ -335,7 +355,7 @@ class StorageEngine:
             # rightly discard it.  Accepting further commits into that log
             # would acknowledge writes recovery must throw away — poison the
             # engine instead; reopening recovers cleanly from the snapshot.
-            self._poisoned = f"WAL reset after snapshot {self.epoch} failed: {error}"
+            self._mark_poisoned(f"WAL reset after snapshot {self.epoch} failed: {error}")
             raise StorageError(self._poisoned) from error
         self._records_since_checkpoint = 0
         self.stats["checkpoints"] += 1
@@ -395,7 +415,7 @@ class _TransactionScope:
                 # Part of the transaction already mutated relations in memory
                 # but nothing reached the log, and relations cannot be rolled
                 # back in place: memory now leads the log permanently.
-                self.engine._poisoned = (
+                self.engine._mark_poisoned(
                     f"transaction {self.txn_id} failed mid-apply "
                     f"({exc_type.__name__}: {exc}); in-memory state leads the log"
                 )

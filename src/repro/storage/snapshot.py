@@ -25,6 +25,7 @@ import pickle
 import warnings
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro import faults
 from repro.relation.relation import TemporalRelation
 from repro.relation.schema import Schema
 from repro.temporal.interval import Interval
@@ -146,6 +147,10 @@ def write_snapshot(path: str, epoch: int, state: State) -> int:
         handle.write(blob)
         handle.flush()
         os.fsync(handle.fileno())
+    if faults.fire("snapshot.rename_ioerror"):
+        # Before the atomic replace: the previous snapshot plus the full WAL
+        # remain the authoritative history (the .tmp sibling is inert).
+        raise OSError("injected fault: snapshot.rename_ioerror")
     os.replace(temporary, path)
     _fsync_directory(path)
     return len(blob)

@@ -36,6 +36,7 @@ import zlib
 from time import perf_counter
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro import faults
 from repro.obs import metrics as obs_metrics
 
 _FSYNC_SECONDS = obs_metrics.histogram("wal.fsync_seconds")
@@ -148,6 +149,8 @@ class WalWriter:
 
     def create(self, epoch: int) -> None:
         """Initialize an empty log (header only) for ``epoch``."""
+        if faults.fire("wal.reset_ioerror"):
+            raise OSError("injected fault: wal.reset_ioerror")
         self._handle.close()
         self._handle = open(self.path, "wb")  # noqa: SIM115
         self._handle.write(pack_header(epoch))
@@ -176,12 +179,24 @@ class WalWriter:
         commit durability, the contract DML relies on.
         """
         frame = pack_frame(record)
+        if faults.fire("wal.append_ioerror"):
+            raise OSError("injected fault: wal.append_ioerror")
+        if faults.fire("wal.torn_tail"):
+            # A real torn write: a prefix of the frame reaches the file (and
+            # disk) before the failure.  Recovery's read_frames sees a short
+            # frame and truncates back to the last intact one.
+            self._handle.write(frame[: max(1, len(frame) // 2)])
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            raise OSError("injected fault: wal.torn_tail (partial frame on disk)")
         self._handle.write(frame)
         self._flush(force=False)
         return len(frame)
 
     def _flush(self, force: bool) -> None:
         self._handle.flush()
+        if (self.sync or force) and faults.fire("wal.fsync_ioerror"):
+            raise OSError("injected fault: wal.fsync_ioerror")
         if self.sync or force:
             started = perf_counter()
             os.fsync(self._handle.fileno())

@@ -1,0 +1,20 @@
+"""Bad fixture: undeclared and non-literal fault sites (2 findings)."""
+
+from repro import faults
+
+SITE = "demo.computed"
+
+
+def declared_site_is_fine():
+    if faults.fire("demo.declared"):
+        raise OSError("injected")
+
+
+def undeclared_site():  # finding: not in SITES
+    if faults.fire("demo.undeclared"):
+        raise OSError("injected")
+
+
+def computed_site():  # finding: not a literal
+    if faults.fire(SITE):
+        raise OSError("injected")

@@ -1,0 +1,5 @@
+"""Fixture site registry the fault-site-registered rule resolves against."""
+
+SITES = {
+    "demo.declared": "a site the fixture's good calls may name",
+}

@@ -18,6 +18,7 @@ BAD_FIXTURES = [
     ("storage", "swallowed-error", 2),
     ("metrics", "metrics-discipline", 4),
     ("knobs", "settings-knob", 1),
+    ("faultsite", "fault-site-registered", 2),
 ]
 
 

@@ -1,0 +1,145 @@
+"""Client retry/backoff: deterministic schedules via injected rng and sleep."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import faults
+from repro.client import (
+    AmbiguousCommitError,
+    Client,
+    ConflictError,
+    DisconnectedError,
+)
+from repro.engine.database import Database
+from repro.relation.relation import TemporalRelation
+from repro.relation.schema import Schema
+from repro.server import serve_in_thread
+from repro.temporal.interval import Interval
+
+
+@pytest.fixture(autouse=True)
+def disarmed():
+    faults.disarm()
+    yield
+    faults.disarm()
+
+
+@pytest.fixture
+def server():
+    db = Database()
+    db.register_relation("r", TemporalRelation(Schema(["k", "v"])))
+    handle = serve_in_thread(db)
+    yield handle
+    handle.stop()
+
+
+def _client(server):
+    return Client(server.host, server.port, timeout=10.0)
+
+
+class TestBackoffSchedule:
+    def test_capped_exponential_with_jitter(self, server):
+        failures = {"left": 3}
+
+        def flaky(client: Client) -> None:
+            if failures["left"]:
+                failures["left"] -= 1
+                raise ConflictError("conflict", "induced")
+            client.execute("INSERT INTO r (k, v) VALUES ('a', 1) VALID PERIOD [0, 5)")
+
+        slept: list = []
+        with _client(server) as client:
+            epoch = client.run_transaction(
+                flaky,
+                backoff_base=0.01,
+                backoff_cap=0.5,
+                rng=random.Random(7),
+                sleep=slept.append,
+            )
+        assert isinstance(epoch, int)
+        # Replay the schedule with the same seed: min(cap, base·2^(n-1))
+        # scaled by a jitter factor in [0.5, 1.0).
+        twin = random.Random(7)
+        expected = [
+            min(0.5, 0.01 * 2 ** attempt) * (0.5 + 0.5 * twin.random())
+            for attempt in range(3)
+        ]
+        assert slept == pytest.approx(expected)
+        for delay, ceiling in zip(slept, (0.01, 0.02, 0.04)):
+            assert 0 < delay <= ceiling
+
+    def test_cap_bounds_long_retry_chains(self, server):
+        attempts = {"n": 0}
+
+        def always_conflicts(_client: Client) -> None:
+            attempts["n"] += 1
+            raise ConflictError("conflict", "never converges")
+
+        slept: list = []
+        with _client(server) as client:
+            with pytest.raises(ConflictError, match="after 8 attempts"):
+                client.run_transaction(
+                    always_conflicts,
+                    max_attempts=8,
+                    backoff_base=0.05,
+                    backoff_cap=0.1,
+                    rng=random.Random(1),
+                    sleep=slept.append,
+                )
+        assert attempts["n"] == 8
+        assert len(slept) == 7  # no sleep before the first attempt
+        assert all(delay <= 0.1 for delay in slept)  # the cap holds
+
+
+class TestDisconnectRetry:
+    def test_dropped_connection_is_retried_transparently(self, server):
+        # The first request (BEGIN) is dropped; the client must reconnect
+        # and replay — the final state has exactly one committed row.
+        faults.arm("net.drop:count=1")
+        slept: list = []
+        with _client(server) as client:
+            epoch = client.run_transaction(
+                ["INSERT INTO r (k, v) VALUES ('d', 4) VALID PERIOD [0, 5)"],
+                sleep=slept.append,
+            )
+            assert isinstance(epoch, int)
+            assert len(client.execute("SELECT k FROM r WHERE k = 'd'")) == 1
+        assert len(slept) == 1  # one failed attempt, one backoff
+
+    def test_budget_exhaustion_raises_typed_disconnect(self, server):
+        faults.arm("net.drop:every=1")  # every request dies
+        with _client(server) as client:
+            with pytest.raises(DisconnectedError, match="after 3 attempts"):
+                client.run_transaction(
+                    ["INSERT INTO r (k, v) VALUES ('x', 0) VALID PERIOD [0, 5)"],
+                    max_attempts=3,
+                    sleep=lambda _delay: None,
+                )
+
+
+class TestAmbiguousCommit:
+    def test_commit_in_flight_disconnect_is_not_retried_by_default(self, server):
+        # Drop exactly the third request: BEGIN, INSERT pass, COMMIT dies.
+        faults.arm("net.drop:after=2:count=1")
+        with _client(server) as client:
+            with pytest.raises(AmbiguousCommitError, match="COMMIT was in flight"):
+                client.run_transaction(
+                    ["INSERT INTO r (k, v) VALUES ('amb', 1) VALID PERIOD [0, 5)"],
+                    sleep=lambda _delay: None,
+                )
+
+    def test_retry_ambiguous_opts_in_for_idempotent_transactions(self, server):
+        faults.arm("net.drop:after=2:count=1")
+        with _client(server) as client:
+            epoch = client.run_transaction(
+                ["INSERT INTO r (k, v) VALUES ('amb', 1) VALID PERIOD [0, 5)"],
+                retry_ambiguous=True,
+                sleep=lambda _delay: None,
+            )
+            assert isinstance(epoch, int)
+            # net.drop fires before execution, so the interrupted COMMIT never
+            # applied: the replay is the only commit.
+            assert len(client.execute("SELECT k FROM r WHERE k = 'amb'")) == 1

@@ -1,0 +1,119 @@
+"""Read-only degraded mode: a poisoned engine at the SQL/session/wire layer.
+
+When the storage engine poisons itself (WAL append failed, checkpoint
+half-applied) the database must keep answering SELECTs from memory while
+refusing everything that would widen the memory/log divergence — with typed
+errors at every surface: ``StorageError`` at the session, kind ``storage``
+on the wire, and a ``CHECKPOINT`` that reports the poison reason.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.client import Client, ServerError
+from repro.engine.database import Database
+from repro.relation.relation import TemporalRelation
+from repro.relation.schema import Schema
+from repro.server import serve_in_thread
+from repro.storage.engine import StorageError
+
+
+@pytest.fixture(autouse=True)
+def disarmed():
+    faults.disarm()
+    yield
+    faults.disarm()
+
+
+@pytest.fixture
+def poisoned(tmp_path):
+    """A durable database poisoned by an injected WAL append failure."""
+    database = Database.open(str(tmp_path / "db"))
+    database.register_relation("r", TemporalRelation(Schema(["k", "v"])))
+    session = database.session()
+    session.execute("INSERT INTO r (k, v) VALUES ('a', 1) VALID PERIOD [0, 5)")
+    faults.arm("wal.append_ioerror:count=1")
+    with pytest.raises(StorageError):
+        session.execute("INSERT INTO r (k, v) VALUES ('b', 2) VALID PERIOD [0, 5)")
+    faults.disarm()
+    assert database.storage.poisoned is not None
+    yield database
+    database.storage.abandon()
+
+
+class TestSessionLayer:
+    def test_selects_still_answer_from_memory(self, poisoned):
+        session = poisoned.session()
+        keys = {row[0] for row in session.execute("SELECT k FROM r").rows}
+        # The poisoning INSERT applied in memory before its append failed —
+        # visible here, discarded at recovery.
+        assert "a" in keys
+
+    def test_mutations_are_guarded_before_touching_memory(self, poisoned):
+        session = poisoned.session()
+        before = len(session.execute("SELECT k FROM r").rows)
+        for statement in (
+            "INSERT INTO r (k, v) VALUES ('c', 3) VALID PERIOD [0, 5)",
+            "UPDATE r SET v = 9 WHERE k = 'a'",
+            "DELETE FROM r WHERE k = 'a'",
+        ):
+            with pytest.raises(StorageError, match="read-only degraded mode"):
+                session.execute(statement)
+        # The guard fired before the in-memory apply: nothing changed.
+        assert len(session.execute("SELECT k FROM r").rows) == before
+
+    def test_transactional_dml_and_commit_are_guarded(self, poisoned):
+        session = poisoned.session()
+        session.execute("BEGIN")
+        with pytest.raises(StorageError, match="INSERT rejected"):
+            session.execute("INSERT INTO r (k, v) VALUES ('t', 7) VALID PERIOD [0, 5)")
+        # The transaction itself survives a guarded statement; COMMIT of the
+        # (empty) transaction is then itself refused and rolls it back.
+        with pytest.raises(StorageError, match="COMMIT rejected"):
+            session.execute("COMMIT")
+        assert not session.in_transaction
+
+    def test_checkpoint_reports_the_poison_reason(self, poisoned):
+        session = poisoned.session()
+        with pytest.raises(StorageError, match="WAL append failed"):
+            session.execute("CHECKPOINT")
+
+    def test_reopen_recovers_the_acked_prefix(self, poisoned, tmp_path):
+        poisoned.storage.abandon()
+        reopened = Database.open(str(tmp_path / "db"))
+        keys = {t[0][0] for t in reopened.get_relation("r").as_set()}
+        assert keys == {"a"}  # the unacked 'b' never reached the log
+        assert reopened.storage.poisoned is None
+        reopened.session().execute(
+            "INSERT INTO r (k, v) VALUES ('c', 3) VALID PERIOD [0, 5)"
+        )
+        reopened.close()
+
+
+class TestWireLayer:
+    def test_storage_kind_on_the_wire(self, poisoned):
+        handle = serve_in_thread(poisoned)
+        try:
+            with Client(handle.host, handle.port, timeout=10.0) as client:
+                assert len(client.execute("SELECT k FROM r")) >= 1
+                with pytest.raises(ServerError) as refused:
+                    client.execute(
+                        "INSERT INTO r (k, v) VALUES ('w', 1) VALID PERIOD [0, 5)"
+                    )
+                assert refused.value.kind == "storage"
+                with pytest.raises(ServerError) as checkpoint:
+                    client.execute("CHECKPOINT")
+                assert checkpoint.value.kind == "storage"
+                assert "WAL append failed" in str(checkpoint.value)
+        finally:
+            handle.stop()
+
+    def test_poisoned_gauge_is_served(self, poisoned):
+        handle = serve_in_thread(poisoned)
+        try:
+            with Client(handle.host, handle.port, timeout=10.0) as client:
+                assert client.metrics()["storage.poisoned"]["value"] == 1
+        finally:
+            handle.stop()
